@@ -1,0 +1,74 @@
+// E1 (§9): "Compilation of a small program cached in memory ... running
+// Mach is twice as fast as when running the more conventional SunOS 3.2."
+//
+// A small program is built twice on each I/O system. The second (cached)
+// build is the §9 comparison: on Mach the whole working set sits in the
+// kernel's page cache; on traditional UNIX only 10% of memory caches
+// blocks, so the rebuild still pays disk time. Reported time is simulated
+// I/O time on identical disk models.
+
+#include <cstdio>
+
+#include "bench/compile_workload.h"
+
+using namespace mach_bench;
+
+namespace {
+// The compiler's own CPU time, modelled per page processed. §9's 2x is an
+// end-to-end compile-time ratio: on the SunOS side of the comparison, I/O
+// and compute were comparable halves of a cached small build — the cache
+// removes (most of) the I/O half. 5 ms/page is a mid-80s workstation
+// compiler pass over 4 KB of source.
+constexpr double kCpuMsPerPage = 5.0;
+
+double CpuMs(const CompileConfig& c) {
+  double pages_per_module =
+      c.source_pages + c.headers * c.header_pages + c.source_pages /* object out */;
+  return c.modules * pages_per_module * kCpuMsPerPage;
+}
+}  // namespace
+
+int main() {
+  std::printf("E1: cached small compilation — Mach mapped files vs traditional "
+              "buffered I/O (10%% buffer cache)\n");
+  CompileConfig config;  // Small program: fits the kernel cache, not the 10% cache.
+  const double cpu_ms = CpuMs(config);
+  std::printf("(compiler CPU model: %.1f ms/page -> %.0f ms of compute per build)\n\n",
+              kCpuMsPerPage, cpu_ms);
+  std::printf("%-30s %12s %12s %14s\n", "build", "disk ops", "I/O ms", "total ms");
+
+  double mach_warm_total = 0, trad_warm_total = 0;
+  uint64_t mach_warm_ops = 0;
+  {
+    MachBuildEnv env(config);
+    CompileResult cold = env.Build();
+    CompileResult warm = env.Build();  // Rebuild: the §9 "cached" case.
+    std::printf("%-30s %12llu %12.1f %14.1f\n", "mach cold build",
+                (unsigned long long)cold.disk_ops, cold.virtual_ns / 1e6,
+                cold.virtual_ns / 1e6 + cpu_ms);
+    std::printf("%-30s %12llu %12.1f %14.1f\n", "mach warm (cached) build",
+                (unsigned long long)warm.disk_ops, warm.virtual_ns / 1e6,
+                warm.virtual_ns / 1e6 + cpu_ms);
+    mach_warm_total = warm.virtual_ns / 1e6 + cpu_ms;
+    mach_warm_ops = warm.disk_ops;
+  }
+  {
+    TraditionalBuildEnv env(config);
+    CompileResult cold = env.Build();
+    CompileResult warm = env.Build();
+    std::printf("%-30s %12llu %12.1f %14.1f\n", "traditional cold build",
+                (unsigned long long)cold.disk_ops, cold.virtual_ns / 1e6,
+                cold.virtual_ns / 1e6 + cpu_ms);
+    std::printf("%-30s %12llu %12.1f %14.1f\n", "traditional warm build",
+                (unsigned long long)warm.disk_ops, warm.virtual_ns / 1e6,
+                warm.virtual_ns / 1e6 + cpu_ms);
+    trad_warm_total = warm.virtual_ns / 1e6 + cpu_ms;
+  }
+  std::printf("\ncached-compilation speedup (traditional/mach, end to end): %.2fx  "
+              "(paper: ~2x)\n",
+              trad_warm_total / mach_warm_total);
+  std::printf("note: mach warm build did %llu disk ops — the mapped-file cache "
+              "absorbed the working set (§9)\n",
+              (unsigned long long)mach_warm_ops);
+  return 0;
+}

@@ -1,0 +1,173 @@
+// E4 (§5.5): the cost structure of the fault handler. Each benchmark
+// isolates one fault flavour:
+//   resident revalidation < zero-fill < COW copy < external-pager fetch,
+// with the external fetch dominated by the two messages it implies.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/pager/data_manager.h"
+
+namespace {
+
+using namespace mach;
+
+constexpr VmSize kPage = 4096;
+
+std::unique_ptr<Kernel> MakeKernel(uint32_t frames = 8192) {
+  Kernel::Config config;
+  config.frames = frames;  // Large: reclaim must not pollute the numbers.
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  return std::make_unique<Kernel>(config);
+}
+
+// An immediate-answer pager for the fetch benchmark.
+class InstantPager : public DataManager {
+ public:
+  InstantPager() : DataManager("instant") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+
+ protected:
+  void OnDataRequest(uint64_t id, uint64_t cookie, PagerDataRequestArgs args) override {
+    std::vector<std::byte> data(args.length, std::byte{0x11});
+    ProvideData(args.pager_request_port, args.offset, std::move(data), kVmProtNone);
+  }
+};
+
+// Zero-fill fault: first touch of anonymous memory.
+void BM_ZeroFillFault(benchmark::State& state) {
+  auto kernel = MakeKernel();
+  auto task = kernel->CreateTask();
+  const VmSize chunk = 512 * kPage;
+  VmOffset addr = 0;
+  VmOffset next = 0;
+  VmSize used = chunk;
+  uint8_t b = 1;
+  for (auto _ : state) {
+    if (used == chunk) {
+      if (addr != 0) {
+        state.PauseTiming();
+        task->VmDeallocate(addr, chunk);  // Frames return; no paging noise.
+        state.ResumeTiming();
+      }
+      addr = task->VmAllocate(chunk).value();
+      next = addr;
+      used = 0;
+    }
+    task->Write(next, &b, 1);  // One fresh page: allocate + zero + map.
+    next += kPage;
+    used += kPage;
+  }
+  state.SetItemsProcessed(state.iterations());
+  task.reset();
+}
+
+// Resident revalidation: the page is resident but the hardware mapping was
+// lowered (protection change), so the fault only re-enters the pmap.
+void BM_ResidentRevalidation(benchmark::State& state) {
+  auto kernel = MakeKernel();
+  auto task = kernel->CreateTask();
+  VmOffset addr = task->VmAllocate(kPage).value();
+  uint8_t b = 1;
+  task->Write(addr, &b, 1);
+  for (auto _ : state) {
+    // Drop the hardware mapping, then touch: lookup finds the resident
+    // page; only hardware validation runs.
+    task->vm_context().pmap->Remove(addr, addr + kPage);
+    task->Read(addr, &b, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  task.reset();
+}
+
+// Copy-on-write fault: write to a freshly forked COW page.
+void BM_CowFault(benchmark::State& state) {
+  auto kernel = MakeKernel();
+  auto task = kernel->CreateTask();
+  const VmSize chunk = 256 * kPage;
+  VmOffset addr = task->VmAllocate(chunk).value();
+  std::vector<uint8_t> init(chunk, 0x7);
+  task->Write(addr, init.data(), init.size());
+  std::shared_ptr<Task> child;
+  VmOffset next = 0;
+  VmSize used = chunk;
+  uint8_t b = 9;
+  for (auto _ : state) {
+    if (used == chunk) {
+      state.PauseTiming();
+      child = kernel->CreateTask(task);  // Fresh COW view.
+      next = addr;
+      used = 0;
+      state.ResumeTiming();
+    }
+    child->Write(next, &b, 1);  // Shadow + page copy.
+    next += kPage;
+    used += kPage;
+  }
+  state.SetItemsProcessed(state.iterations());
+  child.reset();
+  task.reset();
+}
+
+// External-pager fetch: pager_data_request / pager_data_provided round trip
+// through real ports and the kernel's pager service thread.
+void BM_ExternalPagerFetch(benchmark::State& state) {
+  auto kernel = MakeKernel();
+  auto task = kernel->CreateTask();
+  InstantPager pager;
+  pager.Start();
+  const VmSize chunk = 512 * kPage;
+  SendRight object;
+  VmOffset addr = 0;
+  VmOffset next = 0;
+  VmSize used = chunk;
+  uint8_t b = 0;
+  for (auto _ : state) {
+    if (used == chunk) {
+      state.PauseTiming();
+      if (addr != 0) {
+        task->VmDeallocate(addr, chunk);
+        pager.DestroyMemoryObject(object);
+      }
+      object = pager.NewObject();
+      addr = task->VmAllocateWithPager(chunk, object, 0).value();
+      next = addr;
+      used = 0;
+      state.ResumeTiming();
+    }
+    task->Read(next, &b, 1);  // Full request/provide message round trip.
+    next += kPage;
+    used += kPage;
+  }
+  state.SetItemsProcessed(state.iterations());
+  task.reset();
+  pager.Stop();
+}
+
+// The pmap fast path (no fault at all), for scale.
+void BM_ResidentAccess(benchmark::State& state) {
+  auto kernel = MakeKernel();
+  auto task = kernel->CreateTask();
+  VmOffset addr = task->VmAllocate(kPage).value();
+  uint8_t b = 1;
+  task->Write(addr, &b, 1);
+  for (auto _ : state) {
+    task->Read(addr, &b, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  task.reset();
+}
+
+}  // namespace
+
+BENCHMARK(BM_ResidentAccess);
+BENCHMARK(BM_ResidentRevalidation);
+BENCHMARK(BM_ZeroFillFault);
+BENCHMARK(BM_CowFault);
+BENCHMARK(BM_ExternalPagerFetch);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// E6 (§8.2, after Zayas): copy-on-reference task migration vs eager copy.
+//
+// A task with a large address space migrates across a NORMA link. Reported
+// per strategy and per fraction-of-address-space-touched:
+//   * time-to-resume: simulated network time spent before the migrated task
+//     can run (eager pays the whole copy; copy-on-reference ~nothing);
+//   * total pages moved and total network time after the migrated task has
+//     touched its working set.
+// Shape to reproduce: copy-on-reference resume time is ~constant while
+// eager grows linearly with address-space size, and total data moved is
+// proportional to the touched fraction.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/managers/migrate/migration_manager.h"
+#include "src/net/net_link.h"
+
+namespace {
+
+using namespace mach;
+
+constexpr VmSize kPage = 4096;
+
+std::unique_ptr<Kernel> MakeHost(const std::string& name, uint32_t frames) {
+  Kernel::Config config;
+  config.name = name;
+  config.frames = frames;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  return std::make_unique<Kernel>(config);
+}
+
+struct RunResult {
+  uint64_t resume_us = 0;       // Net time before the task could run.
+  uint64_t total_us = 0;        // Net time after touching the working set.
+  uint64_t pages_moved = 0;
+};
+
+RunResult Run(MigrationManager::Strategy strategy, VmSize space_pages, int touched_pct) {
+  auto src = MakeHost("src", static_cast<uint32_t>(space_pages + 128));
+  auto dst = MakeHost("dst", static_cast<uint32_t>(space_pages + 128));
+  SimClock net_clock;
+  NetLink link(&src->vm(), &dst->vm(), &net_clock, kNormaLatency);
+
+  std::shared_ptr<Task> victim = src->CreateTask(nullptr, "victim");
+  VmOffset addr = victim->VmAllocate(space_pages * kPage).value();
+  for (VmOffset p = 0; p < space_pages; ++p) {
+    victim->WriteValue<uint64_t>(addr + p * kPage, 0xE0E0000000000000ull + p);
+  }
+
+  MigrationManager migrator;
+  migrator.Start();
+  MigrationManager::Options options;
+  options.strategy = strategy;
+  options.prepage_pages = 8;
+  options.export_port = [&](SendRight object) { return link.ProxyForB(std::move(object)); };
+  // For the eager baseline the data crosses the network too: model it by
+  // charging the link for each page the migrator moves synchronously.
+  uint64_t net_before = net_clock.NowNs();
+  Result<std::shared_ptr<Task>> moved = migrator.Migrate(victim, dst.get(), options);
+  if (strategy == MigrationManager::Strategy::kEager) {
+    // Eager used vm_read/vm_write directly; charge the wire for the bytes.
+    net_clock.Charge(migrator.pages_transferred() *
+                     (kNormaLatency.per_msg_ns + kNormaLatency.per_byte_ns * kPage));
+  }
+  RunResult result;
+  result.resume_us = (net_clock.NowNs() - net_before) / 1000;
+
+  // The migrated task touches `touched_pct` of its space.
+  std::shared_ptr<Task> task = moved.value();
+  VmSize touch_pages = space_pages * touched_pct / 100;
+  for (VmOffset p = 0; p < touch_pages; ++p) {
+    uint64_t v = 0;
+    task->Read(addr + p * kPage, &v, sizeof(v));
+  }
+  result.total_us = (net_clock.NowNs() - net_before) / 1000;
+  result.pages_moved = migrator.pages_transferred();
+  task.reset();
+  victim.reset();
+  migrator.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: task migration over a NORMA link — copy-on-reference vs eager\n\n");
+  std::printf("%-18s %8s %8s %14s %14s %12s\n", "strategy", "space", "touch%",
+              "resume (us)", "total (us)", "pages moved");
+  struct Case {
+    MigrationManager::Strategy strategy;
+    const char* name;
+  };
+  const Case cases[] = {
+      {MigrationManager::Strategy::kEager, "eager"},
+      {MigrationManager::Strategy::kCopyOnReference, "copy-on-ref"},
+      {MigrationManager::Strategy::kPrePage, "prepage(8)"},
+  };
+  const VmSize spaces[] = {64, 256};
+  const int touches[] = {5, 25, 100};
+  for (const Case& c : cases) {
+    for (VmSize space : spaces) {
+      for (int touch : touches) {
+        RunResult r = Run(c.strategy, space, touch);
+        std::printf("%-18s %7llup %8d %14llu %14llu %12llu\n", c.name,
+                    (unsigned long long)space, touch, (unsigned long long)r.resume_us,
+                    (unsigned long long)r.total_us, (unsigned long long)r.pages_moved);
+      }
+    }
+  }
+  std::printf("\nshape: eager resume time grows with address-space size; copy-on-\n"
+              "reference resumes immediately and moves only the touched fraction\n"
+              "(Sec 8.2); pre-paging trades a little resume time for fewer faults.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// A minimal intrusive doubly-linked list, in the style of the queue package
+// the historical Mach kernel used for its page queues and object page lists.
+//
+// Elements embed one IntrusiveListNode per list they can belong to; a list is
+// parameterised by a member pointer so the same element type can sit on
+// several lists simultaneously (e.g. a VmPage is on its object's page list
+// and on one of the global pageout queues at the same time).
+//
+// The list never owns its elements and never allocates.
+
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace mach {
+
+struct IntrusiveListNode {
+  IntrusiveListNode* prev = nullptr;
+  IntrusiveListNode* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+};
+
+template <typename T, IntrusiveListNode T::* Node>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+  size_t size() const { return size_; }
+
+  void PushBack(T* elem) { InsertBefore(&head_, elem); }
+  void PushFront(T* elem) { InsertBefore(head_.next, elem); }
+
+  T* Front() const { return empty() ? nullptr : FromNode(head_.next); }
+  T* Back() const { return empty() ? nullptr : FromNode(head_.prev); }
+
+  // Removes and returns the first element, or nullptr when empty.
+  T* PopFront() {
+    T* elem = Front();
+    if (elem != nullptr) {
+      Remove(elem);
+    }
+    return elem;
+  }
+
+  void Remove(T* elem) {
+    IntrusiveListNode* n = &(elem->*Node);
+    assert(n->linked());
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->prev = nullptr;
+    n->next = nullptr;
+    --size_;
+  }
+
+  bool Contains(const T* elem) const { return (elem->*Node).linked(); }
+
+  // Iteration. Safe against removal of the *current* element only if the
+  // caller advances first (use the ForEach helper for removal-safe walks).
+  class Iterator {
+   public:
+    Iterator(const IntrusiveList* list, IntrusiveListNode* node) : list_(list), node_(node) {}
+    T* operator*() const { return FromNode(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return node_ != o.node_; }
+
+   private:
+    const IntrusiveList* list_;
+    IntrusiveListNode* node_;
+  };
+
+  Iterator begin() const { return Iterator(this, head_.next); }
+  Iterator end() const { return Iterator(this, const_cast<IntrusiveListNode*>(&head_)); }
+
+  // Removal-safe traversal: `fn` may remove the element it is given.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    IntrusiveListNode* n = head_.next;
+    while (n != &head_) {
+      IntrusiveListNode* next = n->next;
+      fn(FromNode(n));
+      n = next;
+    }
+  }
+
+ private:
+  static T* FromNode(IntrusiveListNode* n) {
+    // Recover the element address from the embedded node address.
+    // Avoids UB-prone offsetof-on-non-standard-layout by using the member
+    // pointer on a null-adjusted object; this is the classical containerof.
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    ptrdiff_t off = reinterpret_cast<char*>(&(probe->*Node)) - reinterpret_cast<char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - off);
+  }
+
+  void InsertBefore(IntrusiveListNode* pos, T* elem) {
+    IntrusiveListNode* n = &(elem->*Node);
+    assert(!n->linked());
+    n->prev = pos->prev;
+    n->next = pos;
+    pos->prev->next = n;
+    pos->prev = n;
+    ++size_;
+  }
+
+  IntrusiveListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

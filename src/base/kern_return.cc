@@ -1,0 +1,53 @@
+#include "src/base/kern_return.h"
+
+namespace mach {
+
+const char* KernReturnName(KernReturn kr) {
+  switch (kr) {
+    case KernReturn::kSuccess:
+      return "KERN_SUCCESS";
+    case KernReturn::kInvalidAddress:
+      return "KERN_INVALID_ADDRESS";
+    case KernReturn::kProtectionFailure:
+      return "KERN_PROTECTION_FAILURE";
+    case KernReturn::kNoSpace:
+      return "KERN_NO_SPACE";
+    case KernReturn::kInvalidArgument:
+      return "KERN_INVALID_ARGUMENT";
+    case KernReturn::kFailure:
+      return "KERN_FAILURE";
+    case KernReturn::kResourceShortage:
+      return "KERN_RESOURCE_SHORTAGE";
+    case KernReturn::kNoAccess:
+      return "KERN_NO_ACCESS";
+    case KernReturn::kMemoryFailure:
+      return "KERN_MEMORY_FAILURE";
+    case KernReturn::kMemoryError:
+      return "KERN_MEMORY_ERROR";
+    case KernReturn::kAborted:
+      return "KERN_ABORTED";
+    case KernReturn::kInvalidCapability:
+      return "KERN_INVALID_CAPABILITY";
+    case KernReturn::kMemoryPresent:
+      return "KERN_MEMORY_PRESENT";
+    case KernReturn::kPortDead:
+      return "MSG_PORT_DEAD";
+    case KernReturn::kPortFull:
+      return "MSG_PORT_FULL";
+    case KernReturn::kTimedOut:
+      return "MSG_TIMED_OUT";
+    case KernReturn::kNotReceiver:
+      return "MSG_NOT_RECEIVER";
+    case KernReturn::kWouldBlock:
+      return "MSG_WOULD_BLOCK";
+    case KernReturn::kNoMessage:
+      return "MSG_NO_MESSAGE";
+    case KernReturn::kNotFound:
+      return "KERN_NOT_FOUND";
+    case KernReturn::kAlreadyExists:
+      return "KERN_ALREADY_EXISTS";
+  }
+  return "KERN_UNKNOWN";
+}
+
+}  // namespace mach

@@ -1,0 +1,77 @@
+// Kernel-style status codes, modeled on Mach's kern_return_t.
+//
+// The library does not use exceptions; every fallible operation returns a
+// KernReturn (or a Result<T> when a value is produced). The enumerators keep
+// the historical Mach names where one exists.
+
+#ifndef SRC_BASE_KERN_RETURN_H_
+#define SRC_BASE_KERN_RETURN_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace mach {
+
+enum class KernReturn : int32_t {
+  kSuccess = 0,
+  // Address space errors.
+  kInvalidAddress = 1,    // Address is not valid in the task's map.
+  kProtectionFailure = 2, // Access would violate the page protection.
+  kNoSpace = 3,           // No room in the address map for the allocation.
+  kInvalidArgument = 4,   // A request argument was malformed.
+  kFailure = 5,           // Generic failure.
+  kResourceShortage = 6,  // Out of physical frames / kernel resources.
+  kNoAccess = 8,          // Capability does not permit the operation.
+  kMemoryFailure = 9,     // The backing memory object failed (pager error).
+  kMemoryError = 10,      // Data manager reported an error for the page.
+  kAborted = 14,          // Operation aborted (e.g. thread terminated).
+  kInvalidCapability = 15,
+  kMemoryPresent = 23,    // vm_allocate over an already-valid region.
+
+  // IPC errors (Mach kept these in a separate msg_return_t space).
+  kPortDead = 100,      // All receive rights to the port were deallocated.
+  kPortFull = 101,      // The port backlog is exhausted.
+  kTimedOut = 102,      // A timeout elapsed before completion.
+  kNotReceiver = 103,   // Caller does not hold the receive right.
+  kWouldBlock = 104,    // Non-blocking operation would have blocked.
+  kNoMessage = 105,     // msg_receive poll found no message.
+  kNotFound = 106,      // Named object does not exist.
+  kAlreadyExists = 107, // Named object already exists.
+};
+
+// Human-readable enumerator name, for logs and test failure messages.
+const char* KernReturnName(KernReturn kr);
+
+inline bool IsOk(KernReturn kr) { return kr == KernReturn::kSuccess; }
+
+// A value-or-status return. Mirrors the shape of Mach calls that have both a
+// kern_return_t and an out-parameter, without out-parameters.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return KernReturn::kNoSpace;`
+  // or `return value;`.
+  Result(KernReturn status) : status_(status) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : status_(KernReturn::kSuccess), value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_ == KernReturn::kSuccess; }
+  KernReturn status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  // value_or for ergonomic defaults in tests.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  KernReturn status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_KERN_RETURN_H_

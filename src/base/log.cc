@@ -1,0 +1,57 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mach {
+
+namespace {
+
+LogLevel InitThreshold() {
+  const char* env = std::getenv("MACH_LOG");
+  if (env == nullptr) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  return LogLevel::kError;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+std::mutex g_log_mu;
+
+}  // namespace
+
+LogLevel LogThreshold() {
+  static LogLevel threshold = InitThreshold();
+  return threshold;
+}
+
+void LogWrite(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> g(g_log_mu);
+  std::fprintf(stderr, "[mach %s] %s\n", LevelTag(level), msg.c_str());
+}
+
+}  // namespace mach

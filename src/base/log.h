@@ -1,0 +1,46 @@
+// Tiny leveled logger. Off by default (kError only) so tests stay quiet;
+// set MACH_LOG=debug|info|warn in the environment to see kernel traffic.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace mach {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Current threshold, initialised from the MACH_LOG environment variable.
+LogLevel LogThreshold();
+
+void LogWrite(LogLevel level, const std::string& msg);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogWrite(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace mach
+
+#define MACH_LOG(level)                                   \
+  if (::mach::LogLevel::level < ::mach::LogThreshold()) { \
+  } else                                                  \
+    ::mach::log_internal::LogLine(::mach::LogLevel::level)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,32 @@
+// Virtual time accounting for simulated devices.
+//
+// Disk and network models do not sleep; they *charge* virtual nanoseconds to
+// a SimClock. Benchmarks report virtual elapsed time (deterministic, fast)
+// alongside operation counts. Each Host owns a clock; devices attached to the
+// host charge it. Charges are atomic so device models may be driven from any
+// thread.
+
+#ifndef SRC_BASE_SIM_CLOCK_H_
+#define SRC_BASE_SIM_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mach {
+
+class SimClock {
+ public:
+  // Adds `ns` of simulated elapsed time.
+  void Charge(uint64_t ns) { now_ns_.fetch_add(ns, std::memory_order_relaxed); }
+
+  uint64_t NowNs() const { return now_ns_.load(std::memory_order_relaxed); }
+
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_ns_{0};
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_SIM_CLOCK_H_

@@ -1,0 +1,66 @@
+// Small synchronisation helpers shared across the kernel: a timeout type
+// matching Mach's msg_send/msg_receive timeout semantics, and a waitable
+// event used by tests.
+
+#ifndef SRC_BASE_SYNC_H_
+#define SRC_BASE_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+namespace mach {
+
+// Mach expressed timeouts as milliseconds with an "infinite" default.
+// std::nullopt  => wait forever.
+// 0ms           => poll (fail immediately rather than block).
+using Timeout = std::optional<std::chrono::milliseconds>;
+
+inline constexpr Timeout kWaitForever = std::nullopt;
+inline constexpr std::chrono::milliseconds kPoll{0};
+
+// Waits on `cv` under `lock` until `pred` holds or `timeout` elapses.
+// Returns true if the predicate held on exit.
+template <typename Pred>
+bool WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock, Timeout timeout,
+             Pred&& pred) {
+  if (!timeout.has_value()) {
+    cv.wait(lock, std::forward<Pred>(pred));
+    return true;
+  }
+  if (*timeout == std::chrono::milliseconds::zero()) {
+    return pred();
+  }
+  return cv.wait_for(lock, *timeout, std::forward<Pred>(pred));
+}
+
+// A one-shot (resettable) event, used in tests and by service loops for
+// startup handshakes.
+class Event {
+ public:
+  void Signal() {
+    std::lock_guard<std::mutex> g(mu_);
+    signaled_ = true;
+    cv_.notify_all();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
+    signaled_ = false;
+  }
+
+  bool Wait(Timeout timeout = kWaitForever) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return WaitFor(cv_, lock, timeout, [this] { return signaled_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_SYNC_H_

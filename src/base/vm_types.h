@@ -1,0 +1,41 @@
+// Fundamental VM value types shared by every layer: offsets, sizes,
+// protections (vm_prot_t) and inheritance (vm_inherit_t), as defined in
+// Tables 3-3 / 3-4 of the paper.
+
+#ifndef SRC_BASE_VM_TYPES_H_
+#define SRC_BASE_VM_TYPES_H_
+
+#include <cstdint>
+
+namespace mach {
+
+using VmOffset = uint64_t;  // vm_offset_t: an address or offset in a map/object.
+using VmSize = uint64_t;    // vm_size_t: a byte count.
+
+// vm_prot_t. Combinable bit flags.
+using VmProt = uint32_t;
+inline constexpr VmProt kVmProtNone = 0;
+inline constexpr VmProt kVmProtRead = 1u << 0;
+inline constexpr VmProt kVmProtWrite = 1u << 1;
+inline constexpr VmProt kVmProtExecute = 1u << 2;
+inline constexpr VmProt kVmProtAll = kVmProtRead | kVmProtWrite | kVmProtExecute;
+inline constexpr VmProt kVmProtDefault = kVmProtRead | kVmProtWrite;
+
+// vm_inherit_t: how an address range transfers to a child task (§3.3).
+enum class VmInherit : uint8_t {
+  kShare = 0,  // Child shares the memory read/write with the parent.
+  kCopy = 1,   // Child receives a copy-on-write copy.
+  kNone = 2,   // Range is absent from the child.
+};
+
+// Rounds `x` down/up to a multiple of `page_size` (a power of two).
+inline constexpr VmOffset TruncPage(VmOffset x, VmSize page_size) {
+  return x & ~(page_size - 1);
+}
+inline constexpr VmOffset RoundPage(VmOffset x, VmSize page_size) {
+  return (x + page_size - 1) & ~(page_size - 1);
+}
+
+}  // namespace mach
+
+#endif  // SRC_BASE_VM_TYPES_H_

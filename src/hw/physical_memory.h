@@ -1,0 +1,92 @@
+// Simulated physical memory: a fixed array of page frames plus the pieces of
+// state real memory hardware keeps — per-frame reference/modify bits and the
+// set of virtual mappings of each frame (the "pv list" a real pmap module
+// maintains so it can find every mapping of a physical page).
+//
+// All access to frame contents goes through this class so that the hardware
+// bits are maintained exactly as an MMU would maintain them. A single "bus"
+// mutex serialises frame data access, pv-list updates, and pmap table
+// updates; this stands in for the memory-bus/TLB atomicity of real hardware.
+
+#ifndef SRC_HW_PHYSICAL_MEMORY_H_
+#define SRC_HW_PHYSICAL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/base/vm_types.h"
+
+namespace mach {
+
+class Pmap;
+
+// Identifies one mapping of a physical frame (an entry on the frame's
+// pv list).
+struct PvEntry {
+  Pmap* pmap;
+  VmOffset vaddr;
+};
+
+class PhysicalMemory {
+ public:
+  // `frame_count` frames of `page_size` bytes each. `page_size` must be a
+  // power of two (it is the *system* page size — a boot-time parameter per
+  // §3.3, any multiple of a hardware page).
+  PhysicalMemory(uint32_t frame_count, VmSize page_size);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  VmSize page_size() const { return page_size_; }
+  uint32_t frame_count() const { return frame_count_; }
+
+  // Raw frame allocation. The VM layer's free queue sits above this; these
+  // simply hand out unused frames. Returns nullopt when exhausted.
+  std::optional<uint32_t> AllocFrame();
+  void FreeFrame(uint32_t frame);
+  uint32_t free_frames() const;
+
+  // Frame content access (performs the copy under the bus lock and maintains
+  // hardware bits the way a CPU access through a TLB entry would).
+  void ReadFrame(uint32_t frame, VmOffset offset, void* dst, VmSize len);
+  void WriteFrame(uint32_t frame, VmOffset offset, const void* src, VmSize len);
+  void ZeroFrame(uint32_t frame);
+  void CopyFrame(uint32_t src_frame, uint32_t dst_frame);
+
+  // Hardware reference / modify bits.
+  bool IsReferenced(uint32_t frame) const;
+  bool IsModified(uint32_t frame) const;
+  void ClearReference(uint32_t frame);
+  void ClearModify(uint32_t frame);
+  void SetReference(uint32_t frame);
+  void SetModify(uint32_t frame);
+
+  // pv-list maintenance, used by Pmap.
+  void PvAdd(uint32_t frame, Pmap* pmap, VmOffset vaddr);
+  void PvRemove(uint32_t frame, Pmap* pmap, VmOffset vaddr);
+  std::vector<PvEntry> PvList(uint32_t frame) const;
+
+  // The bus lock, shared with Pmap so that translation + access is atomic.
+  std::mutex& bus_mutex() const { return bus_mu_; }
+
+ private:
+  struct Frame {
+    bool referenced = false;
+    bool modified = false;
+    std::vector<PvEntry> pv;
+  };
+
+  const uint32_t frame_count_;
+  const VmSize page_size_;
+  std::vector<std::byte> data_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_list_;
+  mutable std::mutex bus_mu_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_HW_PHYSICAL_MEMORY_H_

@@ -1,0 +1,91 @@
+#include "src/ipc/message.h"
+
+namespace mach {
+
+Result<std::vector<std::byte>> Message::TakeBytes() {
+  if (cursor_ >= items_.size()) {
+    return KernReturn::kInvalidArgument;
+  }
+  auto* item = std::get_if<DataItem>(&items_[cursor_]);
+  if (item == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  ++cursor_;
+  return std::move(item->bytes);
+}
+
+Result<uint32_t> Message::TakeU32() {
+  Result<std::vector<std::byte>> bytes = TakeBytes();
+  if (!bytes.ok() || bytes.value().size() != sizeof(uint32_t)) {
+    return KernReturn::kInvalidArgument;
+  }
+  uint32_t v;
+  std::memcpy(&v, bytes.value().data(), sizeof(v));
+  return v;
+}
+
+Result<uint64_t> Message::TakeU64() {
+  Result<std::vector<std::byte>> bytes = TakeBytes();
+  if (!bytes.ok() || bytes.value().size() != sizeof(uint64_t)) {
+    return KernReturn::kInvalidArgument;
+  }
+  uint64_t v;
+  std::memcpy(&v, bytes.value().data(), sizeof(v));
+  return v;
+}
+
+Result<std::string> Message::TakeString() {
+  Result<std::vector<std::byte>> bytes = TakeBytes();
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return std::string(reinterpret_cast<const char*>(bytes.value().data()), bytes.value().size());
+}
+
+Result<SendRight> Message::TakePort() {
+  if (cursor_ >= items_.size()) {
+    return KernReturn::kInvalidArgument;
+  }
+  auto* item = std::get_if<PortItem>(&items_[cursor_]);
+  if (item == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  ++cursor_;
+  return std::move(item->right);
+}
+
+Result<ReceiveRight> Message::TakeReceive() {
+  if (cursor_ >= items_.size()) {
+    return KernReturn::kInvalidArgument;
+  }
+  auto* item = std::get_if<ReceiveItem>(&items_[cursor_]);
+  if (item == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  ++cursor_;
+  return std::move(item->right);
+}
+
+Result<OolItem> Message::TakeOol() {
+  if (cursor_ >= items_.size()) {
+    return KernReturn::kInvalidArgument;
+  }
+  auto* item = std::get_if<OolItem>(&items_[cursor_]);
+  if (item == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  ++cursor_;
+  return std::move(*item);
+}
+
+VmSize Message::InlineSize() const {
+  VmSize total = 0;
+  for (const MsgItem& item : items_) {
+    if (const auto* data = std::get_if<DataItem>(&item)) {
+      total += data->bytes.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace mach

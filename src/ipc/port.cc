@@ -1,0 +1,325 @@
+#include "src/ipc/port.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/base/log.h"
+
+namespace mach {
+
+namespace {
+std::atomic<uint64_t> g_next_port_id{1};
+}  // namespace
+
+// PortFactory exists so PortAllocate can reach Port's private constructor
+// through std::shared_ptr without making the constructor public.
+struct PortFactory {
+  static std::shared_ptr<Port> Make(std::string label) {
+    return std::shared_ptr<Port>(new Port(std::move(label)));
+  }
+};
+
+Port::Port(std::string label)
+    : id_(g_next_port_id.fetch_add(1, std::memory_order_relaxed)), label_(std::move(label)) {}
+
+Port::~Port() = default;
+
+KernReturn Port::Enqueue(Message&& msg, Timeout timeout) {
+  std::shared_ptr<PortSet> set_to_notify;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool ok = WaitFor(send_cv_, lock, timeout,
+                      [this] { return dead_ || queue_.size() < backlog_; });
+    if (dead_) {
+      return KernReturn::kPortDead;
+    }
+    if (!ok) {
+      return queue_.size() >= backlog_ ? KernReturn::kPortFull : KernReturn::kTimedOut;
+    }
+    queue_.push_back(std::move(msg));
+    recv_cv_.notify_one();
+    set_to_notify = set_.lock();
+  }
+  if (set_to_notify != nullptr) {
+    set_to_notify->Notify();
+  }
+  return KernReturn::kSuccess;
+}
+
+Result<Message> Port::Dequeue(Timeout timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool ok = WaitFor(recv_cv_, lock, timeout, [this] { return dead_ || !queue_.empty(); });
+  if (!queue_.empty()) {
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    send_cv_.notify_one();
+    return msg;
+  }
+  if (dead_) {
+    return KernReturn::kPortDead;
+  }
+  if (timeout.has_value() && *timeout == std::chrono::milliseconds::zero()) {
+    return KernReturn::kNoMessage;  // Poll found the queue empty.
+  }
+  return ok ? KernReturn::kNoMessage : KernReturn::kTimedOut;
+}
+
+Result<Message> Port::TryDequeue() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!queue_.empty()) {
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    send_cv_.notify_one();
+    return msg;
+  }
+  return dead_ ? KernReturn::kPortDead : KernReturn::kNoMessage;
+}
+
+PortStatus Port::Status() const {
+  std::lock_guard<std::mutex> g(mu_);
+  PortStatus st;
+  st.num_msgs = queue_.size();
+  st.backlog = backlog_;
+  st.dead = dead_;
+  st.enabled = !set_.expired();
+  return st;
+}
+
+KernReturn Port::SetBacklog(size_t backlog) {
+  if (backlog == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  backlog_ = backlog;
+  send_cv_.notify_all();
+  return KernReturn::kSuccess;
+}
+
+void Port::RequestDeathNotification(SendRight notify_to) {
+  bool already_dead = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (dead_) {
+      already_dead = true;
+    } else {
+      death_watchers_.push_back(notify_to);
+    }
+  }
+  if (already_dead && notify_to) {
+    Message msg(kMsgIdPortDeath);
+    msg.PushU64(id_);
+    MsgSend(notify_to, std::move(msg), kPoll);
+  }
+}
+
+bool Port::dead() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return dead_;
+}
+
+void Port::MarkDead() {
+  std::deque<Message> drained;
+  std::vector<SendRight> watchers;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (dead_) {
+      return;
+    }
+    dead_ = true;
+    drained.swap(queue_);
+    watchers.swap(death_watchers_);
+    recv_cv_.notify_all();
+    send_cv_.notify_all();
+  }
+  // Destroy drained messages and fire notifications *outside* our lock:
+  // message destruction may cascade into other ports' MarkDead, and a
+  // queued message could even hold this port's own rights.
+  drained.clear();
+  for (SendRight& w : watchers) {
+    if (!w) {
+      continue;
+    }
+    Message msg(kMsgIdPortDeath);
+    msg.PushU64(id_);
+    // Best-effort: a full or dead notify port drops the notification.
+    MsgSend(w, std::move(msg), kPoll);
+  }
+  MACH_LOG(kDebug) << "port " << id_ << " (" << label_ << ") died";
+}
+
+void Port::SetPortSet(std::shared_ptr<PortSet> set) {
+  std::lock_guard<std::mutex> g(mu_);
+  set_ = set;
+}
+
+// --- PortSet -----------------------------------------------------------
+
+std::shared_ptr<PortSet> PortSet::Create() {
+  return std::shared_ptr<PortSet>(new PortSet());
+}
+
+KernReturn PortSet::Add(const ReceiveRight& right) {
+  if (!right.valid()) {
+    return KernReturn::kInvalidCapability;
+  }
+  std::shared_ptr<Port> port = right.port();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (std::find(members_.begin(), members_.end(), port) != members_.end()) {
+      return KernReturn::kSuccess;  // Already enabled; idempotent.
+    }
+    members_.push_back(port);
+  }
+  port->SetPortSet(shared_from_this());
+  Notify();  // It may already have queued messages.
+  return KernReturn::kSuccess;
+}
+
+KernReturn PortSet::Remove(const ReceiveRight& right) {
+  if (!right.valid()) {
+    return KernReturn::kInvalidCapability;
+  }
+  std::shared_ptr<Port> port = right.port();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = std::find(members_.begin(), members_.end(), port);
+    if (it == members_.end()) {
+      return KernReturn::kNotFound;
+    }
+    members_.erase(it);
+  }
+  port->SetPortSet(nullptr);
+  return KernReturn::kSuccess;
+}
+
+Result<Message> PortSet::Receive(Timeout timeout) {
+  Result<ReceivedMessage> r = ReceiveFrom(timeout);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return std::move(std::move(r).value().message);
+}
+
+Result<PortSet::ReceivedMessage> PortSet::ReceiveFrom(Timeout timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Round-robin scan of members for a queued message.
+    size_t n = members_.size();
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = (rotation_ + i) % n;
+      std::shared_ptr<Port> port = members_[idx];
+      Result<Message> msg = port->TryDequeue();
+      if (msg.ok()) {
+        rotation_ = (idx + 1) % n;
+        return ReceivedMessage{std::move(msg).value(), port->id()};
+      }
+      if (msg.status() == KernReturn::kPortDead) {
+        // Dead member: drop it from the set.
+        members_.erase(members_.begin() + static_cast<long>(idx));
+        n = members_.size();
+        if (n == 0) {
+          break;
+        }
+        --i;
+      }
+    }
+    if (timeout.has_value() && *timeout == std::chrono::milliseconds::zero()) {
+      return KernReturn::kNoMessage;
+    }
+    // Wait for an enqueue notification, then rescan.
+    if (!timeout.has_value()) {
+      cv_.wait(lock);
+    } else if (cv_.wait_for(lock, *timeout) == std::cv_status::timeout) {
+      return KernReturn::kTimedOut;
+    }
+  }
+}
+
+std::vector<uint64_t> PortSet::PortsWithMessages() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& port : members_) {
+    if (port->Status().num_msgs > 0) {
+      ids.push_back(port->id());
+    }
+  }
+  return ids;
+}
+
+size_t PortSet::member_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return members_.size();
+}
+
+void PortSet::Notify() {
+  std::lock_guard<std::mutex> g(mu_);
+  cv_.notify_all();
+}
+
+// --- free functions ------------------------------------------------------
+
+PortPair PortAllocate(std::string label) {
+  std::shared_ptr<Port> port = PortFactory::Make(std::move(label));
+  return PortPair{ReceiveRight(port), SendRight(port)};
+}
+
+KernReturn MsgSend(const SendRight& dest, Message&& msg, Timeout timeout) {
+  if (!dest.valid()) {
+    return KernReturn::kInvalidCapability;
+  }
+  return dest.port()->Enqueue(std::move(msg), timeout);
+}
+
+Result<Message> MsgReceive(ReceiveRight& from, Timeout timeout) {
+  if (!from.valid()) {
+    return KernReturn::kInvalidCapability;
+  }
+  return from.port()->Dequeue(timeout);
+}
+
+Result<Message> MsgRpc(const SendRight& dest, Message&& request, Timeout send_timeout,
+                       Timeout receive_timeout) {
+  PortPair reply = PortAllocate("rpc-reply");
+  request.set_reply_port(reply.send);
+  KernReturn kr = MsgSend(dest, std::move(request), send_timeout);
+  if (!IsOk(kr)) {
+    return kr;
+  }
+  return MsgReceive(reply.receive, receive_timeout);
+}
+
+// --- rights ------------------------------------------------------------
+
+uint64_t SendRight::id() const { return port_ ? port_->id() : 0; }
+std::string SendRight::label() const { return port_ ? port_->label() : std::string(); }
+bool SendRight::IsDead() const { return port_ == nullptr || port_->dead(); }
+
+ReceiveRight::~ReceiveRight() {
+  if (port_ != nullptr) {
+    port_->MarkDead();
+  }
+}
+
+ReceiveRight& ReceiveRight::operator=(ReceiveRight&& o) noexcept {
+  if (this != &o) {
+    if (port_ != nullptr) {
+      port_->MarkDead();
+    }
+    port_ = std::move(o.port_);
+  }
+  return *this;
+}
+
+uint64_t ReceiveRight::id() const { return port_ ? port_->id() : 0; }
+std::string ReceiveRight::label() const { return port_ ? port_->label() : std::string(); }
+
+SendRight ReceiveRight::MakeSendRight() const { return SendRight(port_); }
+
+void ReceiveRight::Destroy() {
+  if (port_ != nullptr) {
+    port_->MarkDead();
+    port_.reset();
+  }
+}
+
+}  // namespace mach

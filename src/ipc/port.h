@@ -1,0 +1,168 @@
+// Ports (§3.2): a port is a finite-length queue for messages protected by
+// the kernel. Any number of senders, exactly one receiver. Ports may be
+// grouped into a PortSet (the "default group of ports" that port_enable /
+// port_disable manage) and received from as a group.
+//
+// Lock order: PortSet::mu_ > Port::mu_. A port never calls back into the
+// kernel layer; kernels may therefore hold their own locks while using
+// ports... except that blocking while holding a kernel lock is forbidden —
+// the kernel releases its lock around waits.
+
+#ifndef SRC_IPC_PORT_H_
+#define SRC_IPC_PORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/sync.h"
+#include "src/ipc/message.h"
+#include "src/ipc/port_right.h"
+
+namespace mach {
+
+class PortSet;
+
+// Message id delivered by a death notification (see
+// RequestDeathNotification). Body: one u64 item = the dead port's id.
+inline constexpr MsgId kMsgIdPortDeath = 0xDEAD0001;
+
+// Default queue backlog (Mach's PORT_BACKLOG_DEFAULT).
+inline constexpr size_t kDefaultBacklog = 32;
+
+// Snapshot of a port's state (port_status, Table 3-2).
+struct PortStatus {
+  size_t num_msgs = 0;
+  size_t backlog = 0;
+  bool dead = false;
+  bool enabled = false;  // Member of a port set.
+};
+
+class Port : public std::enable_shared_from_this<Port> {
+ public:
+  ~Port();
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  // --- primitive operations (used via the free functions below) -------
+
+  // Enqueues a message; blocks (up to `timeout`) while the backlog is full.
+  KernReturn Enqueue(Message&& msg, Timeout timeout);
+
+  // Dequeues the next message; blocks (up to `timeout`) while empty.
+  // Fails with kPortDead once the port is destroyed *and* drained.
+  Result<Message> Dequeue(Timeout timeout);
+
+  // Non-blocking variant used by PortSet scanning.
+  Result<Message> TryDequeue();
+
+  PortStatus Status() const;
+  KernReturn SetBacklog(size_t backlog);
+
+  // Registers `notify_to` to receive a kMsgIdPortDeath message when this
+  // port is destroyed.
+  void RequestDeathNotification(SendRight notify_to);
+
+  bool dead() const;
+
+ private:
+  friend class ReceiveRight;
+  friend class PortSet;
+  friend struct PortFactory;
+
+  explicit Port(std::string label);
+
+  // Destroys the port: fails senders/receivers, drains the queue, fires
+  // death notifications. Idempotent.
+  void MarkDead();
+
+  void SetPortSet(std::shared_ptr<PortSet> set);
+
+  const uint64_t id_;
+  const std::string label_;
+
+  mutable std::mutex mu_;
+  std::condition_variable recv_cv_;
+  std::condition_variable send_cv_;
+  std::deque<Message> queue_;
+  size_t backlog_ = kDefaultBacklog;
+  bool dead_ = false;
+  std::weak_ptr<PortSet> set_;
+  std::vector<SendRight> death_watchers_;
+};
+
+// A group of enabled ports receivable as one (§3.2 "default group of ports
+// for msg_receive"). Receive rights stay with the owner; the set only scans.
+class PortSet : public std::enable_shared_from_this<PortSet> {
+ public:
+  static std::shared_ptr<PortSet> Create();
+
+  // port_enable: adds the port to this set.
+  KernReturn Add(const ReceiveRight& right);
+  // port_disable: removes it.
+  KernReturn Remove(const ReceiveRight& right);
+
+  // Receives the next message queued on any member port. Round-robin across
+  // members to avoid starvation. Returns kTimedOut / kNoMessage like
+  // Port::Dequeue.
+  Result<Message> Receive(Timeout timeout);
+
+  // Like Receive but also reports which port the message arrived on.
+  struct ReceivedMessage {
+    Message message;
+    uint64_t port_id;
+  };
+  Result<ReceivedMessage> ReceiveFrom(Timeout timeout);
+
+  // port_messages (Table 3-2): ids of enabled ports with queued messages.
+  std::vector<uint64_t> PortsWithMessages() const;
+
+  size_t member_count() const;
+
+ private:
+  friend class Port;
+  PortSet() = default;
+
+  void Notify();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Port>> members_;
+  size_t rotation_ = 0;
+};
+
+// --- Table 3-1 / 3-2 primitive operations ------------------------------
+
+struct PortPair {
+  ReceiveRight receive;
+  SendRight send;
+};
+
+// port_allocate: creates a new port, returning both rights.
+PortPair PortAllocate(std::string label = "");
+
+// msg_send(message, option, timeout).
+KernReturn MsgSend(const SendRight& dest, Message&& msg, Timeout timeout = kWaitForever);
+
+// msg_receive(message, option, timeout).
+Result<Message> MsgReceive(ReceiveRight& from, Timeout timeout = kWaitForever);
+
+// msg_rpc(message, option, rcv_size, send_timeout, receive_timeout):
+// sends `request` with a freshly allocated one-shot reply port and waits for
+// the reply on it.
+Result<Message> MsgRpc(const SendRight& dest, Message&& request,
+                       Timeout send_timeout = kWaitForever,
+                       Timeout receive_timeout = kWaitForever);
+
+}  // namespace mach
+
+#endif  // SRC_IPC_PORT_H_

@@ -1,0 +1,80 @@
+// Port rights (§3.2): access to a port is granted by holding a capability.
+// A port may have any number of senders but only one receiver.
+//
+//  * SendRight    — copyable capability to enqueue messages.
+//  * ReceiveRight — move-only capability to dequeue; destroying the receive
+//                   right destroys the port ("port death"), failing pending
+//                   and future sends with kPortDead and firing registered
+//                   death notifications.
+//
+// Rights are handles over a shared, kernel-internal Port object. This is the
+// C++ shape of Mach's per-task port name spaces: a right *is* the
+// capability, and passing one in a message transfers access.
+
+#ifndef SRC_IPC_PORT_RIGHT_H_
+#define SRC_IPC_PORT_RIGHT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mach {
+
+class Port;
+
+class SendRight {
+ public:
+  SendRight() = default;
+  explicit SendRight(std::shared_ptr<Port> port) : port_(std::move(port)) {}
+
+  bool valid() const { return port_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  // Stable identity of the underlying port (0 for a null right). Two rights
+  // name the same port iff their ids match.
+  uint64_t id() const;
+  std::string label() const;
+
+  // True if the port has been destroyed (its receive right deallocated).
+  bool IsDead() const;
+
+  std::shared_ptr<Port> port() const { return port_; }
+
+  friend bool operator==(const SendRight& a, const SendRight& b) { return a.port_ == b.port_; }
+
+ private:
+  std::shared_ptr<Port> port_;
+};
+
+class ReceiveRight {
+ public:
+  ReceiveRight() = default;
+  explicit ReceiveRight(std::shared_ptr<Port> port) : port_(std::move(port)) {}
+  ~ReceiveRight();
+
+  ReceiveRight(ReceiveRight&& o) noexcept = default;
+  ReceiveRight& operator=(ReceiveRight&& o) noexcept;
+  ReceiveRight(const ReceiveRight&) = delete;
+  ReceiveRight& operator=(const ReceiveRight&) = delete;
+
+  bool valid() const { return port_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  uint64_t id() const;
+  std::string label() const;
+
+  // Derives a (copyable) send right to the same port.
+  SendRight MakeSendRight() const;
+
+  // Explicitly destroys the port now (equivalent to dropping the right).
+  void Destroy();
+
+  std::shared_ptr<Port> port() const { return port_; }
+
+ private:
+  std::shared_ptr<Port> port_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_IPC_PORT_RIGHT_H_

@@ -1,0 +1,80 @@
+// Kernel: one booted instance of the Mach kernel — the unit the paper calls
+// a "host" in multi-machine scenarios (§4.2: "independent Mach kernels").
+//
+// A Kernel owns the simulated hardware (physical memory, a paging disk, a
+// virtual clock), the VM system, the trusted default pager task, and two
+// service threads:
+//   * the pager service thread, which receives the data manager → kernel
+//     calls (Table 3-6) on the pager request ports and dispatches them into
+//     the VM system;
+//   * (inside VmSystem) the pageout daemon.
+//
+// Tasks are created against a kernel and must not outlive it.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/base/sim_clock.h"
+#include "src/hw/physical_memory.h"
+#include "src/hw/sim_disk.h"
+#include "src/pager/default_pager.h"
+#include "src/vm/vm_system.h"
+
+namespace mach {
+
+class Task;
+
+class Kernel {
+ public:
+  struct Config {
+    std::string name = "host";
+    uint32_t frames = 256;          // Physical memory size in pages.
+    VmSize page_size = 4096;        // System page size (boot parameter, §3.3).
+    uint32_t backing_blocks = 8192; // Default pager backing store size.
+    DiskLatencyModel disk_latency;  // Paging disk latency model.
+    VmSystem::Config vm;            // VM tunables.
+  };
+
+  Kernel() : Kernel(Config{}) {}
+  explicit Kernel(Config config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  const std::string& name() const { return config_.name; }
+  VmSize page_size() const { return phys_->page_size(); }
+
+  VmSystem& vm() { return *vm_; }
+  PhysicalMemory& phys() { return *phys_; }
+  SimClock& clock() { return clock_; }
+  SimDisk& paging_disk() { return *paging_disk_; }
+  DefaultPager& default_pager() { return *default_pager_; }
+
+  // Creates a task. With a parent, the child's address space is populated
+  // according to the parent's per-region inheritance attributes (§3.3).
+  std::shared_ptr<Task> CreateTask(const std::shared_ptr<Task>& parent = nullptr,
+                                   const std::string& name = "task");
+
+ private:
+  void PagerServiceLoop();
+
+  Config config_;
+  SimClock clock_;
+  std::unique_ptr<PhysicalMemory> phys_;
+  std::unique_ptr<SimDisk> paging_disk_;
+  std::unique_ptr<VmSystem> vm_;
+  std::unique_ptr<DefaultPager> default_pager_;
+
+  std::thread pager_service_thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mach
+
+#endif  // SRC_KERNEL_KERNEL_H_

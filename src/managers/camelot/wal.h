@@ -1,0 +1,77 @@
+// Write-ahead log for the Camelot-style recovery manager (§8.3): an
+// append-only record stream on a SimDisk. Records accumulate in a volatile
+// tail; Force() makes the prefix durable. SimulateCrash() drops the
+// unforced tail — exactly what a power failure does.
+
+#ifndef SRC_MANAGERS_CAMELOT_WAL_H_
+#define SRC_MANAGERS_CAMELOT_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/base/vm_types.h"
+#include "src/hw/sim_disk.h"
+
+namespace mach {
+
+struct LogRecord {
+  enum class Type : uint32_t {
+    kBegin = 1,
+    kUpdate = 2,
+    kCommit = 3,
+    kAbort = 4,
+    // A compensation record written during abort: redo-only (its new_data
+    // is the restored old value). Logging undo actions lets recovery
+    // "repeat history" and never re-undo an already-undone update.
+    kCompensation = 5,
+  };
+
+  Type type = Type::kBegin;
+  uint64_t lsn = 0;  // Assigned by Append.
+  uint64_t tid = 0;
+  uint64_t segment = 0;
+  VmOffset offset = 0;
+  std::vector<std::byte> old_data;  // Undo image (kUpdate).
+  std::vector<std::byte> new_data;  // Redo image (kUpdate).
+
+  std::vector<std::byte> Serialize() const;
+  // Parses one record from `in` at `pos`, advancing it. Returns false at
+  // end of log (zero length marker) or on corruption.
+  static bool Deserialize(const std::vector<std::byte>& in, size_t* pos, LogRecord* out);
+};
+
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(SimDisk* disk);
+
+  // Appends to the volatile tail; returns the record's LSN.
+  uint64_t Append(LogRecord record);
+
+  // Makes everything appended so far durable. Returns the forced LSN.
+  uint64_t Force();
+
+  uint64_t last_lsn() const;
+  uint64_t forced_lsn() const;
+  uint64_t force_count() const;
+
+  // Drops the volatile tail (crash).
+  void SimulateCrash();
+
+  // Reads the durable log back from disk (recovery). Usable from a fresh
+  // WriteAheadLog attached to the same disk.
+  std::vector<LogRecord> ReadAll() const;
+
+ private:
+  SimDisk* const disk_;
+  mutable std::mutex mu_;
+  std::vector<std::byte> tail_;   // Serialized, unforced records.
+  uint64_t next_lsn_ = 1;
+  uint64_t forced_lsn_ = 0;
+  uint64_t durable_bytes_ = 0;  // Write cursor on the disk.
+  uint64_t force_count_ = 0;
+};
+
+}  // namespace mach
+
+#endif  // SRC_MANAGERS_CAMELOT_WAL_H_

@@ -1,0 +1,125 @@
+#include "src/managers/mfs/mapped_file.h"
+
+#include <algorithm>
+
+namespace mach {
+
+Result<MappedFile> MappedFile::Open(Task* task, const SendRight& fs_service,
+                                    const std::string& name, VmSize capacity) {
+  Message request(kMsgFsOpenMapped);
+  request.PushString(name);
+  Result<Message> reply = MsgRpc(fs_service, std::move(request), kWaitForever,
+                                 std::chrono::seconds(10));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  Result<uint32_t> status = reply.value().TakeU32();
+  if (!status.ok()) {
+    return KernReturn::kInvalidArgument;
+  }
+  if (static_cast<KernReturn>(status.value()) != KernReturn::kSuccess) {
+    return static_cast<KernReturn>(status.value());
+  }
+  Result<uint64_t> size = reply.value().TakeU64();
+  Result<SendRight> object = reply.value().TakePort();
+  if (!size.ok() || !object.ok()) {
+    return KernReturn::kInvalidArgument;
+  }
+  const VmSize ps = task->page_size();
+  VmSize mapped = RoundPage(std::max<VmSize>({size.value(), capacity, 1}), ps);
+  Result<VmOffset> addr = task->VmAllocateWithPager(mapped, object.value(), 0);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  MappedFile file;
+  file.task_ = task;
+  file.service_ = fs_service;
+  file.name_ = name;
+  file.base_ = addr.value();
+  file.mapped_size_ = mapped;
+  file.size_ = size.value();
+  file.original_size_ = size.value();
+  return file;
+}
+
+Result<VmSize> MappedFile::Read(void* buf, VmSize len) {
+  Result<VmSize> n = ReadAt(position_, buf, len);
+  if (n.ok()) {
+    position_ += n.value();
+  }
+  return n;
+}
+
+Result<VmSize> MappedFile::ReadAt(VmOffset pos, void* buf, VmSize len) {
+  if (task_ == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  if (pos >= size_) {
+    return VmSize{0};  // EOF.
+  }
+  VmSize n = std::min<VmSize>(len, size_ - pos);
+  KernReturn kr = task_->Read(base_ + pos, buf, n);
+  if (!IsOk(kr)) {
+    return kr;
+  }
+  return n;
+}
+
+KernReturn MappedFile::Write(const void* buf, VmSize len) {
+  KernReturn kr = WriteAt(position_, buf, len);
+  if (IsOk(kr)) {
+    position_ += len;
+  }
+  return kr;
+}
+
+KernReturn MappedFile::WriteAt(VmOffset pos, const void* buf, VmSize len) {
+  if (task_ == nullptr || pos + len > mapped_size_) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernReturn kr = task_->Write(base_ + pos, buf, len);
+  if (!IsOk(kr)) {
+    return kr;
+  }
+  dirty_ = true;
+  size_ = std::max<VmSize>(size_, pos + len);
+  return KernReturn::kSuccess;
+}
+
+KernReturn MappedFile::CloseLazy() {
+  if (task_ == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  if (size_ != original_size_) {
+    Message set_size(kMsgFsSetSize);
+    set_size.PushString(name_);
+    set_size.PushU64(size_);
+    MsgRpc(service_, std::move(set_size), kWaitForever, std::chrono::seconds(10));
+  }
+  KernReturn kr = task_->VmDeallocate(base_, mapped_size_);
+  task_ = nullptr;
+  return kr;
+}
+
+KernReturn MappedFile::Close() {
+  if (task_ == nullptr) {
+    return KernReturn::kInvalidArgument;
+  }
+  if (dirty_ || size_ != original_size_) {
+    Message set_size(kMsgFsSetSize);
+    set_size.PushString(name_);
+    set_size.PushU64(size_);
+    MsgRpc(service_, std::move(set_size), kWaitForever, std::chrono::seconds(10));
+    Message sync(kMsgFsSync);
+    sync.PushString(name_);
+    MsgRpc(service_, std::move(sync), kWaitForever, std::chrono::seconds(10));
+  }
+  // Unmapping drops the reference; the kernel keeps the pages cached
+  // because the server permits caching (pager_cache) — the mapped-file
+  // cache of §9.
+  KernReturn kr = task_->VmDeallocate(base_, mapped_size_);
+  task_ = nullptr;
+  return kr;
+}
+
+}  // namespace mach

@@ -1,0 +1,71 @@
+// Mapped-file I/O (§8.1): a stdio-like library that emulates UNIX file
+// system calls outside the kernel. open maps the file's memory object into
+// the task's address space; read/write/lseek operate directly on virtual
+// memory; close pushes the size and syncs dirty pages back through the
+// external pager. "Subsequent read and write calls would operate directly
+// on virtual memory. The filesystem server task would operate as an
+// external pager."
+//
+// Because the whole of physical memory acts as the file cache (not a fixed
+// 10% buffer pool), re-reads of cached files cost no disk traffic — the
+// mechanism behind the §9 numbers.
+
+#ifndef SRC_MANAGERS_MFS_MAPPED_FILE_H_
+#define SRC_MANAGERS_MFS_MAPPED_FILE_H_
+
+#include <string>
+
+#include "src/kernel/task.h"
+#include "src/managers/fs/fs_server.h"
+
+namespace mach {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  // Opens (mapping) an existing file. `capacity` is the largest size the
+  // file may grow to through this handle (mappings are fixed-size).
+  static Result<MappedFile> Open(Task* task, const SendRight& fs_service,
+                                 const std::string& name, VmSize capacity = 0);
+
+  bool valid() const { return task_ != nullptr; }
+  VmSize size() const { return size_; }
+  VmOffset position() const { return position_; }
+  VmOffset mapping() const { return base_; }
+
+  // UNIX-style cursor I/O, directly against the mapping.
+  Result<VmSize> Read(void* buf, VmSize len);
+  KernReturn Write(const void* buf, VmSize len);
+  void Seek(VmOffset pos) { position_ = pos; }
+
+  // Positioned I/O.
+  Result<VmSize> ReadAt(VmOffset pos, void* buf, VmSize len);
+  KernReturn WriteAt(VmOffset pos, const void* buf, VmSize len);
+
+  // Pushes the (possibly grown) size to the server and syncs dirty pages to
+  // disk. The mapping is released.
+  KernReturn Close();
+
+  // Close without forcing dirty pages out: they stay in the kernel's page
+  // cache and reach the server lazily via pageout — Mach's actual write
+  // behaviour ("recoverable data ... without first being written to
+  // temporary paging storage" is the Camelot path; ordinary files simply
+  // write back on eviction).
+  KernReturn CloseLazy();
+
+ private:
+  Task* task_ = nullptr;
+  SendRight service_;
+  std::string name_;
+  VmOffset base_ = 0;
+  VmSize mapped_size_ = 0;
+  VmSize size_ = 0;
+  VmSize original_size_ = 0;
+  VmOffset position_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace mach
+
+#endif  // SRC_MANAGERS_MFS_MAPPED_FILE_H_

@@ -1,0 +1,148 @@
+#include "src/managers/mfs/traditional_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mach {
+
+TraditionalFileSystem::TraditionalFileSystem(SimDisk* disk, size_t cache_blocks)
+    : disk_(disk), capacity_(std::max<size_t>(cache_blocks, 1)) {}
+
+KernReturn TraditionalFileSystem::Create(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (files_.count(name) != 0) {
+    return KernReturn::kAlreadyExists;
+  }
+  files_.emplace(name, File{});
+  return KernReturn::kSuccess;
+}
+
+KernReturn TraditionalFileSystem::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return KernReturn::kNotFound;
+  }
+  for (uint32_t block : it->second.blocks) {
+    if (block != UINT32_MAX) {
+      cache_.erase(block);
+      disk_->FreeBlock(block);
+    }
+  }
+  files_.erase(it);
+  return KernReturn::kSuccess;
+}
+
+Result<VmSize> TraditionalFileSystem::Stat(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return KernReturn::kNotFound;
+  }
+  return it->second.size;
+}
+
+void TraditionalFileSystem::EvictIfNeeded() {
+  while (cache_.size() >= capacity_ && !lru_.empty()) {
+    uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    if (it != cache_.end()) {
+      if (it->second.dirty) {
+        disk_->WriteBlock(victim, it->second.data.data());
+      }
+      cache_.erase(it);
+    }
+  }
+}
+
+TraditionalFileSystem::CacheEntry& TraditionalFileSystem::GetBlock(uint32_t block,
+                                                                   bool will_overwrite) {
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(block);
+    it->second.lru_pos = lru_.begin();
+    return it->second;
+  }
+  ++misses_;
+  EvictIfNeeded();
+  CacheEntry entry;
+  entry.data.resize(disk_->block_size());
+  if (will_overwrite) {
+    std::memset(entry.data.data(), 0, entry.data.size());
+  } else {
+    disk_->ReadBlock(block, entry.data.data());
+  }
+  lru_.push_front(block);
+  entry.lru_pos = lru_.begin();
+  return cache_.emplace(block, std::move(entry)).first->second;
+}
+
+Result<VmSize> TraditionalFileSystem::Read(const std::string& name, VmOffset pos, void* buf,
+                                           VmSize len) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return KernReturn::kNotFound;
+  }
+  File& file = it->second;
+  if (pos >= file.size) {
+    return VmSize{0};
+  }
+  const VmSize bs = disk_->block_size();
+  VmSize n = std::min<VmSize>(len, file.size - pos);
+  auto* out = static_cast<std::byte*>(buf);
+  VmSize done = 0;
+  while (done < n) {
+    size_t chunk_index = static_cast<size_t>((pos + done) / bs);
+    VmOffset in_block = (pos + done) % bs;
+    VmSize take = std::min<VmSize>(bs - in_block, n - done);
+    if (chunk_index >= file.blocks.size() || file.blocks[chunk_index] == UINT32_MAX) {
+      std::memset(out + done, 0, take);  // Hole.
+    } else {
+      CacheEntry& entry = GetBlock(file.blocks[chunk_index], /*will_overwrite=*/false);
+      // The kernel-to-user copy of the traditional path.
+      std::memcpy(out + done, entry.data.data() + in_block, take);
+    }
+    done += take;
+  }
+  return n;
+}
+
+KernReturn TraditionalFileSystem::Write(const std::string& name, VmOffset pos, const void* buf,
+                                        VmSize len) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return KernReturn::kNotFound;
+  }
+  File& file = it->second;
+  const VmSize bs = disk_->block_size();
+  const auto* in = static_cast<const std::byte*>(buf);
+  VmSize done = 0;
+  while (done < len) {
+    size_t chunk_index = static_cast<size_t>((pos + done) / bs);
+    VmOffset in_block = (pos + done) % bs;
+    VmSize take = std::min<VmSize>(bs - in_block, len - done);
+    if (chunk_index >= file.blocks.size()) {
+      file.blocks.resize(chunk_index + 1, UINT32_MAX);
+    }
+    if (file.blocks[chunk_index] == UINT32_MAX) {
+      file.blocks[chunk_index] = disk_->AllocBlock();
+      if (file.blocks[chunk_index] == UINT32_MAX) {
+        return KernReturn::kResourceShortage;
+      }
+    }
+    CacheEntry& entry = GetBlock(file.blocks[chunk_index], take == bs);
+    // The user-to-kernel copy of the traditional path.
+    std::memcpy(entry.data.data() + in_block, in + done, take);
+    entry.dirty = true;
+    done += take;
+  }
+  file.size = std::max<VmSize>(file.size, pos + len);
+  return KernReturn::kSuccess;
+}
+
+}  // namespace mach

@@ -1,0 +1,77 @@
+// The "traditional UNIX" I/O baseline of §9: file data moves between user
+// buffers and a fixed-size kernel block cache by copying ("accessed by user
+// programs through read and write kernel-to-user and user-to-kernel copy
+// operations"), with the cache capped at a fraction of physical memory —
+// "normally 10% of physical memory in a Berkeley UNIX system".
+//
+// This is the comparator for the mapped-file path in the E1/E2 benchmarks;
+// both run against the same SimDisk model.
+
+#ifndef SRC_MANAGERS_MFS_TRADITIONAL_IO_H_
+#define SRC_MANAGERS_MFS_TRADITIONAL_IO_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/vm_types.h"
+#include "src/hw/sim_disk.h"
+
+namespace mach {
+
+class TraditionalFileSystem {
+ public:
+  // `cache_blocks` is the buffer-cache capacity (e.g. 10% of the machine's
+  // physical page frames).
+  TraditionalFileSystem(SimDisk* disk, size_t cache_blocks);
+
+  KernReturn Create(const std::string& name);
+  KernReturn Delete(const std::string& name);
+  Result<VmSize> Stat(const std::string& name);
+
+  // read(2)/write(2)-style positioned I/O with user<->cache copies.
+  Result<VmSize> Read(const std::string& name, VmOffset pos, void* buf, VmSize len);
+  KernReturn Write(const std::string& name, VmOffset pos, const void* buf, VmSize len);
+
+  // Statistics.
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+
+ private:
+  struct File {
+    VmSize size = 0;
+    std::vector<uint32_t> blocks;  // Per cache-block-sized chunk.
+  };
+  struct CacheKey {
+    uint32_t block;
+    bool operator==(const CacheKey& o) const { return block == o.block; }
+  };
+  struct CacheEntry {
+    std::vector<std::byte> data;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+
+  // Returns the cache entry for a disk block, faulting it in (LRU evict +
+  // writeback) as needed.
+  CacheEntry& GetBlock(uint32_t block, bool will_overwrite);
+  void EvictIfNeeded();
+
+  SimDisk* const disk_;
+  const size_t capacity_;
+  std::mutex mu_;
+  std::map<std::string, File> files_;
+  std::unordered_map<uint32_t, CacheEntry> cache_;
+  std::list<uint32_t> lru_;  // Front = most recent.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mach
+
+#endif  // SRC_MANAGERS_MFS_TRADITIONAL_IO_H_

@@ -1,0 +1,157 @@
+#include "src/managers/migrate/migration_manager.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace mach {
+
+Result<std::shared_ptr<Task>> MigrationManager::Migrate(const std::shared_ptr<Task>& source,
+                                                        Kernel* destination,
+                                                        const Options& options) {
+  const VmSize ps = source->page_size();
+  // Freeze the source so its image is stable while regions are captured.
+  source->Suspend();
+  std::vector<RegionInfo> regions = source->VmRegions();
+  std::shared_ptr<Task> migrated = destination->CreateTask(nullptr, source->name() + "-migrated");
+
+  for (const RegionInfo& region : regions) {
+    const VmSize size = region.end - region.start;
+    if (options.strategy == Strategy::kEager) {
+      // Baseline: copy the whole region before the task may resume.
+      Result<VmOffset> addr = migrated->VmAllocate(size, /*anywhere=*/false, region.start);
+      if (!addr.ok()) {
+        source->Resume();
+        return addr.status();
+      }
+      std::vector<std::byte> buf(ps);
+      for (VmOffset off = 0; off < size; off += ps) {
+        KernReturn kr = source->VmRead(region.start + off, buf.data(), ps);
+        if (!IsOk(kr)) {
+          source->Resume();
+          return kr;
+        }
+        kr = migrated->VmWrite(region.start + off, buf.data(), ps);
+        if (!IsOk(kr)) {
+          source->Resume();
+          return kr;
+        }
+        pages_transferred_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
+    // Copy-on-reference: a memory object standing for this region.
+    uint64_t cookie;
+    SendRight object;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      cookie = next_cookie_++;
+      object = CreateMemoryObject(cookie, "migrate:" + source->name());
+      MigratedRegion mr;
+      mr.source = source;
+      mr.source_base = region.start;
+      mr.size = size;
+      regions_.emplace(cookie, std::move(mr));
+    }
+    SendRight exported = options.export_port ? options.export_port(object) : object;
+    Result<VmOffset> addr =
+        migrated->VmAllocateWithPager(size, exported, 0, /*anywhere=*/false, region.start);
+    if (!addr.ok()) {
+      source->Resume();
+      return addr.status();
+    }
+    if (options.strategy == Strategy::kPrePage && options.prepage_pages > 0) {
+      // Push the first pages so predictable tasks start without faulting
+      // (§8.2 "pre-paging can proceed while the newly-migrated task begins
+      // to run").
+      SendRight request;
+      for (int spin = 0; spin < 500 && !request.valid(); ++spin) {
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          request = regions_[cookie].request_port;
+        }
+        if (!request.valid()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+      if (request.valid()) {
+        std::vector<std::byte> buf(ps);
+        for (size_t p = 0; p < options.prepage_pages && p * ps < size; ++p) {
+          if (IsOk(source->VmRead(region.start + p * ps, buf.data(), ps))) {
+            ProvideData(request, p * ps, buf, kVmProtNone);
+            pages_transferred_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  }
+  // Apply region protections last (so eager writes above were possible).
+  for (const RegionInfo& region : regions) {
+    migrated->VmProtect(region.start, region.end - region.start, false, region.protection);
+  }
+  return migrated;
+}
+
+void MigrationManager::OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = regions_.find(cookie);
+  if (it != regions_.end()) {
+    it->second.request_port = args.pager_request_port;
+  }
+}
+
+void MigrationManager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
+                                     PagerDataRequestArgs args) {
+  std::shared_ptr<Task> source;
+  VmOffset base = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = regions_.find(cookie);
+    if (it == regions_.end()) {
+      DataUnavailable(args.pager_request_port, args.offset, args.length);
+      return;
+    }
+    // Destination-kernel writebacks take precedence over the stale source.
+    auto wb = it->second.writebacks.find(args.offset);
+    if (wb != it->second.writebacks.end()) {
+      ProvideData(args.pager_request_port, args.offset, wb->second, kVmProtNone);
+      pages_transferred_.fetch_add(1, std::memory_order_relaxed);
+      demand_requests_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    source = it->second.source;
+    base = it->second.source_base;
+  }
+  const VmSize ps = source->page_size();
+  std::vector<std::byte> buf(args.length);
+  for (VmOffset off = 0; off < args.length; off += ps) {
+    // vm_read on the (suspended) source task: this is the paging request
+    // path of §8.2 — the region's pages move only when referenced.
+    if (!IsOk(source->VmRead(base + args.offset + off, buf.data() + off, ps))) {
+      DataUnavailable(args.pager_request_port, args.offset + off, ps);
+      return;
+    }
+  }
+  demand_requests_.fetch_add(1, std::memory_order_relaxed);
+  pages_transferred_.fetch_add(args.length / ps, std::memory_order_relaxed);
+  ProvideData(args.pager_request_port, args.offset, std::move(buf), kVmProtNone);
+}
+
+void MigrationManager::OnDataWrite(uint64_t object_port_id, uint64_t cookie,
+                                   PagerDataWriteArgs args) {
+  // The destination kernel paged out dirty migrated pages: keep them so a
+  // later fault sees the migrated task's own writes, not the stale source.
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = regions_.find(cookie);
+  if (it == regions_.end()) {
+    return;
+  }
+  const VmSize ps = it->second.source->page_size();
+  for (VmOffset delta = 0; delta + ps <= args.data.size(); delta += ps) {
+    std::vector<std::byte> page(args.data.begin() + delta, args.data.begin() + delta + ps);
+    it->second.writebacks[args.offset + delta] = std::move(page);
+  }
+}
+
+}  // namespace mach

@@ -1,0 +1,133 @@
+#include "src/net/net_link.h"
+
+#include "src/base/log.h"
+
+namespace mach {
+
+NetLink::NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock, NetLatencyModel latency)
+    : clock_(clock), latency_(latency) {
+  a_to_b_.dst_vm = vm_b;  // Messages entering on A are delivered into B.
+  b_to_a_.dst_vm = vm_a;
+  a_to_b_.forwarder = std::thread([this] { ForwarderLoop(a_to_b_, b_to_a_); });
+  b_to_a_.forwarder = std::thread([this] { ForwarderLoop(b_to_a_, a_to_b_); });
+}
+
+NetLink::~NetLink() {
+  running_.store(false, std::memory_order_release);
+  a_to_b_.forwarder.join();
+  b_to_a_.forwarder.join();
+}
+
+SendRight NetLink::ProxyForA(SendRight target_on_b) { return MakeProxy(a_to_b_, std::move(target_on_b)); }
+
+SendRight NetLink::ProxyForB(SendRight target_on_a) { return MakeProxy(b_to_a_, std::move(target_on_a)); }
+
+SendRight NetLink::MakeProxy(Direction& dir, SendRight target) {
+  if (!target.valid()) {
+    return SendRight();
+  }
+  std::lock_guard<std::mutex> g(dir.mu);
+  auto it = dir.proxies_by_target.find(target.id());
+  if (it != dir.proxies_by_target.end()) {
+    return it->second;
+  }
+  PortPair pair = PortAllocate("netproxy:" + target.label());
+  pair.receive.port()->SetBacklog(1024);
+  dir.proxies_by_target.emplace(target.id(), pair.send);
+  dir.target_by_proxy.emplace(pair.send.id(), target);
+  dir.set->Add(pair.receive);
+  dir.receives.push_back(std::move(pair.receive));
+  return pair.send;
+}
+
+SendRight NetLink::RewriteRight(Direction& dir, Direction& reverse, SendRight right) {
+  if (!right.valid()) {
+    return right;
+  }
+  {
+    // If the right is one of `dir`'s own proxies, the real port lives on
+    // the destination side: unwrap it rather than proxying a proxy.
+    std::lock_guard<std::mutex> g(dir.mu);
+    auto it = dir.target_by_proxy.find(right.id());
+    if (it != dir.target_by_proxy.end()) {
+      return it->second;
+    }
+  }
+  // Otherwise the port lives on the source side: give the destination a
+  // reverse-direction proxy so its replies cross the link too.
+  return MakeProxy(reverse, std::move(right));
+}
+
+void NetLink::ForwarderLoop(Direction& dir, Direction& reverse) {
+  while (running_.load(std::memory_order_acquire)) {
+    Result<PortSet::ReceivedMessage> got = dir.set->ReceiveFrom(std::chrono::milliseconds(20));
+    if (!got.ok()) {
+      continue;
+    }
+    Forward(dir, reverse, got.value().port_id, std::move(got.value().message));
+  }
+}
+
+void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Message&& msg) {
+  SendRight target;
+  {
+    std::lock_guard<std::mutex> g(dir.mu);
+    auto it = dir.target_by_proxy.find(proxy_id);
+    if (it == dir.target_by_proxy.end()) {
+      return;
+    }
+    target = it->second;
+  }
+  uint64_t payload_bytes = msg.InlineSize();
+
+  // Rewrite the reply port and all port rights in the body.
+  msg.set_reply_port(RewriteRight(dir, reverse, msg.reply_port()));
+  for (MsgItem& item : msg.items()) {
+    if (auto* port_item = std::get_if<PortItem>(&item)) {
+      port_item->right = RewriteRight(dir, reverse, std::move(port_item->right));
+    } else if (auto* ool = std::get_if<OolItem>(&item)) {
+      // Out-of-line memory crosses the wire as bytes and is rebuilt as
+      // fresh memory in the destination kernel.
+      auto copy = std::static_pointer_cast<VmMapCopy>(ool->copy);
+      if (copy != nullptr && copy->system() != nullptr) {
+        Result<std::vector<std::byte>> flat = copy->system()->CopyAsBytes(copy);
+        if (flat.ok()) {
+          payload_bytes += flat.value().size();
+          Result<std::shared_ptr<VmMapCopy>> rebuilt =
+              dir.dst_vm->CopyFromBytes(flat.value().data(), flat.value().size());
+          if (rebuilt.ok()) {
+            ool->copy = rebuilt.value();
+          } else {
+            ool->copy = nullptr;
+          }
+        } else {
+          ool->copy = nullptr;
+        }
+      }
+    }
+  }
+
+  if (clock_ != nullptr) {
+    clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * payload_bytes);
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+
+  KernReturn kr = MsgSend(target, std::move(msg), std::chrono::milliseconds(2000));
+  if (kr == KernReturn::kPortDead) {
+    // Target died: kill the proxy so senders see port death too.
+    std::lock_guard<std::mutex> g(dir.mu);
+    for (auto it = dir.receives.begin(); it != dir.receives.end(); ++it) {
+      if (it->id() == proxy_id) {
+        dir.set->Remove(*it);
+        it->Destroy();
+        dir.receives.erase(it);
+        break;
+      }
+    }
+    dir.target_by_proxy.erase(proxy_id);
+    dir.proxies_by_target.erase(target.id());
+  }
+}
+
+}  // namespace mach

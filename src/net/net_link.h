@@ -1,0 +1,96 @@
+// Network message service between hosts (§7): a bidirectional link that
+// proxies ports across a latency model, standing in for the Ethernets and
+// token rings of the paper's NORMA configurations (and, with near-zero
+// latency, the switch of a NUMA or the bus of a UMA).
+//
+// A proxy is a real port whose receive right the link holds; a forwarder
+// thread relays each message to the target port on the other host, charging
+// the latency model, rewriting port rights so replies come back through the
+// link, and flattening out-of-line memory into bytes on the wire (rebuilt as
+// fresh memory in the destination kernel — network copy-on-reference is
+// built on top of this by the migration manager).
+//
+// §7 gives the regimes: remote access ≈ sub-microsecond on a MultiMax-class
+// UMA, ≈5 µs through a Butterfly-class NUMA switch (≈10x local), and
+// hundreds of microseconds on a HyperCube-class NORMA.
+
+#ifndef SRC_NET_NET_LINK_H_
+#define SRC_NET_NET_LINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/ipc/port.h"
+#include "src/vm/vm_system.h"
+
+namespace mach {
+
+struct NetLatencyModel {
+  uint64_t per_msg_ns = 0;   // Charged once per message.
+  uint64_t per_byte_ns = 0;  // Charged per payload byte (inline + OOL).
+};
+
+// §7 regime presets.
+inline constexpr NetLatencyModel kUmaLatency{500, 0};        // "considerably less than 1 µs"
+inline constexpr NetLatencyModel kNumaLatency{5'000, 1};     // Butterfly: ≈5 µs
+inline constexpr NetLatencyModel kNormaLatency{200'000, 80}; // HyperCube: 100s of µs, 10 Mb/s
+
+class NetLink {
+ public:
+  // Host A and host B are identified by their VM systems (for OOL
+  // rebuild). Latency is charged to `clock` per traversal.
+  NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock,
+          NetLatencyModel latency = kNormaLatency);
+  ~NetLink();
+
+  NetLink(const NetLink&) = delete;
+  NetLink& operator=(const NetLink&) = delete;
+
+  // Returns a send right usable on host A that relays to `target_on_b`
+  // (which lives on host B), and vice versa. Proxies are cached per target.
+  SendRight ProxyForA(SendRight target_on_b);
+  SendRight ProxyForB(SendRight target_on_a);
+
+  uint64_t messages_forwarded() const { return messages_.load(std::memory_order_relaxed); }
+  uint64_t bytes_forwarded() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  // One direction of the link.
+  struct Direction {
+    VmSystem* dst_vm = nullptr;  // OOL is rebuilt into this kernel.
+    std::shared_ptr<PortSet> set = PortSet::Create();
+    std::mutex mu;
+    // target port id -> proxy (cached so a port exports to one proxy).
+    std::unordered_map<uint64_t, SendRight> proxies_by_target;
+    // proxy port id -> target (for forwarding and reverse unwrapping).
+    std::unordered_map<uint64_t, SendRight> target_by_proxy;
+    std::vector<ReceiveRight> receives;
+    std::thread forwarder;
+  };
+
+  SendRight MakeProxy(Direction& dir, SendRight target);
+  // Rewrites a port right crossing the link in direction `dir` (whose
+  // reverse is `reverse`): unwrap if it is already one of `dir`'s proxies,
+  // otherwise wrap it in a reverse-direction proxy.
+  SendRight RewriteRight(Direction& dir, Direction& reverse, SendRight right);
+  void ForwarderLoop(Direction& dir, Direction& reverse);
+  void Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Message&& msg);
+
+  SimClock* const clock_;
+  const NetLatencyModel latency_;
+  Direction a_to_b_;  // Proxies that live on A and target ports on B.
+  Direction b_to_a_;
+  std::atomic<bool> running_{true};
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace mach
+
+#endif  // SRC_NET_NET_LINK_H_

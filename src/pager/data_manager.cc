@@ -1,0 +1,203 @@
+#include "src/pager/data_manager.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace mach {
+
+DataManager::DataManager(std::string name) : name_(std::move(name)) {
+  PortPair notify = PortAllocate(name_ + "-notify");
+  notify_receive_ = std::move(notify.receive);
+  notify_send_ = notify.send;
+  notify_receive_.port()->SetBacklog(1024);
+  set_->Add(notify_receive_);
+}
+
+DataManager::~DataManager() { Stop(); }
+
+void DataManager::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+void DataManager::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+SendRight DataManager::CreateMemoryObject(uint64_t cookie, const std::string& label) {
+  PortPair pair = PortAllocate(name_ + "-" + label);
+  // Generous backlog: the kernel's pageout path uses non-blocking sends and
+  // diverts to the default pager when a manager's queue is full (§6.2.2).
+  pair.receive.port()->SetBacklog(256);
+  SendRight send = pair.send;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ObjectState st;
+    st.cookie = cookie;
+    st.receive = std::move(pair.receive);
+    set_->Add(st.receive);
+    objects_.emplace(send.id(), std::move(st));
+  }
+  return send;
+}
+
+void DataManager::DestroyMemoryObject(const SendRight& memory_object) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(memory_object.id());
+  if (it == objects_.end()) {
+    return;
+  }
+  set_->Remove(it->second.receive);
+  objects_.erase(it);  // ReceiveRight destructor marks the port dead.
+}
+
+SendRight DataManager::AllocateServicePort(const std::string& label) {
+  PortPair pair = PortAllocate(name_ + "-" + label);
+  pair.receive.port()->SetBacklog(1024);
+  SendRight send = pair.send;
+  std::lock_guard<std::mutex> g(mu_);
+  set_->Add(pair.receive);
+  service_ports_.push_back(std::move(pair.receive));
+  return send;
+}
+
+bool DataManager::LookupCookie(uint64_t object_port_id, uint64_t* cookie_out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(object_port_id);
+  if (it == objects_.end()) {
+    return false;
+  }
+  *cookie_out = it->second.cookie;
+  return true;
+}
+
+void DataManager::ServiceLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    Result<PortSet::ReceivedMessage> got = set_->ReceiveFrom(std::chrono::milliseconds(20));
+    if (got.ok()) {
+      Dispatch(got.value().port_id, std::move(got.value().message));
+    }
+    OnIdle();
+  }
+}
+
+void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
+  uint64_t cookie = 0;
+  LookupCookie(port_id, &cookie);
+  switch (msg.id()) {
+    case kMsgPagerInit: {
+      Result<PagerInitArgs> args = DecodePagerInit(msg);
+      if (args.ok()) {
+        // Watch the request port so the manager learns when the kernel
+        // relinquishes the object (§4.1 port_death).
+        if (args.value().pager_request_port.valid()) {
+          args.value().pager_request_port.port()->RequestDeathNotification(notify_send_);
+        }
+        OnInit(port_id, cookie, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgPagerDataRequest: {
+      Result<PagerDataRequestArgs> args = DecodePagerDataRequest(msg);
+      if (args.ok()) {
+        OnDataRequest(port_id, cookie, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgPagerDataWrite: {
+      Result<PagerDataWriteArgs> args = DecodePagerDataWrite(msg);
+      if (args.ok()) {
+        OnDataWrite(port_id, cookie, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgPagerDataUnlock: {
+      Result<PagerDataUnlockArgs> args = DecodePagerDataUnlock(msg);
+      if (args.ok()) {
+        OnDataUnlock(port_id, cookie, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgPagerCreate: {
+      Result<PagerCreateArgs> args = DecodePagerCreate(msg);
+      if (args.ok()) {
+        // Adopt the new memory object: its receive right joins our set.
+        uint64_t adopted_id = args.value().new_memory_object.id();
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          ObjectState st;
+          st.receive = std::move(args.value().new_memory_object);
+          set_->Add(st.receive);
+          objects_.emplace(adopted_id, std::move(st));
+        }
+        if (args.value().new_request_port.valid()) {
+          args.value().new_request_port.port()->RequestDeathNotification(notify_send_);
+        }
+        OnCreate(adopted_id, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgIdPortDeath: {
+      Result<uint64_t> dead = msg.TakeU64();
+      if (dead.ok()) {
+        OnPortDeath(dead.value());
+      }
+      break;
+    }
+    default:
+      MACH_LOG(kWarn) << name_ << ": unknown message id " << msg.id();
+      break;
+  }
+}
+
+// --- Table 3-6 helpers -------------------------------------------------------
+
+KernReturn DataManager::ProvideData(const SendRight& request_port, VmOffset offset,
+                                    std::vector<std::byte> data, VmProt lock_value) {
+  PagerDataProvidedArgs args;
+  args.offset = offset;
+  args.data = std::move(data);
+  args.lock_value = lock_value;
+  return MsgSend(request_port, EncodePagerDataProvided(args), std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::DataUnavailable(const SendRight& request_port, VmOffset offset,
+                                        VmSize size) {
+  return MsgSend(request_port, EncodePagerDataUnavailable(PagerDataUnavailableArgs{offset, size}),
+                 std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::LockData(const SendRight& request_port, VmOffset offset, VmSize length,
+                                 VmProt lock_value) {
+  return MsgSend(request_port, EncodePagerDataLock(PagerDataLockArgs{offset, length, lock_value}),
+                 std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::FlushRequest(const SendRight& request_port, VmOffset offset,
+                                     VmSize length) {
+  return MsgSend(request_port, EncodePagerFlushRequest(PagerRangeArgs{offset, length}),
+                 std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::CleanRequest(const SendRight& request_port, VmOffset offset,
+                                     VmSize length) {
+  return MsgSend(request_port, EncodePagerCleanRequest(PagerRangeArgs{offset, length}),
+                 std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::SetCaching(const SendRight& request_port, bool may_cache) {
+  return MsgSend(request_port, EncodePagerCache(PagerCacheArgs{may_cache}),
+                 std::chrono::milliseconds(2000));
+}
+
+}  // namespace mach

@@ -1,0 +1,119 @@
+// DataManager: the user-level side of the external memory management
+// interface — the framework a "pager" task is built on (§3.4, §4).
+//
+// A data manager owns the receive rights of its memory object ports. Its
+// service loop receives the kernel → manager calls of Table 3-5 on those
+// ports (and pager_create on an optional service port), decodes them, and
+// invokes the On* virtual methods. Helpers are provided for the manager →
+// kernel calls of Table 3-6, which are sent to the pager request port the
+// kernel supplied in pager_init.
+//
+// All On* upcalls run on the manager's service thread, one at a time — the
+// single-threaded data manager of §4.1. A manager needing concurrency (e.g.
+// to avoid self-deadlock per §6.1) can spawn work from the upcalls.
+
+#ifndef SRC_PAGER_DATA_MANAGER_H_
+#define SRC_PAGER_DATA_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/vm_types.h"
+#include "src/ipc/port.h"
+#include "src/pager/protocol.h"
+
+namespace mach {
+
+class DataManager {
+ public:
+  explicit DataManager(std::string name);
+  virtual ~DataManager();
+
+  DataManager(const DataManager&) = delete;
+  DataManager& operator=(const DataManager&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Starts / stops the service thread. Stop() joins; safe to call twice.
+  void Start();
+  void Stop();
+
+  // Creates a new memory object managed by this data manager and returns a
+  // send right to it (the capability handed to clients for
+  // vm_allocate_with_pager). `cookie` is an arbitrary manager-side tag
+  // returned with every upcall for this object.
+  SendRight CreateMemoryObject(uint64_t cookie, const std::string& label = "memory-object");
+
+  // Destroys a memory object port (the manager's receive right). Kernels
+  // holding send rights observe port death.
+  void DestroyMemoryObject(const SendRight& memory_object);
+
+  // Allocates a service port (used by the default pager to accept
+  // pager_create). Messages on it are routed to OnCreate.
+  SendRight AllocateServicePort(const std::string& label = "pager-service");
+
+  // Manager-side cookie lookup (by memory object port id).
+  bool LookupCookie(uint64_t object_port_id, uint64_t* cookie_out) const;
+
+  // --- Table 3-6 helpers (manager -> kernel, all asynchronous) ----------
+
+  static KernReturn ProvideData(const SendRight& request_port, VmOffset offset,
+                                std::vector<std::byte> data, VmProt lock_value);
+  static KernReturn DataUnavailable(const SendRight& request_port, VmOffset offset, VmSize size);
+  static KernReturn LockData(const SendRight& request_port, VmOffset offset, VmSize length,
+                             VmProt lock_value);
+  static KernReturn FlushRequest(const SendRight& request_port, VmOffset offset, VmSize length);
+  static KernReturn CleanRequest(const SendRight& request_port, VmOffset offset, VmSize length);
+  static KernReturn SetCaching(const SendRight& request_port, bool may_cache);
+
+ protected:
+  // --- Table 3-5 upcalls (kernel -> manager) ----------------------------
+  // `object_port_id` identifies the memory object; `cookie` is the tag given
+  // at CreateMemoryObject (0 for adopted pager_create objects).
+
+  virtual void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) {}
+  virtual void OnDataRequest(uint64_t object_port_id, uint64_t cookie,
+                             PagerDataRequestArgs args) = 0;
+  virtual void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) {}
+  virtual void OnDataUnlock(uint64_t object_port_id, uint64_t cookie,
+                            PagerDataUnlockArgs args) {}
+  // pager_create (default pager only): `adopted_port_id` is the id of the
+  // newly adopted memory object port.
+  virtual void OnCreate(uint64_t adopted_port_id, PagerCreateArgs args) {}
+  // A port the kernel held died — for a pager request port this means all
+  // references to the object are gone and shutdown may proceed (§3.4.1).
+  virtual void OnPortDeath(uint64_t port_id) {}
+  // Called on the service thread after each message (or receive timeout);
+  // managers use it for deadline/maintenance work.
+  virtual void OnIdle() {}
+
+ private:
+  struct ObjectState {
+    ReceiveRight receive;
+    uint64_t cookie = 0;
+  };
+
+  void ServiceLoop();
+  void Dispatch(uint64_t port_id, Message&& msg);
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::shared_ptr<PortSet> set_ = PortSet::Create();
+  std::unordered_map<uint64_t, ObjectState> objects_;  // by port id
+  ReceiveRight notify_receive_;  // Death notifications arrive here.
+  SendRight notify_send_;
+  std::vector<ReceiveRight> service_ports_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mach
+
+#endif  // SRC_PAGER_DATA_MANAGER_H_

@@ -1,0 +1,30 @@
+// The trusted parking side-store (§6.2.2): when an external data manager
+// cannot accept a pager_data_write promptly, the kernel diverts the dirty
+// page data here — "the data may then be paged out to the default pager. In
+// this way, the kernel is protected from starvation by errant data
+// managers." Implemented by the default pager; consumed by VmSystem.
+//
+// Calls must not block on the kernel lock (they are made while it is held).
+
+#ifndef SRC_PAGER_PARKING_H_
+#define SRC_PAGER_PARKING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/vm_types.h"
+
+namespace mach {
+
+class TrustedParkingStore {
+ public:
+  virtual ~TrustedParkingStore() = default;
+  virtual void Park(uint64_t object_id, VmOffset offset, std::vector<std::byte> data) = 0;
+  virtual std::optional<std::vector<std::byte>> Unpark(uint64_t object_id, VmOffset offset) = 0;
+};
+
+}  // namespace mach
+
+#endif  // SRC_PAGER_PARKING_H_

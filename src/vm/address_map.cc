@@ -1,0 +1,143 @@
+#include "src/vm/address_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/vm/vm_object.h"
+
+namespace mach {
+
+MapEntry* AddressMap::Lookup(VmOffset addr) {
+  auto it = entries_.upper_bound(addr);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  MapEntry& e = it->second;
+  return (addr >= e.start && addr < e.end) ? &e : nullptr;
+}
+
+const MapEntry* AddressMap::Lookup(VmOffset addr) const {
+  return const_cast<AddressMap*>(this)->Lookup(addr);
+}
+
+Result<VmOffset> AddressMap::FindSpace(VmSize size, VmOffset hint) const {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  VmOffset candidate = RoundPage(std::max(hint, min_), page_size_);
+  for (auto it = entries_.lower_bound(candidate + 1);; ++it) {
+    // Candidate may collide with the entry *before* the iterator.
+    if (it != entries_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > candidate) {
+        candidate = RoundPage(prev->second.end, page_size_);
+      }
+    }
+    VmOffset limit = (it == entries_.end()) ? max_ : it->second.start;
+    if (candidate + size <= limit) {
+      return candidate;
+    }
+    if (it == entries_.end()) {
+      return KernReturn::kNoSpace;
+    }
+    candidate = RoundPage(it->second.end, page_size_);
+  }
+}
+
+bool AddressMap::RangeFree(VmOffset start, VmSize size) const {
+  if (start < min_ || start + size > max_ || size == 0) {
+    return false;
+  }
+  auto it = entries_.lower_bound(start);
+  if (it != entries_.begin()) {
+    if (std::prev(it)->second.end > start) {
+      return false;
+    }
+  }
+  return it == entries_.end() || it->second.start >= start + size;
+}
+
+bool AddressMap::RangeFullyCovered(VmOffset start, VmSize size) const {
+  VmOffset cursor = start;
+  const VmOffset end = start + size;
+  while (cursor < end) {
+    const MapEntry* e = Lookup(cursor);
+    if (e == nullptr) {
+      return false;
+    }
+    cursor = e->end;
+  }
+  return true;
+}
+
+KernReturn AddressMap::Insert(MapEntry entry) {
+  if (!RangeFree(entry.start, entry.size())) {
+    return KernReturn::kNoSpace;
+  }
+  VmOffset start = entry.start;
+  entries_.emplace(start, std::move(entry));
+  return KernReturn::kSuccess;
+}
+
+void AddressMap::ClipAt(VmOffset addr) {
+  MapEntry* e = Lookup(addr);
+  if (e == nullptr || e->start == addr) {
+    return;
+  }
+  // Split [start, end) into [start, addr) + [addr, end).
+  MapEntry tail = *e;  // copies shared_ptr references
+  tail.start = addr;
+  tail.offset = e->offset + (addr - e->start);
+  e->end = addr;
+  if (tail.object != nullptr) {
+    // Each map entry holds one object reference: splitting adds one.
+    ++tail.object->map_refs;
+  }
+  entries_.emplace(addr, std::move(tail));
+}
+
+std::vector<MapEntry*> AddressMap::ClipRange(VmOffset start, VmOffset end) {
+  ClipAt(start);
+  ClipAt(end);
+  return EntriesIn(start, end);
+}
+
+std::vector<MapEntry*> AddressMap::EntriesIn(VmOffset start, VmOffset end) {
+  std::vector<MapEntry*> out;
+  auto it = entries_.lower_bound(start);
+  if (it != entries_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) {
+      out.push_back(&prev->second);
+    }
+  }
+  for (; it != entries_.end() && it->second.start < end; ++it) {
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+std::vector<MapEntry> AddressMap::RemoveRange(VmOffset start, VmOffset end) {
+  ClipAt(start);
+  ClipAt(end);
+  std::vector<MapEntry> removed;
+  auto it = entries_.lower_bound(start);
+  while (it != entries_.end() && it->second.start < end) {
+    assert(it->second.end <= end);
+    removed.push_back(std::move(it->second));
+    it = entries_.erase(it);
+  }
+  return removed;
+}
+
+std::vector<const MapEntry*> AddressMap::AllEntries() const {
+  std::vector<const MapEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [start, entry] : entries_) {
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+}  // namespace mach

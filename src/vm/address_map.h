@@ -1,0 +1,115 @@
+// Address maps (§5.1): a task address map is a directory mapping each valid
+// address range to a memory object and offset, plus protection and
+// inheritance attributes.
+//
+// Maps are two-level: a top-level entry normally references a VmObject
+// directly (the §5.1 optimization for unshared memory), but once read/write
+// inheritance sharing has occurred the entry references a *sharing map* — an
+// AddressMap in its own right whose entries hold the objects. Per-task
+// attributes (protection, inheritance) stay in the top-level entry;
+// operations on the memory itself are reflected in the sharing map.
+//
+// All methods assume the owning kernel's lock is held; AddressMap does no
+// locking of its own. It also performs no object reference accounting or
+// pmap maintenance — VmSystem drives those from the entries these methods
+// return, keeping policy out of the container.
+
+#ifndef SRC_VM_ADDRESS_MAP_H_
+#define SRC_VM_ADDRESS_MAP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/vm_types.h"
+
+namespace mach {
+
+class VmObject;
+class AddressMap;
+
+struct MapEntry {
+  VmOffset start = 0;
+  VmOffset end = 0;  // exclusive
+
+  // Exactly one of these is meaningful. `object` may also be null for an
+  // allocated-but-untouched region (zero-fill object created at first
+  // fault, "filled-zero on demand" per Table 3-3).
+  std::shared_ptr<VmObject> object;
+  std::shared_ptr<AddressMap> share_map;
+  bool is_share = false;
+
+  VmOffset offset = 0;  // Offset of `start` within the object / share map.
+
+  VmProt protection = kVmProtDefault;
+  VmProt max_protection = kVmProtAll;
+  VmInherit inheritance = VmInherit::kCopy;
+
+  // Copy-on-write pending: the object must be shadowed before this entry's
+  // memory is written (§5.5 "copy-on-write").
+  bool needs_copy = false;
+
+  VmSize size() const { return end - start; }
+};
+
+class AddressMap {
+ public:
+  AddressMap(VmOffset min_addr, VmOffset max_addr, VmSize page_size)
+      : min_(min_addr), max_(max_addr), page_size_(page_size) {}
+
+  AddressMap(const AddressMap&) = delete;
+  AddressMap& operator=(const AddressMap&) = delete;
+
+  VmOffset min_address() const { return min_; }
+  VmOffset max_address() const { return max_; }
+  VmSize page_size() const { return page_size_; }
+
+  // Returns the entry containing `addr`, or nullptr.
+  MapEntry* Lookup(VmOffset addr);
+  const MapEntry* Lookup(VmOffset addr) const;
+
+  // Finds a free gap of `size` bytes at or above `hint` (page aligned).
+  Result<VmOffset> FindSpace(VmSize size, VmOffset hint = 0) const;
+
+  // True if [start, start+size) overlaps no entry and is within bounds.
+  bool RangeFree(VmOffset start, VmSize size) const;
+
+  // True if every byte of [start, start+size) is covered by entries.
+  bool RangeFullyCovered(VmOffset start, VmSize size) const;
+
+  // Inserts a new entry; the range must be free. Takes ownership.
+  KernReturn Insert(MapEntry entry);
+
+  // Splits entries so that `start` and `end` fall on entry boundaries, then
+  // returns pointers to all entries overlapping [start, end), in order.
+  // Pointers are valid until the next structural mutation.
+  std::vector<MapEntry*> ClipRange(VmOffset start, VmOffset end);
+
+  // Removes all entries overlapping [start, end) (clipping at the edges)
+  // and returns them so the caller can release references and mappings.
+  std::vector<MapEntry> RemoveRange(VmOffset start, VmOffset end);
+
+  // All entries overlapping [start, end), without clipping.
+  std::vector<MapEntry*> EntriesIn(VmOffset start, VmOffset end);
+
+  // Every entry, in address order (vm_regions).
+  std::vector<const MapEntry*> AllEntries() const;
+
+  size_t entry_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  // Splits the entry containing `addr` so that an entry boundary falls
+  // exactly at `addr` (no-op if already on a boundary).
+  void ClipAt(VmOffset addr);
+
+  VmOffset min_;
+  VmOffset max_;
+  VmSize page_size_;
+  std::map<VmOffset, MapEntry> entries_;  // keyed by entry.start
+};
+
+}  // namespace mach
+
+#endif  // SRC_VM_ADDRESS_MAP_H_

@@ -1,0 +1,540 @@
+// The fault handler (§5.5): validity and protection, page lookup through
+// the shadow chain, copy-on-write, data-manager interaction
+// (pager_data_request / pager_data_unlock) and hardware validation.
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/pager/protocol.h"
+#include "src/vm/vm_system.h"
+
+namespace mach {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}  // namespace
+
+Result<VmSystem::ResolvedEntry> VmSystem::ResolveEntry(TaskVm& task, VmOffset addr,
+                                                       VmProt access) {
+  ResolvedEntry out;
+  out.top = task.map->Lookup(addr);
+  if (out.top == nullptr) {
+    return KernReturn::kInvalidAddress;
+  }
+  if ((access & ~out.top->protection) != 0) {
+    return KernReturn::kProtectionFailure;
+  }
+  VmOffset local;
+  if (out.top->is_share) {
+    VmOffset share_addr = out.top->offset + (addr - out.top->start);
+    out.holder = out.top->share_map->Lookup(share_addr);
+    if (out.holder == nullptr) {
+      return KernReturn::kInvalidAddress;
+    }
+    local = share_addr - out.holder->start;
+  } else {
+    out.holder = out.top;
+    local = addr - out.top->start;
+  }
+  if (out.holder->object == nullptr) {
+    // Zero-filled-on-demand region: create the backing object lazily.
+    out.holder->object = CreateInternalObject(out.holder->size());
+    ObjectRef(out.holder->object);
+  }
+  if (out.holder->needs_copy && (access & kVmProtWrite) != 0) {
+    // Copy-on-write: shadow before the first write (§5.5).
+    MakeShadow(out.holder);
+  }
+  out.object_offset = out.holder->offset + local;
+  return out;
+}
+
+bool VmSystem::WaitForPage(KernelLock& lock) {
+  // Short slice; callers loop against their own deadline.
+  page_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  return true;
+}
+
+KernReturn VmSystem::RequestDataFromPager(KernelLock& lock,
+                                          const std::shared_ptr<VmObject>& object,
+                                          VmOffset offset, VmProt access) {
+  PagerDataRequestArgs args;
+  args.pager_request_port = object->request_send;
+  args.offset = offset;
+  args.length = page_size();
+  args.desired_access = access;
+  Message msg = EncodePagerDataRequest(args);
+  SendRight pager = object->pager;
+  // A manager whose queue stays full for the whole fault-wait budget is an
+  // unresponsive manager (§6.1): bound the send by the same policy timeout.
+  Timeout send_timeout = std::chrono::milliseconds(2000);
+  if (config_.pager_timeout.has_value() && *config_.pager_timeout < *send_timeout) {
+    send_timeout = config_.pager_timeout;
+  }
+  lock.unlock();
+  KernReturn kr = MsgSend(pager, std::move(msg), send_timeout);
+  lock.lock();
+  return kr;
+}
+
+KernReturn VmSystem::RequestUnlockFromPager(KernelLock& lock,
+                                            const std::shared_ptr<VmObject>& object,
+                                            VmPage* page, VmProt access) {
+  if (page->unlock_pending) {
+    return KernReturn::kSuccess;  // Already asked; just wait.
+  }
+  page->unlock_pending = true;
+  ++stats_.unlock_requests;
+  PagerDataUnlockArgs args;
+  args.pager_request_port = object->request_send;
+  args.offset = page->offset;
+  args.length = page_size();
+  args.desired_access = access;
+  Message msg = EncodePagerDataUnlock(args);
+  SendRight pager = object->pager;
+  lock.unlock();
+  KernReturn kr = MsgSend(pager, std::move(msg), std::chrono::milliseconds(2000));
+  lock.lock();
+  return kr;
+}
+
+Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
+                                                       std::shared_ptr<VmObject> first_object,
+                                                       VmOffset first_offset, VmProt fault_type) {
+  assert(first_offset % page_size() == 0);
+  // Deadline for data-manager interactions (§6.2.1 failure options).
+  SteadyClock::time_point deadline = SteadyClock::time_point::max();
+  if (config_.pager_timeout.has_value()) {
+    deadline = SteadyClock::now() + *config_.pager_timeout;
+  }
+
+  for (;;) {
+    std::shared_ptr<VmObject> object = first_object;
+    VmOffset offset = first_offset;
+    bool rescan = false;
+    while (!rescan) {
+      VmPage* page = PageLookup(object.get(), offset);
+      if (page != nullptr) {
+        if (page->busy) {
+          // In transit on behalf of another thread; wait and rescan.
+          WaitForPage(lock);
+          if (SteadyClock::now() >= deadline) {
+            return KernReturn::kMemoryFailure;
+          }
+          rescan = true;
+          continue;
+        }
+        if (page->error) {
+          return KernReturn::kMemoryError;
+        }
+        if (page->unavailable) {
+          // The data manager has no data for this page: copy from the
+          // shadow if there is one, else fill with zeros (footnote 6).
+          if (object->shadow != nullptr) {
+            page->busy = true;  // Pin our placeholder across the recursion.
+            Result<PageResolution> backing =
+                ResolvePage(lock, object->shadow, offset + object->shadow_offset, kVmProtRead);
+            page->busy = false;
+            page_cv_.notify_all();
+            if (!backing.ok()) {
+              page->error = true;
+              return backing.status();
+            }
+            phys_->CopyFrame(backing.value().page->frame, page->frame);
+          } else {
+            phys_->ZeroFrame(page->frame);
+            ++stats_.zero_fill_count;
+          }
+          page->unavailable = false;
+          page->absent = false;
+          page_cv_.notify_all();
+        }
+        if (object == first_object) {
+          // Found in the top object. Honour any data-manager lock.
+          if ((fault_type & page->page_lock) != 0 && object->pager.valid()) {
+            KernReturn kr = RequestUnlockFromPager(lock, object, page, fault_type);
+            if (!IsOk(kr) && kr != KernReturn::kSuccess) {
+              return KernReturn::kMemoryFailure;
+            }
+            WaitForPage(lock);
+            if (SteadyClock::now() >= deadline) {
+              return KernReturn::kMemoryFailure;
+            }
+            rescan = true;
+            continue;
+          }
+          return PageResolution{page, false};
+        }
+        // Found in a backing (shadow ancestor) object.
+        if ((fault_type & kVmProtWrite) != 0) {
+          // Copy-on-write: push a private copy into the top object.
+          Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
+          if (!np.ok()) {
+            return np.status();
+          }
+          // PageAlloc may have dropped the lock while reclaiming; the
+          // backing page could have moved. Re-validate.
+          VmPage* backing = PageLookup(object.get(), offset);
+          if (backing == nullptr || backing->busy) {
+            PageFree(np.value());
+            rescan = true;
+            continue;
+          }
+          phys_->CopyFrame(backing->frame, np.value()->frame);
+          np.value()->dirty = true;
+          ++stats_.cow_faults;
+          return PageResolution{np.value(), false};
+        }
+        return PageResolution{page, true};
+      }
+
+      // Not resident in `object`.
+      if (object->pager.valid()) {
+        // §6.2.2: data parked with the default pager takes precedence over
+        // asking the (possibly errant) manager.
+        auto parked = object->parked_offsets.find(offset);
+        if (parked != object->parked_offsets.end() && parking_ != nullptr) {
+          std::optional<std::vector<std::byte>> data = parking_->Unpark(object->id(), offset);
+          object->parked_offsets.erase(parked);
+          if (data.has_value()) {
+            Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+            if (!np.ok()) {
+              return np.status();
+            }
+            VmSize n = std::min<VmSize>(data->size(), page_size());
+            phys_->WriteFrame(np.value()->frame, 0, data->data(), n);
+            np.value()->dirty = true;  // Never reached its manager.
+            rescan = true;  // Rescan finds it resident.
+            continue;
+          }
+        }
+        if (object->pager.IsDead()) {
+          // Destruction of a memory object by the data manager aborts
+          // requests in progress (§6.2.1).
+          if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
+            Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+            if (!np.ok()) {
+              return np.status();
+            }
+            phys_->ZeroFrame(np.value()->frame);
+            ++stats_.zero_fill_count;
+            rescan = true;
+            continue;
+          }
+          return KernReturn::kMemoryFailure;
+        }
+        // Cache miss: allocate a placeholder and issue pager_data_request.
+        Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+        if (!np.ok()) {
+          return np.status();
+        }
+        VmPage* placeholder = np.value();
+        placeholder->busy = true;
+        placeholder->absent = true;
+        KernReturn kr = RequestDataFromPager(lock, object, offset, fault_type);
+        // The lock was dropped during the send: re-find our placeholder.
+        placeholder = PageLookup(object.get(), offset);
+        if (placeholder == nullptr || !placeholder->absent) {
+          rescan = true;  // Filled (or vanished) already.
+          continue;
+        }
+        if (!IsOk(kr)) {
+          PageFree(placeholder);
+          if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
+            // Treat an unreachable manager per the timeout policy.
+            Result<VmPage*> zp = PageAlloc(lock, object.get(), offset);
+            if (!zp.ok()) {
+              return zp.status();
+            }
+            phys_->ZeroFrame(zp.value()->frame);
+            ++stats_.zero_fill_count;
+            rescan = true;
+            continue;
+          }
+          return KernReturn::kMemoryFailure;
+        }
+        // Wait for pager_data_provided / pager_data_unavailable.
+        for (;;) {
+          placeholder = PageLookup(object.get(), offset);
+          if (placeholder == nullptr || !placeholder->absent || placeholder->unavailable ||
+              placeholder->error) {
+            break;
+          }
+          if (SteadyClock::now() >= deadline) {
+            // §6.2.1: a timeout may abort the memory request. Either fail
+            // the fault or substitute zero-filled memory.
+            if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
+              phys_->ZeroFrame(placeholder->frame);
+              placeholder->busy = false;
+              placeholder->absent = false;
+              placeholder->dirty = true;  // Not backed by the manager.
+              ++stats_.zero_fill_count;
+              page_cv_.notify_all();
+              break;
+            }
+            PageFree(placeholder);
+            page_cv_.notify_all();
+            return KernReturn::kMemoryFailure;
+          }
+          WaitForPage(lock);
+        }
+        rescan = true;
+        continue;
+      }
+      if (object->shadow != nullptr) {
+        offset += object->shadow_offset;
+        object = object->shadow;
+        continue;
+      }
+      // Nothing anywhere in the chain: zero-fill in the *top* object so the
+      // page is private to this mapping chain.
+      Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
+      if (!np.ok()) {
+        return np.status();
+      }
+      phys_->ZeroFrame(np.value()->frame);
+      ++stats_.zero_fill_count;
+      return PageResolution{np.value(), false};
+    }
+  }
+}
+
+KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
+  const VmOffset page_addr = TruncPage(addr, page_size());
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, access);
+    if (!re.ok()) {
+      return re.status();
+    }
+    std::shared_ptr<VmObject> object = re.value().holder->object;
+    const VmOffset object_offset = TruncPage(re.value().object_offset, page_size());
+
+    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, access);
+    if (!rp.ok()) {
+      return rp.status();
+    }
+    // The lock may have been dropped inside ResolvePage; re-validate that
+    // the map still leads to the same object before installing hardware
+    // state (Mach used map timestamps for the same purpose).
+    Result<ResolvedEntry> re2 = ResolveEntry(task, page_addr, access);
+    if (!re2.ok()) {
+      return re2.status();
+    }
+    if (re2.value().holder->object != object ||
+        TruncPage(re2.value().object_offset, page_size()) != object_offset) {
+      continue;  // The world changed; redo the fault.
+    }
+    VmPage* page = rp.value().page;
+    VmProt prot = re2.value().top->protection;
+    if (rp.value().from_backing || re2.value().holder->needs_copy) {
+      prot &= ~kVmProtWrite;  // Copy still pending.
+    }
+    prot &= ~page->page_lock;
+    if ((access & ~prot) != 0) {
+      continue;  // e.g. a new manager lock raced in; redo.
+    }
+    task.pmap->Enter(page_addr, page->frame, prot);
+    PageActivate(page);
+    ++stats_.faults;
+    return KernReturn::kSuccess;
+  }
+  return KernReturn::kFailure;
+}
+
+KernReturn VmSystem::UserAccess(TaskVm& task, VmOffset addr, void* buf, VmSize len,
+                                bool is_write) {
+  auto* bytes = static_cast<std::byte*>(buf);
+  const VmSize ps = page_size();
+  while (len > 0) {
+    VmOffset page_addr = TruncPage(addr, ps);
+    VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
+    // Hardware fast path; kernel fault on miss, then retry (bounded: the
+    // pageout daemon may steal the page between fault and access).
+    int tries = 0;
+    for (;;) {
+      Pmap::AccessResult ar = task.pmap->Access(addr, bytes, chunk, is_write);
+      if (ar.fault == Pmap::FaultKind::kNone) {
+        break;
+      }
+      KernReturn kr = Fault(task, ar.fault_addr, is_write ? kVmProtWrite : kVmProtRead);
+      if (!IsOk(kr)) {
+        return kr;
+      }
+      if (++tries > 100) {
+        return KernReturn::kFailure;
+      }
+    }
+    addr += chunk;
+    bytes += chunk;
+    len -= chunk;
+  }
+  return KernReturn::kSuccess;
+}
+
+KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize len) {
+  // vm_read: kernel-mediated, faults pages in via the object layer without
+  // touching the task's pmap.
+  auto* out = static_cast<std::byte*>(buf);
+  const VmSize ps = page_size();
+  while (len > 0) {
+    VmOffset page_addr = TruncPage(addr, ps);
+    VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
+    KernelLock lock(mu_);
+    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, kVmProtRead);
+    if (!re.ok()) {
+      return re.status();
+    }
+    std::shared_ptr<VmObject> object = re.value().holder->object;
+    VmOffset object_offset = TruncPage(re.value().object_offset, ps);
+    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, kVmProtRead);
+    if (!rp.ok()) {
+      return rp.status();
+    }
+    phys_->ReadFrame(rp.value().page->frame, addr - page_addr, out, chunk);
+    PageActivate(rp.value().page);
+    addr += chunk;
+    out += chunk;
+    len -= chunk;
+  }
+  return KernReturn::kSuccess;
+}
+
+KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, VmSize len) {
+  const auto* in = static_cast<const std::byte*>(buf);
+  const VmSize ps = page_size();
+  while (len > 0) {
+    VmOffset page_addr = TruncPage(addr, ps);
+    VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
+    KernelLock lock(mu_);
+    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, kVmProtWrite);
+    if (!re.ok()) {
+      return re.status();
+    }
+    std::shared_ptr<VmObject> object = re.value().holder->object;
+    VmOffset object_offset = TruncPage(re.value().object_offset, ps);
+    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, kVmProtWrite);
+    if (!rp.ok()) {
+      return rp.status();
+    }
+    VmPage* page = rp.value().page;
+    if ((kVmProtWrite & page->page_lock) != 0 && object->pager.valid()) {
+      // Honour manager locks on the kernel write path too.
+      KernReturn kr = RequestUnlockFromPager(lock, object, page, kVmProtWrite);
+      if (!IsOk(kr)) {
+        return KernReturn::kMemoryFailure;
+      }
+      WaitForPage(lock);
+      continue;  // Retry this chunk.
+    }
+    phys_->WriteFrame(page->frame, addr - page_addr, in, chunk);
+    page->dirty = true;
+    PageActivate(page);
+    addr += chunk;
+    in += chunk;
+    len -= chunk;
+  }
+  return KernReturn::kSuccess;
+}
+
+KernReturn VmSystem::Copy(TaskVm& task, VmOffset src, VmSize size, VmOffset dst) {
+  if (size == 0 || src % page_size() != 0 || dst % page_size() != 0 ||
+      size % page_size() != 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  Result<std::shared_ptr<VmMapCopy>> copy = CopyIn(task, src, size);
+  if (!copy.ok()) {
+    return copy.status();
+  }
+  KernelLock lock(mu_);
+  // vm_copy overwrites an existing destination region.
+  if (!task.map->RangeFullyCovered(dst, size)) {
+    return KernReturn::kInvalidAddress;
+  }
+  std::vector<MapEntry> removed = task.map->RemoveRange(dst, dst + size);
+  for (MapEntry& entry : removed) {
+    task.pmap->Remove(entry.start, entry.end);
+    ReleaseEntry(lock, std::move(entry));
+  }
+  VmOffset cursor = dst;
+  for (VmMapCopy::Segment& seg : copy.value()->segments()) {
+    MapEntry entry;
+    entry.start = cursor;
+    entry.end = cursor + seg.size;
+    if (seg.object != nullptr) {
+      entry.object = std::move(seg.object);
+      entry.offset = seg.offset;
+      entry.needs_copy = true;
+    }
+    cursor += seg.size;
+    task.map->Insert(std::move(entry));
+  }
+  copy.value()->segments().clear();
+  return KernReturn::kSuccess;
+}
+
+Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyFromBytes(const void* data, VmSize size) {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  const VmSize ps = page_size();
+  const VmSize rounded = RoundPage(size, ps);
+  KernelLock lock(mu_);
+  std::shared_ptr<VmObject> object = CreateInternalObject(rounded);
+  const auto* in = static_cast<const std::byte*>(data);
+  for (VmOffset off = 0; off < rounded; off += ps) {
+    Result<VmPage*> np = PageAlloc(lock, object.get(), off);
+    if (!np.ok()) {
+      object->pages.ForEach([&](VmPage* page) { PageFree(page); });
+      return np.status();
+    }
+    VmSize n = off < size ? std::min<VmSize>(ps, size - off) : 0;
+    if (n < ps) {
+      phys_->ZeroFrame(np.value()->frame);
+    }
+    if (n > 0) {
+      phys_->WriteFrame(np.value()->frame, 0, in + off, n);
+    }
+    np.value()->dirty = true;  // No backing store yet.
+    PageActivate(np.value());
+  }
+  auto copy = std::make_shared<VmMapCopy>(this, rounded);
+  VmMapCopy::Segment seg;
+  seg.object = object;
+  seg.offset = 0;
+  seg.size = rounded;
+  ObjectRef(object);
+  copy->segments().push_back(std::move(seg));
+  return copy;
+}
+
+Result<std::vector<std::byte>> VmSystem::CopyAsBytes(const std::shared_ptr<VmMapCopy>& copy) {
+  if (copy == nullptr || copy->system() != this) {
+    return KernReturn::kInvalidArgument;
+  }
+  std::vector<std::byte> out(copy->size());
+  VmSize cursor = 0;
+  KernelLock lock(mu_);
+  for (const VmMapCopy::Segment& seg : copy->segments()) {
+    if (seg.object == nullptr) {
+      cursor += seg.size;  // Zero region; `out` is zero-initialised.
+      continue;
+    }
+    for (VmOffset off = 0; off < seg.size; off += page_size()) {
+      Result<PageResolution> rp =
+          ResolvePage(lock, seg.object, TruncPage(seg.offset + off, page_size()), kVmProtRead);
+      if (!rp.ok()) {
+        return rp.status();
+      }
+      VmSize n = std::min<VmSize>(page_size(), seg.size - off);
+      phys_->ReadFrame(rp.value().page->frame, 0, out.data() + cursor + off, n);
+    }
+    cursor += seg.size;
+  }
+  return out;
+}
+
+}  // namespace mach

@@ -1,0 +1,19 @@
+#include "src/vm/vm_object.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace mach {
+
+uint64_t VmObject::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+VmObject::~VmObject() {
+  // All resident pages must have been released by TerminateObject (or the
+  // object never had any).
+  assert(pages.empty());
+}
+
+}  // namespace mach

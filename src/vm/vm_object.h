@@ -1,0 +1,93 @@
+// Virtual memory object structures (§5.2).
+//
+// A VmObject is the kernel-internal representation of a memory object: the
+// unit of backing storage that address map entries reference. It records the
+// ports used to communicate with the object's data manager, the resident
+// pages caching its contents, the shadow chain used for copy-on-write, and
+// the caching policy the manager selected via pager_cache.
+//
+// Lifetime: shared_ptr from map entries, map copies, shadow pointers and the
+// kernel's object registry. `map_refs` counts address-map references (the
+// paper's "number of address map references to the object"); when it drops
+// to zero the object is terminated or cached per can_persist (§3.4.1).
+//
+// All mutable fields are protected by the owning VmSystem's kernel lock.
+
+#ifndef SRC_VM_VM_OBJECT_H_
+#define SRC_VM_VM_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/vm_types.h"
+#include "src/ipc/port.h"
+#include "src/ipc/port_right.h"
+#include "src/vm/vm_page.h"
+
+namespace mach {
+
+class VmObject : public std::enable_shared_from_this<VmObject> {
+ public:
+  explicit VmObject(VmSize size) : size_(size) {}
+  ~VmObject();
+
+  VmObject(const VmObject&) = delete;
+  VmObject& operator=(const VmObject&) = delete;
+
+  // --- identity / pager association -----------------------------------
+
+  VmSize size() const { return size_; }
+  void set_size(VmSize size) { size_ = size; }
+
+  // The memory object port (send right held by the kernel). Null for
+  // internal objects that have not yet been handed to the default pager.
+  SendRight pager;
+
+  // The pager request port: kernel holds the receive right (serviced by the
+  // kernel's pager service thread) and passes send rights to the manager.
+  ReceiveRight request_receive;
+  SendRight request_send;
+
+  // The pager name port (identifies the object in vm_regions output).
+  ReceiveRight name_receive;
+  SendRight name_send;
+
+  bool internal = false;           // Created by the kernel (default-pager backed).
+  bool pager_initialized = false;  // pager_init (or pager_create) sent.
+  bool can_persist = false;        // pager_cache(true): may cache with no refs.
+  bool cached = false;             // Currently held only by the object cache.
+  bool alive = true;               // Set false once terminated.
+
+  // Copy-on-write shadow chain (§5.5): this object's missing pages are
+  // copied from `shadow` at (offset + shadow_offset).
+  std::shared_ptr<VmObject> shadow;
+  VmOffset shadow_offset = 0;
+
+  // Offsets that the kernel parked with the default pager because this
+  // (external) object's manager failed to accept a pager_data_write in time
+  // (§6.2.2). Consulted by the fault handler before asking the manager.
+  // Maps offset -> true. Cleared when the data is re-fetched.
+  std::unordered_map<VmOffset, bool> parked_offsets;
+
+  // Number of address-map (and map-copy) references.
+  uint32_t map_refs = 0;
+
+  // Resident pages of this object.
+  ObjectPageList pages;
+  uint32_t resident_count = 0;
+
+  // Monotonic id used as the default pager's backing-store key.
+  uint64_t id() const { return id_; }
+
+ private:
+  static uint64_t NextId();
+
+  const uint64_t id_ = NextId();
+  VmSize size_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_VM_VM_OBJECT_H_

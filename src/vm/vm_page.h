@@ -1,0 +1,82 @@
+// Resident page structures (§5.3) and pageout queues (§5.4).
+//
+// Each VmPage corresponds to a page of physical memory holding cached data
+// for some (memory object, offset). Pages live on:
+//   * their object's page list        (object_link)
+//   * one of the pageout queues       (queue_link): active / inactive
+// and are findable through the virtual-to-physical hash table (§5.3),
+// keyed by (object, offset).
+//
+// All fields are protected by the owning VmSystem's kernel lock, except the
+// frame contents and hardware bits which live in hw::PhysicalMemory.
+
+#ifndef SRC_VM_VM_PAGE_H_
+#define SRC_VM_VM_PAGE_H_
+
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/vm_types.h"
+
+namespace mach {
+
+class VmObject;
+
+struct VmPage {
+  // Identity: which object/offset this physical page caches.
+  VmObject* object = nullptr;
+  VmOffset offset = 0;
+
+  // The physical frame backing this page.
+  uint32_t frame = UINT32_MAX;
+
+  // Page state (§5.3 and Mach's vm_page):
+  bool busy = false;    // In transit (pagein/pageout); waiters block on the
+                        // kernel page condition variable.
+  bool absent = false;  // Data has been requested but has not arrived.
+  bool error = false;   // The data manager reported failure for this page.
+  bool unavailable = false;  // pager_data_unavailable arrived: the faulting
+                             // thread must zero-fill or copy from the shadow
+                             // (footnote 6 of the paper).
+  bool dirty = false;   // Modified since last cleaned (kernel's view; the
+                        // hardware modify bit is OR'd in when sampled).
+  bool unlock_pending = false;  // A pager_data_unlock has been sent and not
+                                // yet answered.
+
+  // Access *prohibited* by the data manager (pager_data_lock /
+  // the lock_value of pager_data_provided). kVmProtNone = unrestricted.
+  VmProt page_lock = kVmProtNone;
+
+  enum class Queue : uint8_t { kNone, kActive, kInactive };
+  Queue queue = Queue::kNone;
+
+  IntrusiveListNode object_link;  // VmObject::pages
+  IntrusiveListNode queue_link;   // VmSystem active/inactive queue
+};
+
+using PageQueue = IntrusiveList<VmPage, &VmPage::queue_link>;
+using ObjectPageList = IntrusiveList<VmPage, &VmPage::object_link>;
+
+// vm_statistics (Table 3-3): systemwide VM event counters.
+struct VmStatistics {
+  VmSize page_size = 0;
+  uint64_t free_count = 0;
+  uint64_t active_count = 0;
+  uint64_t inactive_count = 0;
+  uint64_t faults = 0;          // Total map faults handled.
+  uint64_t zero_fill_count = 0; // Pages zero-filled on demand.
+  uint64_t cow_faults = 0;      // Copy-on-write page copies.
+  uint64_t pageins = 0;         // pager_data_provided pages accepted.
+  uint64_t pageouts = 0;        // pager_data_write pages sent.
+  uint64_t reactivations = 0;   // Inactive pages saved by their ref bit.
+  uint64_t lookups = 0;         // Object/offset hash probes.
+  uint64_t hits = 0;            // Probes that found a resident page.
+  uint64_t unlock_requests = 0; // pager_data_unlock calls issued.
+  uint64_t parked_pageouts = 0; // Dirty pages diverted to the default pager
+                                // because their manager was unresponsive
+                                // (§6.2.2 protection path).
+};
+
+}  // namespace mach
+
+#endif  // SRC_VM_VM_PAGE_H_

@@ -1,0 +1,400 @@
+// Page replacement (§5.4) and the kernel ends of the data manager → kernel
+// interface (Table 3-6).
+//
+// The pageout daemon keeps a pool of free frames by aging pages from the
+// active queue through the inactive queue (second-chance on the hardware
+// reference bit) and writing dirty victims back to their data managers with
+// pager_data_write. All sends on this path are non-blocking: a manager that
+// cannot accept its dirty data promptly has the data *parked* with the
+// trusted default pager instead (§6.2.2), so an errant manager can never
+// wedge the kernel's memory pool.
+
+#include <cassert>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/pager/protocol.h"
+#include "src/vm/vm_system.h"
+
+namespace mach {
+
+void VmSystem::StartPageoutDaemon() {
+  KernelLock lock(mu_);
+  if (pageout_running_) {
+    return;
+  }
+  pageout_running_ = true;
+  shutting_down_ = false;
+  pageout_thread_ = std::thread([this] { PageoutDaemonMain(); });
+}
+
+void VmSystem::StopPageoutDaemon() {
+  {
+    KernelLock lock(mu_);
+    if (!pageout_running_) {
+      return;
+    }
+    shutting_down_ = true;
+    pageout_wake_.notify_all();
+  }
+  pageout_thread_.join();
+  KernelLock lock(mu_);
+  pageout_running_ = false;
+}
+
+void VmSystem::PageoutDaemonMain() {
+  KernelLock lock(mu_);
+  while (!shutting_down_) {
+    pageout_wake_.wait_for(lock, config_.pageout_interval);
+    if (shutting_down_) {
+      break;
+    }
+    DrainDeferredReleases(lock);
+    // Age pages: keep roughly a third of the in-use pool on the inactive
+    // queue so reference information accumulates.
+    uint32_t inactive_target = (active_count_ + inactive_count_) / 3;
+    while (inactive_count_ < inactive_target && !active_queue_.empty()) {
+      PageDeactivate(active_queue_.Front());
+    }
+    // Replenish free memory.
+    uint32_t free = phys_->free_frames();
+    if (free < free_target_) {
+      Reclaim(lock, free_target_ - free);
+      free_cv_.notify_all();
+    }
+  }
+}
+
+uint32_t VmSystem::Reclaim(KernelLock& lock, uint32_t want) {
+  uint32_t freed = 0;
+  // Bounded scan: each iteration either frees, reactivates, or deactivates
+  // a page; give every resident page at most one look.
+  uint32_t guard = active_count_ + inactive_count_ + 8;
+  while (freed < want && guard-- > 0) {
+    if (inactive_queue_.empty()) {
+      if (active_queue_.empty()) {
+        break;
+      }
+      PageDeactivate(active_queue_.Front());
+      continue;
+    }
+    VmPage* page = inactive_queue_.Front();
+    if (page->busy) {
+      // Should not happen (busy pages are unqueued), but be safe.
+      PageRemoveFromQueue(page);
+      continue;
+    }
+    if (phys_->IsReferenced(page->frame)) {
+      // Second chance: touched while inactive.
+      phys_->ClearReference(page->frame);
+      PageActivate(page);
+      ++stats_.reactivations;
+      continue;
+    }
+    PageRemoveFromQueue(page);
+    if (PageoutPage(lock, page)) {
+      ++freed;
+    }
+  }
+  if (freed > 0) {
+    free_cv_.notify_all();
+  }
+  return freed;
+}
+
+bool VmSystem::EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
+  if (object->pager.valid()) {
+    return true;
+  }
+  if (!default_pager_service_.valid() || default_pager_service_.IsDead()) {
+    return false;
+  }
+  // The kernel itself creates the memory object port and passes its receive
+  // right to the default pager in a pager_create call (§3.4.1).
+  PortPair obj_port = PortAllocate("kernel-object");
+  // Pageout sends are non-blocking; a roomy queue keeps bursts of dirty
+  // pages flowing to the (trusted, always-draining) default pager.
+  obj_port.receive.port()->SetBacklog(1024);
+  PortPair request = PortAllocate("pager-request");
+  PortPair name = PortAllocate("pager-name");
+  PagerCreateArgs args;
+  args.new_memory_object = std::move(obj_port.receive);
+  args.new_request_port = request.send;
+  args.new_name_port = name.send;
+  args.page_size = page_size();
+  KernReturn kr = MsgSend(default_pager_service_, EncodePagerCreate(std::move(args)), kPoll);
+  if (!IsOk(kr)) {
+    // The (trusted) default pager could not take the message right now; the
+    // receive right died with the message, so start fresh next time.
+    return false;
+  }
+  object->pager = obj_port.send;
+  object->request_receive = std::move(request.receive);
+  object->request_send = request.send;
+  object->name_receive = std::move(name.receive);
+  object->name_send = name.send;
+  object->pager_initialized = true;
+  objects_by_pager_.emplace(object->pager.id(), object);
+  objects_by_request_.emplace(object->request_send.id(), object);
+  pager_requests_->Add(object->request_receive);
+  return true;
+}
+
+bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
+  VmObject* object = page->object;
+  // Invalidate all hardware mappings first, then sample the modify bit: no
+  // access can slip in after the sample.
+  Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+  bool dirty = page->dirty || phys_->IsModified(page->frame);
+  if (!dirty) {
+    // Clean data: the manager (or a zero fill) can reproduce it.
+    PageFree(page);
+    return true;
+  }
+  // Dirty: the data must reach backing storage (pager_data_write).
+  if (!object->pager.valid()) {
+    // Kernel-created object touched for the first time: hand it to the
+    // default pager via pager_create.
+    if (!EnsureInternalPager(lock, object->shared_from_this())) {
+      PageActivate(page);  // Try again later.
+      return false;
+    }
+  }
+  std::vector<std::byte> data(page_size());
+  phys_->ReadFrame(page->frame, 0, data.data(), page_size());
+  PagerDataWriteArgs args;
+  args.offset = page->offset;
+  args.data = data;  // Copy: we may still need it for the parking fallback.
+  KernReturn kr = MsgSend(object->pager, EncodePagerDataWrite(args), kPoll);
+  if (IsOk(kr)) {
+    ++stats_.pageouts;
+    PageFree(page);
+    return true;
+  }
+  // The manager did not accept the data (queue full / port dead).
+  if (config_.errant_manager_protection && parking_ != nullptr) {
+    // §6.2.2: divert to the default pager so pageout is never starved.
+    parking_->Park(object->id(), page->offset, std::move(data));
+    object->parked_offsets[page->offset] = true;
+    ++stats_.parked_pageouts;
+    PageFree(page);
+    return true;
+  }
+  // Unprotected mode (ablation): give up on this page for now.
+  PageActivate(page);
+  return false;
+}
+
+// --- data manager -> kernel calls (Table 3-6) -------------------------------
+
+void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
+  KernelLock lock(mu_);
+  auto it = objects_by_request_.find(request_port_id);
+  if (it == objects_by_request_.end()) {
+    MACH_LOG(kDebug) << "pager message for unknown request port " << request_port_id;
+    return;
+  }
+  std::shared_ptr<VmObject> object = it->second;
+  switch (msg.id()) {
+    case kMsgPagerDataProvided: {
+      Result<PagerDataProvidedArgs> args = DecodePagerDataProvided(msg);
+      if (args.ok()) {
+        HandleDataProvided(lock, object, args.value().offset, args.value().data,
+                           args.value().lock_value);
+      }
+      break;
+    }
+    case kMsgPagerDataUnavailable: {
+      Result<PagerDataUnavailableArgs> args = DecodePagerDataUnavailable(msg);
+      if (args.ok()) {
+        HandleDataUnavailable(lock, object, args.value().offset, args.value().size);
+      }
+      break;
+    }
+    case kMsgPagerDataLock: {
+      Result<PagerDataLockArgs> args = DecodePagerDataLock(msg);
+      if (args.ok()) {
+        HandleDataLock(lock, object, args.value().offset, args.value().length,
+                       args.value().lock_value);
+      }
+      break;
+    }
+    case kMsgPagerFlushRequest: {
+      Result<PagerRangeArgs> args = DecodePagerFlushRequest(msg);
+      if (args.ok()) {
+        HandleFlush(lock, object, args.value().offset, args.value().length);
+      }
+      break;
+    }
+    case kMsgPagerCleanRequest: {
+      Result<PagerRangeArgs> args = DecodePagerCleanRequest(msg);
+      if (args.ok()) {
+        HandleClean(lock, object, args.value().offset, args.value().length);
+      }
+      break;
+    }
+    case kMsgPagerCache: {
+      Result<PagerCacheArgs> args = DecodePagerCache(msg);
+      if (args.ok()) {
+        HandleCache(lock, object, args.value().may_cache);
+      }
+      break;
+    }
+    default:
+      MACH_LOG(kWarn) << "unknown pager message id " << msg.id();
+      break;
+  }
+}
+
+void VmSystem::HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                                  VmOffset offset, const std::vector<std::byte>& data,
+                                  VmProt lock_value) {
+  const VmSize ps = page_size();
+  if (offset % ps != 0) {
+    return;  // Alignment violation: discard.
+  }
+  // Only integral multiples of the page size are accepted; a trailing
+  // partial page is discarded (§3.4.1).
+  const VmSize full = (data.size() / ps) * ps;
+  for (VmOffset delta = 0; delta < full; delta += ps) {
+    VmOffset off = offset + delta;
+    VmPage* page = PageLookup(object.get(), off);
+    if (page != nullptr) {
+      if (page->busy && page->absent) {
+        phys_->WriteFrame(page->frame, 0, data.data() + delta, ps);
+        phys_->ClearModify(page->frame);
+        phys_->ClearReference(page->frame);
+        page->page_lock = lock_value;
+        page->busy = false;
+        page->absent = false;
+        page->unavailable = false;
+        page->dirty = false;
+        PageActivate(page);
+        ++stats_.pageins;
+      }
+      // Already-resident data: duplicate provision is ignored.
+      continue;
+    }
+    // Unsolicited data (pre-paging by an advanced manager). Accept it only
+    // while memory is plentiful — a flooding manager must not drain the
+    // pool (§6.1).
+    if (phys_->free_frames() <= free_target_) {
+      continue;
+    }
+    Result<VmPage*> np = PageAlloc(lock, object.get(), off);
+    if (!np.ok()) {
+      continue;
+    }
+    phys_->WriteFrame(np.value()->frame, 0, data.data() + delta, ps);
+    phys_->ClearModify(np.value()->frame);
+    phys_->ClearReference(np.value()->frame);
+    np.value()->page_lock = lock_value;
+    PageActivate(np.value());
+    ++stats_.pageins;
+  }
+  page_cv_.notify_all();
+}
+
+void VmSystem::HandleDataUnavailable(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                                     VmOffset offset, VmSize size) {
+  const VmSize ps = page_size();
+  for (VmOffset off = TruncPage(offset, ps); off < offset + size; off += ps) {
+    VmPage* page = PageLookup(object.get(), off);
+    if (page != nullptr && page->busy && page->absent) {
+      // The faulting thread resolves the substitution (zero fill or shadow
+      // copy) in its own context.
+      page->unavailable = true;
+      page->busy = false;
+    }
+  }
+  page_cv_.notify_all();
+}
+
+void VmSystem::HandleDataLock(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                              VmOffset offset, VmSize length, VmProt lock_value) {
+  const VmSize ps = page_size();
+  for (VmOffset off = TruncPage(offset, ps); off < offset + length; off += ps) {
+    VmPage* page = PageLookup(object.get(), off);
+    if (page == nullptr) {
+      continue;
+    }
+    page->page_lock = lock_value;
+    page->unlock_pending = false;
+    if (!page->busy) {
+      // Lower existing hardware mappings to the newly permitted access.
+      Pmap::PageProtect(phys_, page->frame, kVmProtAll & ~lock_value);
+    }
+  }
+  page_cv_.notify_all();
+}
+
+void VmSystem::HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                           VmOffset offset, VmSize length) {
+  const VmSize ps = page_size();
+  std::vector<VmPage*> victims;
+  for (VmPage* page : object->pages) {
+    if (page->offset >= TruncPage(offset, ps) && page->offset < offset + length &&
+        !page->busy) {
+      victims.push_back(page);
+    }
+  }
+  for (VmPage* page : victims) {
+    Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+    bool dirty = page->dirty || phys_->IsModified(page->frame);
+    if (dirty && object->pager.valid()) {
+      // Invalidation writes back modifications first (§3.4.1).
+      PagerDataWriteArgs args;
+      args.offset = page->offset;
+      args.data.resize(ps);
+      phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
+      if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
+        ++stats_.pageouts;
+      } else if (config_.errant_manager_protection && parking_ != nullptr) {
+        parking_->Park(object->id(), page->offset, std::move(args.data));
+        object->parked_offsets[page->offset] = true;
+        ++stats_.parked_pageouts;
+      }
+    }
+    PageFree(page);
+  }
+  page_cv_.notify_all();
+}
+
+void VmSystem::HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                           VmOffset offset, VmSize length) {
+  const VmSize ps = page_size();
+  for (VmPage* page : object->pages) {
+    if (page->offset < TruncPage(offset, ps) || page->offset >= offset + length ||
+        page->busy) {
+      continue;
+    }
+    // Write-protect before sampling so no modification slips past the copy.
+    Pmap::PageProtect(phys_, page->frame, kVmProtRead | kVmProtExecute);
+    bool dirty = page->dirty || phys_->IsModified(page->frame);
+    if (!dirty || !object->pager.valid()) {
+      continue;
+    }
+    PagerDataWriteArgs args;
+    args.offset = page->offset;
+    args.data.resize(ps);
+    phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
+    if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
+      page->dirty = false;
+      phys_->ClearModify(page->frame);
+      ++stats_.pageouts;
+    }
+    // On failure the page simply stays dirty; pageout retries later.
+  }
+  page_cv_.notify_all();
+}
+
+void VmSystem::HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                           bool may_cache) {
+  object->can_persist = may_cache;
+  if (!may_cache && object->cached) {
+    // Permission rescinded after the object went idle: terminate now.
+    TerminateObject(lock, object);
+  }
+}
+
+}  // namespace mach

@@ -1,0 +1,685 @@
+// VmSystem: construction, resident page management, object lifecycle, and
+// the Table 3-3 / 3-4 operations. The fault handler lives in vm_fault.cc;
+// the pageout daemon and the manager->kernel handlers in vm_pageout.cc.
+
+#include "src/vm/vm_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/pager/protocol.h"
+
+namespace mach {
+
+VmSystem::VmSystem(PhysicalMemory* phys, Config config) : phys_(phys), config_(config) {
+  uint32_t frames = phys_->frame_count();
+  free_target_ = config.free_target != 0 ? config.free_target : std::max<uint32_t>(frames / 8, 4);
+  reserved_ = config.reserved != 0 ? config.reserved : std::max<uint32_t>(frames / 64, 2);
+}
+
+VmSystem::~VmSystem() {
+  StopPageoutDaemon();
+  // Free any pages still resident (objects referenced by leaked handles).
+  KernelLock lock(mu_);
+  std::vector<VmPage*> pages;
+  for (auto& [key, page] : page_hash_) {
+    pages.push_back(page);
+  }
+  for (VmPage* page : pages) {
+    PageFree(page);
+  }
+}
+
+void VmSystem::SetDefaultPager(SendRight service_port, TrustedParkingStore* parking) {
+  KernelLock lock(mu_);
+  default_pager_service_ = std::move(service_port);
+  parking_ = parking;
+}
+
+TaskVm VmSystem::CreateTaskVm() {
+  TaskVm vm;
+  // A full 32-bit address space starting above page 0 (so that address 0
+  // stays invalid, catching null dereferences as real faults).
+  vm.map = std::make_shared<AddressMap>(page_size(), uint64_t{1} << 32, page_size());
+  vm.pmap = std::make_unique<Pmap>(phys_);
+  return vm;
+}
+
+// --- resident page management ---------------------------------------------
+
+VmPage* VmSystem::PageLookup(VmObject* object, VmOffset offset) {
+  ++stats_.lookups;
+  auto it = page_hash_.find(PageKey{object, offset});
+  if (it == page_hash_.end()) {
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+Result<VmPage*> VmSystem::PageAlloc(KernelLock& lock, VmObject* object, VmOffset offset) {
+  assert(offset % page_size() == 0);
+  std::optional<uint32_t> frame;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (phys_->free_frames() > reserved_) {
+      frame = phys_->AllocFrame();
+      if (frame.has_value()) {
+        break;
+      }
+    }
+    // Below the reserved floor (§6.2.3): reclaim inline, then retry. The
+    // background daemon helps too.
+    uint32_t freed = Reclaim(lock, free_target_);
+    pageout_wake_.notify_all();
+    if (freed == 0) {
+      // Nothing reclaimable right now (pages busy / queues empty): wait for
+      // the daemon or a manager to release something.
+      free_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+  if (!frame.has_value()) {
+    frame = phys_->AllocFrame();  // Last chance, dipping into the reserve.
+    if (!frame.has_value()) {
+      return KernReturn::kResourceShortage;
+    }
+  }
+  auto* page = new VmPage();
+  page->object = object;
+  page->offset = offset;
+  page->frame = *frame;
+  page_hash_.emplace(PageKey{object, offset}, page);
+  object->pages.PushBack(page);
+  ++object->resident_count;
+  return page;
+}
+
+void VmSystem::PageFree(VmPage* page) {
+  Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+  PageRemoveFromQueue(page);
+  page_hash_.erase(PageKey{page->object, page->offset});
+  page->object->pages.Remove(page);
+  --page->object->resident_count;
+  phys_->FreeFrame(page->frame);
+  delete page;
+  free_cv_.notify_all();
+}
+
+void VmSystem::PageActivate(VmPage* page) {
+  if (page->queue == VmPage::Queue::kActive) {
+    return;
+  }
+  PageRemoveFromQueue(page);
+  page->queue = VmPage::Queue::kActive;
+  active_queue_.PushBack(page);
+  ++active_count_;
+}
+
+void VmSystem::PageDeactivate(VmPage* page) {
+  if (page->queue == VmPage::Queue::kInactive) {
+    return;
+  }
+  PageRemoveFromQueue(page);
+  page->queue = VmPage::Queue::kInactive;
+  inactive_queue_.PushBack(page);
+  ++inactive_count_;
+  // Clear the hardware reference bit so a later scan can tell whether the
+  // page was touched while inactive (second chance).
+  phys_->ClearReference(page->frame);
+}
+
+void VmSystem::PageRemoveFromQueue(VmPage* page) {
+  switch (page->queue) {
+    case VmPage::Queue::kActive:
+      active_queue_.Remove(page);
+      --active_count_;
+      break;
+    case VmPage::Queue::kInactive:
+      inactive_queue_.Remove(page);
+      --inactive_count_;
+      break;
+    case VmPage::Queue::kNone:
+      break;
+  }
+  page->queue = VmPage::Queue::kNone;
+}
+
+void VmSystem::PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset) {
+  page_hash_.erase(PageKey{page->object, page->offset});
+  page->object->pages.Remove(page);
+  --page->object->resident_count;
+  page->object = new_object;
+  page->offset = new_offset;
+  page_hash_.emplace(PageKey{new_object, new_offset}, page);
+  new_object->pages.PushBack(page);
+  ++new_object->resident_count;
+}
+
+// --- object lifecycle -------------------------------------------------------
+
+std::shared_ptr<VmObject> VmSystem::CreateInternalObject(VmSize size) {
+  auto object = std::make_shared<VmObject>(size);
+  object->internal = true;
+  return object;
+}
+
+void VmSystem::MakeShadow(MapEntry* entry) {
+  std::shared_ptr<VmObject> shadow = CreateInternalObject(entry->size());
+  shadow->shadow = entry->object;
+  shadow->shadow_offset = entry->offset;
+  // The backing object's reference moves from the entry to the shadow
+  // pointer: net reference count unchanged.
+  entry->object = shadow;
+  entry->offset = 0;
+  entry->needs_copy = false;
+  ObjectRef(entry->object);
+}
+
+void VmSystem::ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object) {
+  if (object == nullptr) {
+    return;
+  }
+  assert(object->map_refs > 0);
+  if (--object->map_refs > 0) {
+    return;
+  }
+  // No address-map references remain (§3.4.1 termination / caching).
+  if (object->can_persist && object->pager.valid() && !object->internal) {
+    object->cached = true;
+    return;
+  }
+  TerminateObject(lock, object);
+}
+
+void VmSystem::TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
+  if (!object->alive) {
+    return;
+  }
+  object->alive = false;
+  object->cached = false;
+  // "When no references to a memory object remain, and all modifications
+  // have been written back to the memory object, the kernel deallocates its
+  // rights" (§3.4.1): push dirty pages to the data manager first.
+  object->pages.ForEach([&](VmPage* page) {
+    if (object->pager.valid() && !object->pager.IsDead() && !page->busy) {
+      Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+      if (page->dirty || phys_->IsModified(page->frame)) {
+        PagerDataWriteArgs args;
+        args.offset = page->offset;
+        args.data.resize(page_size());
+        phys_->ReadFrame(page->frame, 0, args.data.data(), page_size());
+        if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
+          ++stats_.pageouts;
+        } else if (config_.errant_manager_protection && parking_ != nullptr) {
+          parking_->Park(object->id(), page->offset, std::move(args.data));
+          ++stats_.parked_pageouts;
+        }
+      }
+    }
+    PageFree(page);
+  });
+  // Deallocate the kernel's rights to the three ports; the data manager
+  // receives death notifications for the request and name ports and can
+  // perform its shutdown (§3.4.1).
+  if (object->pager.valid()) {
+    objects_by_pager_.erase(object->pager.id());
+  }
+  if (object->request_receive.valid()) {
+    objects_by_request_.erase(object->request_receive.id());
+    pager_requests_->Remove(object->request_receive);
+  }
+  object->pager = SendRight();
+  object->request_send = SendRight();
+  object->name_send = SendRight();
+  object->request_receive.Destroy();
+  object->name_receive.Destroy();
+  // Drop the shadow reference.
+  if (object->shadow != nullptr) {
+    std::shared_ptr<VmObject> shadow = std::move(object->shadow);
+    object->shadow = nullptr;
+    ObjectRelease(lock, std::move(shadow));
+  }
+}
+
+void VmSystem::ReleaseEntry(KernelLock& lock, MapEntry&& entry) {
+  if (entry.is_share) {
+    std::shared_ptr<AddressMap> share = std::move(entry.share_map);
+    if (share != nullptr && share.use_count() == 1) {
+      // Last top-level reference to the sharing map: release its objects.
+      std::vector<MapEntry> subs = share->RemoveRange(share->min_address(), share->max_address());
+      for (MapEntry& sub : subs) {
+        ReleaseEntry(lock, std::move(sub));
+      }
+    }
+    return;
+  }
+  if (entry.object != nullptr) {
+    ObjectRelease(lock, std::move(entry.object));
+  }
+}
+
+void VmSystem::WriteProtectResident(VmObject* object, VmOffset offset, VmSize size) {
+  for (VmPage* page : object->pages) {
+    if (page->offset >= offset && page->offset < offset + size) {
+      Pmap::PageProtect(phys_, page->frame, kVmProtRead | kVmProtExecute);
+    }
+  }
+}
+
+void VmSystem::DrainDeferredReleases(KernelLock& lock) {
+  std::vector<std::shared_ptr<VmObject>> pending;
+  {
+    std::lock_guard<std::mutex> g(deferred_mu_);
+    pending.swap(deferred_releases_);
+  }
+  for (auto& object : pending) {
+    ObjectRelease(lock, std::move(object));
+  }
+}
+
+size_t VmSystem::object_count() const {
+  KernelLock lock(mu_);
+  return objects_by_pager_.size();
+}
+
+std::shared_ptr<VmObject> VmSystem::ObjectForPager(const SendRight& pager) const {
+  KernelLock lock(mu_);
+  auto it = objects_by_pager_.find(pager.id());
+  return it == objects_by_pager_.end() ? nullptr : it->second;
+}
+
+void VmSystem::TrimObjectCache() {
+  KernelLock lock(mu_);
+  std::vector<std::shared_ptr<VmObject>> victims;
+  for (auto& [id, object] : objects_by_pager_) {
+    if (object->cached && object->resident_count == 0) {
+      victims.push_back(object);
+    }
+  }
+  for (auto& object : victims) {
+    TerminateObject(lock, object);
+  }
+}
+
+// --- Table 3-3 operations ---------------------------------------------------
+
+Result<VmOffset> VmSystem::Allocate(TaskVm& task, VmOffset addr, VmSize size, bool anywhere) {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  size = RoundPage(size, page_size());
+  if (anywhere) {
+    Result<VmOffset> found = task.map->FindSpace(size, addr);
+    if (!found.ok()) {
+      return found.status();
+    }
+    addr = found.value();
+  } else {
+    addr = TruncPage(addr, page_size());
+    if (!task.map->RangeFree(addr, size)) {
+      return KernReturn::kNoSpace;
+    }
+  }
+  MapEntry entry;
+  entry.start = addr;
+  entry.end = addr + size;
+  // Zero-filled on demand: the backing object is created at first fault.
+  KernReturn kr = task.map->Insert(std::move(entry));
+  if (!IsOk(kr)) {
+    return kr;
+  }
+  return addr;
+}
+
+Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize size,
+                                             bool anywhere, SendRight memory_object,
+                                             VmOffset offset) {
+  if (size == 0 || !memory_object.valid()) {
+    return KernReturn::kInvalidArgument;
+  }
+  if (offset % page_size() != 0) {
+    // The paper permits unaligned offsets with alignment-consistency
+    // caveats; this implementation requires page alignment (see DESIGN.md).
+    return KernReturn::kInvalidArgument;
+  }
+  bool need_init = false;
+  std::shared_ptr<VmObject> object;
+  VmOffset result_addr = 0;
+  {
+    KernelLock lock(mu_);
+    DrainDeferredReleases(lock);
+    size = RoundPage(size, page_size());
+    auto it = objects_by_pager_.find(memory_object.id());
+    if (it != objects_by_pager_.end()) {
+      object = it->second;
+      object->cached = false;  // Revived from the object cache.
+      object->set_size(std::max(object->size(), offset + size));
+    } else {
+      object = std::make_shared<VmObject>(offset + size);
+      object->internal = false;
+      object->pager = memory_object;
+      PortPair request = PortAllocate("pager-request");
+      PortPair name = PortAllocate("pager-name");
+      object->request_receive = std::move(request.receive);
+      object->request_send = request.send;
+      object->name_receive = std::move(name.receive);
+      object->name_send = name.send;
+      object->pager_initialized = true;
+      objects_by_pager_.emplace(memory_object.id(), object);
+      objects_by_request_.emplace(object->request_send.id(), object);
+      pager_requests_->Add(object->request_receive);
+      need_init = true;
+    }
+    if (anywhere) {
+      Result<VmOffset> found = task.map->FindSpace(size, addr);
+      if (!found.ok()) {
+        return found.status();
+      }
+      addr = found.value();
+    } else {
+      addr = TruncPage(addr, page_size());
+      if (!task.map->RangeFree(addr, size)) {
+        return KernReturn::kNoSpace;
+      }
+    }
+    MapEntry entry;
+    entry.start = addr;
+    entry.end = addr + size;
+    entry.object = object;
+    entry.offset = offset;
+    KernReturn kr = task.map->Insert(std::move(entry));
+    if (!IsOk(kr)) {
+      return kr;
+    }
+    ObjectRef(object);
+    result_addr = addr;
+  }
+  if (need_init) {
+    // pager_init is performed before the vm_allocate_with_pager call
+    // completes (§4.2). Asynchronous: no reply is awaited.
+    PagerInitArgs init;
+    init.pager_request_port = object->request_send;
+    init.pager_name_port = object->name_send;
+    init.page_size = page_size();
+    MsgSend(object->pager, EncodePagerInit(init), std::chrono::milliseconds(1000));
+  }
+  return result_addr;
+}
+
+KernReturn VmSystem::Deallocate(TaskVm& task, VmOffset addr, VmSize size) {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  VmOffset start = TruncPage(addr, page_size());
+  VmOffset end = RoundPage(addr + size, page_size());
+  std::vector<MapEntry> removed = task.map->RemoveRange(start, end);
+  if (removed.empty()) {
+    return KernReturn::kSuccess;  // Deallocating nothing is permitted.
+  }
+  for (MapEntry& entry : removed) {
+    task.pmap->Remove(entry.start, entry.end);
+    ReleaseEntry(lock, std::move(entry));
+  }
+  return KernReturn::kSuccess;
+}
+
+KernReturn VmSystem::Protect(TaskVm& task, VmOffset addr, VmSize size, bool set_max,
+                             VmProt prot) {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  VmOffset start = TruncPage(addr, page_size());
+  VmOffset end = RoundPage(addr + size, page_size());
+  if (!task.map->RangeFullyCovered(start, end - start)) {
+    return KernReturn::kInvalidAddress;
+  }
+  for (MapEntry* entry : task.map->ClipRange(start, end)) {
+    if (set_max) {
+      entry->max_protection &= prot;
+      entry->protection &= entry->max_protection;
+    } else {
+      if ((prot & ~entry->max_protection) != 0) {
+        return KernReturn::kProtectionFailure;
+      }
+      entry->protection = prot;
+    }
+    // Hardware mappings may only be lowered here; faults re-validate
+    // upward later (§5.5 hardware validation).
+    task.pmap->Protect(entry->start, entry->end, entry->protection);
+  }
+  return KernReturn::kSuccess;
+}
+
+KernReturn VmSystem::Inherit(TaskVm& task, VmOffset addr, VmSize size, VmInherit inheritance) {
+  if (size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  VmOffset start = TruncPage(addr, page_size());
+  VmOffset end = RoundPage(addr + size, page_size());
+  if (!task.map->RangeFullyCovered(start, end - start)) {
+    return KernReturn::kInvalidAddress;
+  }
+  for (MapEntry* entry : task.map->ClipRange(start, end)) {
+    entry->inheritance = inheritance;
+  }
+  return KernReturn::kSuccess;
+}
+
+std::vector<RegionInfo> VmSystem::Regions(TaskVm& task) {
+  KernelLock lock(mu_);
+  std::vector<RegionInfo> out;
+  for (const MapEntry* entry : task.map->AllEntries()) {
+    RegionInfo info;
+    info.start = entry->start;
+    info.end = entry->end;
+    info.protection = entry->protection;
+    info.max_protection = entry->max_protection;
+    info.inheritance = entry->inheritance;
+    info.is_shared = entry->is_share;
+    if (!entry->is_share && entry->object != nullptr) {
+      // Only the name port is exposed: the memory object and request ports
+      // would grant data and management access (footnote 3).
+      info.object_name = entry->object->name_send;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+VmStatistics VmSystem::Statistics() const {
+  KernelLock lock(mu_);
+  VmStatistics st = stats_;
+  st.page_size = page_size();
+  st.free_count = phys_->free_frames();
+  st.active_count = active_count_;
+  st.inactive_count = inactive_count_;
+  return st;
+}
+
+// --- fork (inheritance, §3.3) ----------------------------------------------
+
+void VmSystem::ForkMap(TaskVm& parent, TaskVm& child) {
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  // Snapshot entry ranges first: share conversion mutates entries in place
+  // but not the map's structure.
+  std::vector<VmOffset> starts;
+  for (const MapEntry* e : parent.map->AllEntries()) {
+    starts.push_back(e->start);
+  }
+  for (VmOffset start : starts) {
+    MapEntry* entry = parent.map->Lookup(start);
+    if (entry == nullptr) {
+      continue;
+    }
+    switch (entry->inheritance) {
+      case VmInherit::kNone:
+        break;
+      case VmInherit::kShare: {
+        if (!entry->is_share) {
+          // Convert the direct entry into a two-level (sharing map) entry
+          // (§5.1). The object moves into the sharing map.
+          if (entry->object == nullptr) {
+            entry->object = CreateInternalObject(entry->size());
+            ObjectRef(entry->object);
+          }
+          auto share = std::make_shared<AddressMap>(0, entry->size(), page_size());
+          MapEntry sub;
+          sub.start = 0;
+          sub.end = entry->size();
+          sub.object = std::move(entry->object);
+          sub.offset = entry->offset;
+          sub.protection = kVmProtAll;  // Per-task attributes stay on top.
+          sub.max_protection = kVmProtAll;
+          sub.needs_copy = entry->needs_copy;
+          share->Insert(std::move(sub));
+          entry->object = nullptr;
+          entry->is_share = true;
+          entry->share_map = std::move(share);
+          entry->offset = 0;
+          entry->needs_copy = false;
+        }
+        MapEntry child_entry = *entry;  // Shares the sharing map.
+        child.map->Insert(std::move(child_entry));
+        break;
+      }
+      case VmInherit::kCopy: {
+        if (entry->is_share) {
+          // Copy each object referenced through the sharing map.
+          VmOffset window_lo = entry->offset;
+          VmOffset window_hi = entry->offset + entry->size();
+          for (MapEntry* sub : entry->share_map->ClipRange(window_lo, window_hi)) {
+            MapEntry child_entry;
+            child_entry.start = entry->start + (sub->start - entry->offset);
+            child_entry.end = child_entry.start + sub->size();
+            child_entry.protection = entry->protection;
+            child_entry.max_protection = entry->max_protection;
+            child_entry.inheritance = entry->inheritance;
+            if (sub->object != nullptr) {
+              child_entry.object = sub->object;
+              child_entry.offset = sub->offset;
+              child_entry.needs_copy = true;
+              ObjectRef(sub->object);
+              sub->needs_copy = true;
+              WriteProtectResident(sub->object.get(), sub->offset, sub->size());
+            }
+            child.map->Insert(std::move(child_entry));
+          }
+        } else if (entry->object == nullptr) {
+          // Untouched zero-fill region: the child simply gets its own.
+          MapEntry child_entry = *entry;
+          child.map->Insert(std::move(child_entry));
+        } else {
+          // Symmetric copy-on-write (§5.5): both sides shadow on write.
+          entry->needs_copy = true;
+          WriteProtectResident(entry->object.get(),
+                               entry->offset, entry->size());
+          MapEntry child_entry = *entry;
+          ObjectRef(child_entry.object);
+          child.map->Insert(std::move(child_entry));
+        }
+        break;
+      }
+    }
+  }
+}
+
+// --- out-of-line transfer (vm_map_copyin / copyout) --------------------------
+
+Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyIn(TaskVm& task, VmOffset addr, VmSize size) {
+  if (size == 0 || addr % page_size() != 0 || size % page_size() != 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  if (!task.map->RangeFullyCovered(addr, size)) {
+    return KernReturn::kInvalidAddress;
+  }
+  auto copy = std::make_shared<VmMapCopy>(this, size);
+  const VmOffset end = addr + size;
+  for (MapEntry* top : task.map->ClipRange(addr, end)) {
+    if (top->is_share) {
+      VmOffset lo = top->offset;
+      VmOffset hi = top->offset + top->size();
+      for (MapEntry* sub : top->share_map->ClipRange(lo, hi)) {
+        VmMapCopy::Segment seg;
+        seg.size = sub->size();
+        if (sub->object != nullptr) {
+          seg.object = sub->object;
+          seg.offset = sub->offset;
+          ObjectRef(sub->object);
+          sub->needs_copy = true;
+          WriteProtectResident(sub->object.get(), sub->offset, sub->size());
+        }
+        copy->segments().push_back(std::move(seg));
+      }
+    } else {
+      VmMapCopy::Segment seg;
+      seg.size = top->size();
+      if (top->object != nullptr) {
+        seg.object = top->object;
+        seg.offset = top->offset;
+        ObjectRef(top->object);
+        top->needs_copy = true;
+        WriteProtectResident(top->object.get(), top->offset, top->size());
+      }
+      copy->segments().push_back(std::move(seg));
+    }
+  }
+  return copy;
+}
+
+Result<VmOffset> VmSystem::CopyOut(TaskVm& task, const std::shared_ptr<VmMapCopy>& copy) {
+  if (copy == nullptr || copy->system() != this) {
+    return KernReturn::kInvalidArgument;
+  }
+  KernelLock lock(mu_);
+  DrainDeferredReleases(lock);
+  if (copy->segments().empty() && copy->size() != 0) {
+    return KernReturn::kInvalidArgument;  // Already consumed.
+  }
+  Result<VmOffset> found = task.map->FindSpace(copy->size());
+  if (!found.ok()) {
+    return found.status();
+  }
+  VmOffset addr = found.value();
+  VmOffset cursor = addr;
+  for (VmMapCopy::Segment& seg : copy->segments()) {
+    MapEntry entry;
+    entry.start = cursor;
+    entry.end = cursor + seg.size;
+    if (seg.object != nullptr) {
+      entry.object = std::move(seg.object);  // Transfers the reference.
+      entry.offset = seg.offset;
+      entry.needs_copy = true;
+    }
+    cursor += seg.size;
+    task.map->Insert(std::move(entry));
+  }
+  copy->segments().clear();  // Consumed.
+  return addr;
+}
+
+VmMapCopy::~VmMapCopy() {
+  if (segments_.empty()) {
+    return;
+  }
+  // Defer the reference drops: this destructor can run inside port teardown
+  // paths that must not take the kernel lock.
+  std::lock_guard<std::mutex> g(system_->deferred_mu_);
+  for (Segment& seg : segments_) {
+    if (seg.object != nullptr) {
+      system_->deferred_releases_.push_back(std::move(seg.object));
+    }
+  }
+  segments_.clear();
+}
+
+}  // namespace mach

@@ -1,0 +1,364 @@
+// VmSystem: the machine-independent virtual memory system of one kernel
+// (§5). It owns:
+//
+//   * the resident page pool: the virtual-to-physical hash table (§5.3) and
+//     the active/inactive pageout queues (§5.4), over hw::PhysicalMemory;
+//   * the memory object registry: pager port -> VmObject, including the
+//     cache of persisting objects (pager_cache, §3.4.1);
+//   * the fault handler (§5.5): validity/protection, page lookup,
+//     copy-on-write with shadow objects, hardware validation via Pmap;
+//   * the pageout daemon and the inline reclaim path, including the §6.2.2
+//     protection against errant data managers (parking dirty pages with the
+//     trusted default pager) and the §6.2.3 reserved pool;
+//   * the kernel ends of the external memory management interface:
+//     requests are *sent* to memory object ports, and manager calls arriving
+//     on pager request ports are dispatched to the Handle* methods by the
+//     kernel's pager service thread.
+//
+// Concurrency: one kernel lock (mu_) serialises all VM state, in the spirit
+// of the original Mach's coarse VM locking. The lock is *released* across
+// every potentially blocking operation (waiting for a busy page, waiting on
+// a manager, blocking message sends), so data managers — which call back
+// into this kernel — can always make progress. Ports have their own locks
+// and never call into the kernel (lock order: kernel > port).
+
+#ifndef SRC_VM_VM_SYSTEM_H_
+#define SRC_VM_VM_SYSTEM_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/sync.h"
+#include "src/base/vm_types.h"
+#include "src/hw/physical_memory.h"
+#include "src/hw/pmap.h"
+#include "src/ipc/port.h"
+#include "src/pager/parking.h"
+#include "src/vm/address_map.h"
+#include "src/vm/vm_object.h"
+#include "src/vm/vm_page.h"
+
+namespace mach {
+
+class VmMapCopy;
+
+// Per-task VM context: the task's address map plus its physical map.
+struct TaskVm {
+  std::shared_ptr<AddressMap> map;
+  std::unique_ptr<Pmap> pmap;
+};
+
+// vm_regions output element (Table 3-3).
+struct RegionInfo {
+  VmOffset start = 0;
+  VmOffset end = 0;
+  VmProt protection = kVmProtNone;
+  VmProt max_protection = kVmProtNone;
+  VmInherit inheritance = VmInherit::kCopy;
+  bool is_shared = false;      // Backed through a sharing map.
+  SendRight object_name;       // The pager name port (may be null).
+};
+
+class VmSystem {
+ public:
+  struct Config {
+    // Pageout targets, in frames. Zero = derive from frame count.
+    uint32_t free_target = 0;
+    uint32_t reserved = 0;  // §6.2.3 reserved pool floor.
+
+    // How long a fault waits for a data manager before applying
+    // `on_pager_timeout` (§6.2.1 failure options).
+    Timeout pager_timeout = std::chrono::milliseconds(5000);
+    enum class OnPagerTimeout { kError, kZeroFill };
+    OnPagerTimeout on_pager_timeout = OnPagerTimeout::kError;
+
+    // §6.2.2 protection: divert dirty pages of unresponsive managers to the
+    // default pager. When false, pageout simply drops such pages back on
+    // the active queue (the unprotected behaviour, for the ablation bench).
+    bool errant_manager_protection = true;
+
+    // Background daemon scan interval.
+    std::chrono::milliseconds pageout_interval{25};
+  };
+
+  explicit VmSystem(PhysicalMemory* phys) : VmSystem(phys, Config{}) {}
+  VmSystem(PhysicalMemory* phys, Config config);
+  ~VmSystem();
+
+  VmSystem(const VmSystem&) = delete;
+  VmSystem& operator=(const VmSystem&) = delete;
+
+  VmSize page_size() const { return phys_->page_size(); }
+  PhysicalMemory* phys() const { return phys_; }
+
+  // --- wiring ----------------------------------------------------------
+
+  // The default pager: `service_port` receives pager_create calls;
+  // `parking` is the trusted §6.2.2 side-store. Must be set before internal
+  // objects can be paged out.
+  void SetDefaultPager(SendRight service_port, TrustedParkingStore* parking);
+
+  // The port set the kernel's pager service thread receives on; every pager
+  // request port is enabled here at object creation.
+  const std::shared_ptr<PortSet>& pager_request_set() const { return pager_requests_; }
+
+  // Creates a fresh task VM context (map + pmap).
+  TaskVm CreateTaskVm();
+
+  void StartPageoutDaemon();
+  void StopPageoutDaemon();
+
+  // --- Table 3-3: virtual memory operations -----------------------------
+
+  // vm_allocate: zero-filled-on-demand memory, at `addr` or anywhere.
+  Result<VmOffset> Allocate(TaskVm& task, VmOffset addr, VmSize size, bool anywhere);
+
+  // vm_allocate_with_pager (Table 3-4): maps `memory_object` at `offset`.
+  Result<VmOffset> AllocateWithPager(TaskVm& task, VmOffset addr, VmSize size, bool anywhere,
+                                     SendRight memory_object, VmOffset offset);
+
+  // vm_deallocate.
+  KernReturn Deallocate(TaskVm& task, VmOffset addr, VmSize size);
+
+  // vm_protect.
+  KernReturn Protect(TaskVm& task, VmOffset addr, VmSize size, bool set_max, VmProt prot);
+
+  // vm_inherit.
+  KernReturn Inherit(TaskVm& task, VmOffset addr, VmSize size, VmInherit inheritance);
+
+  // vm_read / vm_write: kernel-mediated access to a task's memory (faults
+  // pages in as needed, honours entry protections like user access).
+  KernReturn ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize len);
+  KernReturn WriteMemory(TaskVm& task, VmOffset addr, const void* buf, VmSize len);
+
+  // vm_copy: copies [src, src+size) over [dst, dst+size) (copy-on-write).
+  KernReturn Copy(TaskVm& task, VmOffset src, VmSize size, VmOffset dst);
+
+  // vm_regions.
+  std::vector<RegionInfo> Regions(TaskVm& task);
+
+  // vm_statistics.
+  VmStatistics Statistics() const;
+
+  // --- user access & faults ---------------------------------------------
+
+  // Simulated user load/store: pmap fast path, kernel fault on miss.
+  // May span pages and entries.
+  KernReturn UserAccess(TaskVm& task, VmOffset addr, void* buf, VmSize len, bool is_write);
+
+  // The page fault handler (§5.5). `access` is the attempted access.
+  KernReturn Fault(TaskVm& task, VmOffset addr, VmProt access);
+
+  // --- inheritance / fork -------------------------------------------------
+
+  // Populates `child` from `parent` per per-entry inheritance attributes
+  // (share / copy / none, §3.3).
+  void ForkMap(TaskVm& parent, TaskVm& child);
+
+  // --- out-of-line message transfer (the duality §1) ----------------------
+
+  // vm_map_copyin: captures [addr, addr+size) (page aligned) as a
+  // copy-on-write map copy for transfer in a message.
+  Result<std::shared_ptr<VmMapCopy>> CopyIn(TaskVm& task, VmOffset addr, VmSize size);
+
+  // vm_map_copyout: maps a copy into `task` anywhere; returns the address.
+  Result<VmOffset> CopyOut(TaskVm& task, const std::shared_ptr<VmMapCopy>& copy);
+
+  // Flattens a map copy to bytes (used by cross-host transports).
+  Result<std::vector<std::byte>> CopyAsBytes(const std::shared_ptr<VmMapCopy>& copy);
+
+  // Rebuilds a map copy in *this* kernel from flat bytes (the receiving end
+  // of a cross-host out-of-line transfer): a fresh internal object holding
+  // the data. `size` is rounded up to whole pages.
+  Result<std::shared_ptr<VmMapCopy>> CopyFromBytes(const void* data, VmSize size);
+
+  // --- manager -> kernel calls (Table 3-6) --------------------------------
+  // Dispatched by the kernel's pager service thread; `request_port_id`
+  // identifies the object. Also callable directly in tests.
+
+  void HandlePagerMessage(uint64_t request_port_id, Message&& msg);
+
+  // --- object cache maintenance -------------------------------------------
+
+  // Drops cached (pager_cache'd) objects that have no resident pages.
+  void TrimObjectCache();
+
+  // Number of live memory objects known to this kernel (tests).
+  size_t object_count() const;
+
+  // Looks up the VmObject for a pager port (tests / kernel internals).
+  std::shared_ptr<VmObject> ObjectForPager(const SendRight& pager) const;
+
+ private:
+  friend class VmMapCopy;
+
+  struct PageKey {
+    const VmObject* object;
+    VmOffset offset;
+    bool operator==(const PageKey& o) const {
+      return object == o.object && offset == o.offset;
+    }
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const {
+      return std::hash<const void*>()(k.object) * 31 ^ std::hash<VmOffset>()(k.offset);
+    }
+  };
+
+  using KernelLock = std::unique_lock<std::mutex>;
+
+  // --- resident page management ---------------------------------------
+
+  VmPage* PageLookup(VmObject* object, VmOffset offset);
+  Result<VmPage*> PageAlloc(KernelLock& lock, VmObject* object, VmOffset offset);
+  void PageFree(VmPage* page);
+  void PageActivate(VmPage* page);
+  void PageDeactivate(VmPage* page);
+  void PageRemoveFromQueue(VmPage* page);
+  void PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset);
+
+  // --- fault machinery --------------------------------------------------
+
+  struct ResolvedEntry {
+    MapEntry* top = nullptr;     // Entry in the task's top-level map.
+    MapEntry* holder = nullptr;  // Entry that references the object
+                                 // (== top, or a sharing-map entry).
+    VmOffset object_offset = 0;  // Offset of the faulting page in the object.
+  };
+  Result<ResolvedEntry> ResolveEntry(TaskVm& task, VmOffset addr, VmProt access);
+
+  struct PageResolution {
+    VmPage* page = nullptr;
+    bool from_backing = false;  // Page belongs to a shadow ancestor; map
+                                // read-only (copy still pending).
+  };
+  Result<PageResolution> ResolvePage(KernelLock& lock, std::shared_ptr<VmObject> first_object,
+                                     VmOffset first_offset, VmProt fault_type);
+
+  // Waits for a busy page to settle; returns false on timeout.
+  bool WaitForPage(KernelLock& lock);
+
+  KernReturn RequestDataFromPager(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                                  VmOffset offset, VmProt access);
+  KernReturn RequestUnlockFromPager(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                                    VmPage* page, VmProt access);
+
+  // --- objects -----------------------------------------------------------
+
+  std::shared_ptr<VmObject> CreateInternalObject(VmSize size);
+  void MakeShadow(MapEntry* entry);
+  void ObjectRef(const std::shared_ptr<VmObject>& object) { ++object->map_refs; }
+  void ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object);
+  void TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+  void ReleaseEntry(KernelLock& lock, MapEntry&& entry);
+  void WriteProtectResident(VmObject* object, VmOffset offset, VmSize size);
+
+  // Ensures an internal object has a default-pager association
+  // (pager_create). Called from the pageout path, under the kernel lock.
+  bool EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+
+  // --- pageout ------------------------------------------------------------
+
+  void PageoutDaemonMain();
+  // Frees up to `want` frames; returns number freed. Kernel lock held.
+  uint32_t Reclaim(KernelLock& lock, uint32_t want);
+  // Writes one dirty page back to its manager (or parks it). Kernel lock
+  // held throughout (sends are non-blocking). Returns true if the frame was
+  // freed.
+  bool PageoutPage(KernelLock& lock, VmPage* page);
+
+  void DrainDeferredReleases(KernelLock& lock);
+
+  // --- manager -> kernel handlers ----------------------------------------
+
+  void HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                          VmOffset offset, const std::vector<std::byte>& data, VmProt lock_value);
+  void HandleDataUnavailable(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+                             VmOffset offset, VmSize size);
+  void HandleDataLock(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
+                      VmSize length, VmProt lock_value);
+  void HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
+                   VmSize length);
+  void HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
+                   VmSize length);
+  void HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& object, bool may_cache);
+
+  // ------------------------------------------------------------------------
+
+  PhysicalMemory* const phys_;
+  Config config_;
+  uint32_t free_target_;
+  uint32_t reserved_;
+
+  mutable std::mutex mu_;  // The kernel lock.
+  std::condition_variable page_cv_;  // Busy-page / lock-change waits.
+  std::condition_variable free_cv_;  // Free-frame waits.
+  std::condition_variable pageout_wake_;
+
+  std::unordered_map<PageKey, VmPage*, PageKeyHash> page_hash_;
+  PageQueue active_queue_;
+  PageQueue inactive_queue_;
+  uint32_t active_count_ = 0;
+  uint32_t inactive_count_ = 0;
+
+  // Object registries: by memory-object (pager) port id and by request
+  // port id.
+  std::unordered_map<uint64_t, std::shared_ptr<VmObject>> objects_by_pager_;
+  std::unordered_map<uint64_t, std::shared_ptr<VmObject>> objects_by_request_;
+
+  std::shared_ptr<PortSet> pager_requests_ = PortSet::Create();
+
+  SendRight default_pager_service_;
+  TrustedParkingStore* parking_ = nullptr;
+
+  VmStatistics stats_{};
+
+  std::thread pageout_thread_;
+  bool pageout_running_ = false;
+  bool shutting_down_ = false;
+
+  // Object references dropped by VmMapCopy destructors (possibly on threads
+  // that must not take the kernel lock); drained opportunistically.
+  std::mutex deferred_mu_;
+  std::vector<std::shared_ptr<VmObject>> deferred_releases_;
+};
+
+// An out-of-line memory region captured from an address map (Mach's
+// vm_map_copy). Holds copy-on-write references to the source objects; a
+// CopyOut consumes it into a destination map.
+class VmMapCopy {
+ public:
+  struct Segment {
+    std::shared_ptr<VmObject> object;  // Null = zero-filled region.
+    VmOffset offset = 0;
+    VmSize size = 0;
+  };
+
+  VmMapCopy(VmSystem* system, VmSize size) : system_(system), size_(size) {}
+  ~VmMapCopy();
+
+  VmMapCopy(const VmMapCopy&) = delete;
+  VmMapCopy& operator=(const VmMapCopy&) = delete;
+
+  VmSize size() const { return size_; }
+  std::vector<Segment>& segments() { return segments_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  VmSystem* system() const { return system_; }
+
+ private:
+  VmSystem* system_;
+  VmSize size_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_VM_VM_SYSTEM_H_

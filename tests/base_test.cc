@@ -1,0 +1,212 @@
+// Unit tests for src/base: status codes, Result, intrusive list, sync
+// helpers, page rounding, and the virtual clock.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/kern_return.h"
+#include "src/base/sim_clock.h"
+#include "src/base/sync.h"
+#include "src/base/vm_types.h"
+
+namespace mach {
+namespace {
+
+TEST(KernReturnTest, SuccessIsOk) {
+  EXPECT_TRUE(IsOk(KernReturn::kSuccess));
+  EXPECT_FALSE(IsOk(KernReturn::kFailure));
+}
+
+TEST(KernReturnTest, NamesAreStable) {
+  EXPECT_STREQ(KernReturnName(KernReturn::kSuccess), "KERN_SUCCESS");
+  EXPECT_STREQ(KernReturnName(KernReturn::kInvalidAddress), "KERN_INVALID_ADDRESS");
+  EXPECT_STREQ(KernReturnName(KernReturn::kProtectionFailure), "KERN_PROTECTION_FAILURE");
+  EXPECT_STREQ(KernReturnName(KernReturn::kPortDead), "MSG_PORT_DEAD");
+  EXPECT_STREQ(KernReturnName(KernReturn::kTimedOut), "MSG_TIMED_OUT");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.status(), KernReturn::kSuccess);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = KernReturn::kNoSpace;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), KernReturn::kNoSpace);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(VmTypesTest, PageRounding) {
+  EXPECT_EQ(TruncPage(0, 4096), 0u);
+  EXPECT_EQ(TruncPage(4095, 4096), 0u);
+  EXPECT_EQ(TruncPage(4096, 4096), 4096u);
+  EXPECT_EQ(RoundPage(0, 4096), 0u);
+  EXPECT_EQ(RoundPage(1, 4096), 4096u);
+  EXPECT_EQ(RoundPage(4096, 4096), 4096u);
+  EXPECT_EQ(RoundPage(4097, 4096), 8192u);
+}
+
+TEST(VmTypesTest, ProtBits) {
+  EXPECT_EQ(kVmProtDefault, kVmProtRead | kVmProtWrite);
+  EXPECT_EQ(kVmProtAll & kVmProtExecute, kVmProtExecute);
+  EXPECT_EQ(kVmProtNone, 0u);
+}
+
+struct ListElem {
+  int value = 0;
+  IntrusiveListNode node_a;
+  IntrusiveListNode node_b;
+};
+
+using ListA = IntrusiveList<ListElem, &ListElem::node_a>;
+using ListB = IntrusiveList<ListElem, &ListElem::node_b>;
+
+TEST(IntrusiveListTest, PushPopFifo) {
+  ListA list;
+  ListElem e1{1}, e2{2}, e3{3};
+  list.PushBack(&e1);
+  list.PushBack(&e2);
+  list.PushBack(&e3);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFrontLifo) {
+  ListA list;
+  ListElem e1{1}, e2{2};
+  list.PushFront(&e1);
+  list.PushFront(&e2);
+  EXPECT_EQ(list.Front()->value, 2);
+  EXPECT_EQ(list.Back()->value, 1);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  ListA list;
+  ListElem e1{1}, e2{2}, e3{3};
+  list.PushBack(&e1);
+  list.PushBack(&e2);
+  list.PushBack(&e3);
+  list.Remove(&e2);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(list.Contains(&e2));
+  EXPECT_TRUE(list.Contains(&e1));
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveListTest, ElementOnTwoLists) {
+  ListA a;
+  ListB b;
+  ListElem e{9};
+  a.PushBack(&e);
+  b.PushBack(&e);
+  EXPECT_TRUE(a.Contains(&e));
+  EXPECT_TRUE(b.Contains(&e));
+  a.Remove(&e);
+  EXPECT_FALSE(a.Contains(&e));
+  EXPECT_TRUE(b.Contains(&e));
+  EXPECT_EQ(b.Front()->value, 9);
+  b.Remove(&e);
+}
+
+TEST(IntrusiveListTest, IterationOrder) {
+  ListA list;
+  ListElem e[5];
+  for (int i = 0; i < 5; ++i) {
+    e[i].value = i;
+    list.PushBack(&e[i]);
+  }
+  int expect = 0;
+  for (ListElem* elem : list) {
+    EXPECT_EQ(elem->value, expect++);
+  }
+  EXPECT_EQ(expect, 5);
+}
+
+TEST(IntrusiveListTest, ForEachAllowsRemoval) {
+  ListA list;
+  ListElem e[6];
+  for (int i = 0; i < 6; ++i) {
+    e[i].value = i;
+    list.PushBack(&e[i]);
+  }
+  list.ForEach([&](ListElem* elem) {
+    if (elem->value % 2 == 0) {
+      list.Remove(elem);
+    }
+  });
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_EQ(list.PopFront()->value, 5);
+}
+
+TEST(SyncTest, EventSignalBeforeWait) {
+  Event ev;
+  ev.Signal();
+  EXPECT_TRUE(ev.Wait(std::chrono::milliseconds(0)));
+}
+
+TEST(SyncTest, EventTimesOut) {
+  Event ev;
+  EXPECT_FALSE(ev.Wait(std::chrono::milliseconds(10)));
+}
+
+TEST(SyncTest, EventCrossThread) {
+  Event ev;
+  std::thread t([&] { ev.Signal(); });
+  EXPECT_TRUE(ev.Wait(std::chrono::seconds(10)));
+  t.join();
+}
+
+TEST(SyncTest, EventReset) {
+  Event ev;
+  ev.Signal();
+  ev.Reset();
+  EXPECT_FALSE(ev.Wait(std::chrono::milliseconds(5)));
+}
+
+TEST(SimClockTest, ChargeAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowNs(), 0u);
+  clock.Charge(100);
+  clock.Charge(250);
+  EXPECT_EQ(clock.NowNs(), 350u);
+  clock.Reset();
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+TEST(SimClockTest, ConcurrentCharges) {
+  SimClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) {
+        clock.Charge(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(clock.NowNs(), 4000u);
+}
+
+}  // namespace
+}  // namespace mach

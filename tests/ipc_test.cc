@@ -1,0 +1,394 @@
+// Unit tests for the IPC layer: ports, rights, messages, port sets, RPC,
+// timeouts, backlog, and port death — the operations of Tables 3-1 and 3-2.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/ipc/message.h"
+#include "src/ipc/port.h"
+#include "src/ipc/port_right.h"
+
+namespace mach {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(MessageTest, RoundTripTypedItems) {
+  Message msg(7);
+  msg.PushU32(0xAABB);
+  msg.PushU64(0x1122334455667788ull);
+  msg.PushString("typed data");
+  ASSERT_EQ(msg.item_count(), 3u);
+  EXPECT_EQ(msg.TakeU32().value(), 0xAABBu);
+  EXPECT_EQ(msg.TakeU64().value(), 0x1122334455667788ull);
+  EXPECT_EQ(msg.TakeString().value(), "typed data");
+  EXPECT_TRUE(msg.AtEnd());
+}
+
+TEST(MessageTest, TypeMismatchFails) {
+  Message msg;
+  msg.PushU32(1);
+  EXPECT_FALSE(msg.TakePort().ok());
+  // Cursor did not advance on mismatch.
+  EXPECT_TRUE(msg.TakeU32().ok());
+}
+
+TEST(MessageTest, TakePastEndFails) {
+  Message msg;
+  EXPECT_EQ(msg.TakeU32().status(), KernReturn::kInvalidArgument);
+}
+
+TEST(MessageTest, InlineSizeCountsDataOnly) {
+  Message msg;
+  msg.PushU32(1);                  // 4 bytes
+  msg.PushData("abcdefgh", 8);     // 8 bytes
+  PortPair p = PortAllocate("x");
+  msg.PushPort(p.send);            // not inline data
+  EXPECT_EQ(msg.InlineSize(), 12u);
+}
+
+TEST(MessageTest, CarriesPortRights) {
+  PortPair p = PortAllocate("carried");
+  Message msg;
+  msg.PushPort(p.send);
+  Result<SendRight> got = msg.TakePort();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), p.send.id());
+}
+
+TEST(PortTest, AllocateGivesLiveRights) {
+  PortPair p = PortAllocate("test");
+  EXPECT_TRUE(p.receive.valid());
+  EXPECT_TRUE(p.send.valid());
+  EXPECT_EQ(p.receive.id(), p.send.id());
+  EXPECT_FALSE(p.send.IsDead());
+  EXPECT_EQ(p.send.label(), "test");
+}
+
+TEST(PortTest, SendReceiveRoundTrip) {
+  PortPair p = PortAllocate();
+  Message msg(42);
+  msg.PushString("payload");
+  ASSERT_EQ(MsgSend(p.send, std::move(msg)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(p.receive);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 42u);
+  EXPECT_EQ(got.value().TakeString().value(), "payload");
+}
+
+TEST(PortTest, FifoOrder) {
+  PortPair p = PortAllocate();
+  for (uint32_t i = 0; i < 10; ++i) {
+    Message msg(i);
+    ASSERT_EQ(MsgSend(p.send, std::move(msg)), KernReturn::kSuccess);
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(MsgReceive(p.receive).value().id(), i);
+  }
+}
+
+TEST(PortTest, ReceiveTimesOut) {
+  PortPair p = PortAllocate();
+  auto start = std::chrono::steady_clock::now();
+  Result<Message> got = MsgReceive(p.receive, milliseconds(30));
+  EXPECT_EQ(got.status(), KernReturn::kTimedOut);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(25));
+}
+
+TEST(PortTest, ReceivePollReturnsNoMessage) {
+  PortPair p = PortAllocate();
+  EXPECT_EQ(MsgReceive(p.receive, kPoll).status(), KernReturn::kNoMessage);
+}
+
+TEST(PortTest, CrossThreadDelivery) {
+  PortPair p = PortAllocate();
+  std::thread sender([send = p.send]() mutable {
+    Message msg(9);
+    msg.PushU32(123);
+    MsgSend(send, std::move(msg));
+  });
+  Result<Message> got = MsgReceive(p.receive, milliseconds(5000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().TakeU32().value(), 123u);
+  sender.join();
+}
+
+TEST(PortTest, BacklogBlocksSender) {
+  PortPair p = PortAllocate();
+  ASSERT_EQ(p.receive.port()->SetBacklog(2), KernReturn::kSuccess);
+  EXPECT_EQ(MsgSend(p.send, Message(1), kPoll), KernReturn::kSuccess);
+  EXPECT_EQ(MsgSend(p.send, Message(2), kPoll), KernReturn::kSuccess);
+  EXPECT_EQ(MsgSend(p.send, Message(3), kPoll), KernReturn::kPortFull);
+  // Draining frees space.
+  MsgReceive(p.receive);
+  EXPECT_EQ(MsgSend(p.send, Message(3), kPoll), KernReturn::kSuccess);
+}
+
+TEST(PortTest, BlockedSenderWakesOnDrain) {
+  PortPair p = PortAllocate();
+  ASSERT_EQ(p.receive.port()->SetBacklog(1), KernReturn::kSuccess);
+  ASSERT_EQ(MsgSend(p.send, Message(1), kPoll), KernReturn::kSuccess);
+  std::atomic<bool> sent{false};
+  std::thread sender([&, send = p.send]() mutable {
+    EXPECT_EQ(MsgSend(send, Message(2), milliseconds(5000)), KernReturn::kSuccess);
+    sent = true;
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(sent.load());
+  MsgReceive(p.receive);
+  sender.join();
+  EXPECT_TRUE(sent.load());
+}
+
+TEST(PortTest, SetBacklogRejectsZero) {
+  PortPair p = PortAllocate();
+  EXPECT_EQ(p.receive.port()->SetBacklog(0), KernReturn::kInvalidArgument);
+}
+
+TEST(PortTest, StatusReflectsQueue) {
+  PortPair p = PortAllocate();
+  MsgSend(p.send, Message(1));
+  MsgSend(p.send, Message(2));
+  PortStatus st = p.receive.port()->Status();
+  EXPECT_EQ(st.num_msgs, 2u);
+  EXPECT_EQ(st.backlog, kDefaultBacklog);
+  EXPECT_FALSE(st.dead);
+  EXPECT_FALSE(st.enabled);
+}
+
+TEST(PortDeathTest, SendToDeadPortFails) {
+  SendRight send;
+  {
+    PortPair p = PortAllocate();
+    send = p.send;
+  }  // receive right dropped -> port death
+  EXPECT_TRUE(send.IsDead());
+  EXPECT_EQ(MsgSend(send, Message(1)), KernReturn::kPortDead);
+}
+
+TEST(PortDeathTest, ReceiverDrainsQueueBeforeDeathVisible) {
+  // Destroying the receive right destroys queued messages too.
+  PortPair p = PortAllocate();
+  MsgSend(p.send, Message(1));
+  p.receive.Destroy();
+  EXPECT_TRUE(p.send.IsDead());
+}
+
+TEST(PortDeathTest, BlockedReceiverFailsOnDeath) {
+  PortPair p = PortAllocate();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(milliseconds(30));
+    p.receive.Destroy();
+  });
+  // Use the raw port: receive right is being destroyed concurrently.
+  std::shared_ptr<Port> port = p.send.port();
+  Result<Message> got = port->Dequeue(milliseconds(5000));
+  EXPECT_EQ(got.status(), KernReturn::kPortDead);
+  killer.join();
+}
+
+TEST(PortDeathTest, DeathNotificationDelivered) {
+  PortPair notify = PortAllocate("notify");
+  uint64_t dead_id = 0;
+  {
+    PortPair watched = PortAllocate("watched");
+    dead_id = watched.send.id();
+    watched.receive.port()->RequestDeathNotification(notify.send);
+  }
+  Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().id(), kMsgIdPortDeath);
+  EXPECT_EQ(msg.value().TakeU64().value(), dead_id);
+}
+
+TEST(PortDeathTest, NotificationOnAlreadyDeadPortFiresImmediately) {
+  PortPair notify = PortAllocate("notify");
+  PortPair watched = PortAllocate("watched");
+  uint64_t id = watched.send.id();
+  watched.receive.Destroy();
+  watched.send.port()->RequestDeathNotification(notify.send);
+  Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().TakeU64().value(), id);
+}
+
+TEST(PortDeathTest, MessageHoldingOwnPortRightsDoesNotDeadlock) {
+  // A queued message that carries the receive right of the port it is
+  // queued on must not deadlock port destruction.
+  PortPair p = PortAllocate("self");
+  Message msg(1);
+  SendRight send = p.send;
+  msg.PushReceive(std::move(p.receive));
+  // Enqueue via the send right; the port now owns its own receive right.
+  ASSERT_EQ(MsgSend(send, std::move(msg)), KernReturn::kSuccess);
+  // Dropping our last reference triggers destruction through the queue.
+  send = SendRight();
+  SUCCEED();
+}
+
+TEST(RpcTest, EchoServer) {
+  PortPair server = PortAllocate("echo");
+  std::thread service([recv = std::move(server.receive)]() mutable {
+    Result<Message> req = MsgReceive(recv, milliseconds(5000));
+    ASSERT_TRUE(req.ok());
+    uint32_t v = req.value().TakeU32().value();
+    Message reply(req.value().id() + 100);
+    reply.PushU32(v * 2);
+    MsgSend(req.value().reply_port(), std::move(reply));
+  });
+  Message request(5);
+  request.PushU32(21);
+  Result<Message> reply = MsgRpc(server.send, std::move(request));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().id(), 105u);
+  EXPECT_EQ(reply.value().TakeU32().value(), 42u);
+  service.join();
+}
+
+TEST(RpcTest, RpcToDeadServerFails) {
+  SendRight send;
+  {
+    PortPair p = PortAllocate();
+    send = p.send;
+  }
+  Result<Message> reply = MsgRpc(send, Message(1));
+  EXPECT_EQ(reply.status(), KernReturn::kPortDead);
+}
+
+TEST(RpcTest, RpcReceiveTimeout) {
+  PortPair server = PortAllocate();  // Nobody answers.
+  Result<Message> reply = MsgRpc(server.send, Message(1), kWaitForever, milliseconds(30));
+  EXPECT_EQ(reply.status(), KernReturn::kTimedOut);
+}
+
+TEST(PortSetTest, ReceiveFromAnyMember) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate("a");
+  PortPair b = PortAllocate("b");
+  ASSERT_EQ(set->Add(a.receive), KernReturn::kSuccess);
+  ASSERT_EQ(set->Add(b.receive), KernReturn::kSuccess);
+  EXPECT_EQ(set->member_count(), 2u);
+  MsgSend(b.send, Message(22));
+  Result<PortSet::ReceivedMessage> got = set->ReceiveFrom(milliseconds(1000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().message.id(), 22u);
+  EXPECT_EQ(got.value().port_id, b.send.id());
+}
+
+TEST(PortSetTest, RoundRobinAvoidsStarvation) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate("a");
+  PortPair b = PortAllocate("b");
+  set->Add(a.receive);
+  set->Add(b.receive);
+  // Keep both queues non-empty; both ports must get service.
+  for (int i = 0; i < 4; ++i) {
+    MsgSend(a.send, Message(1));
+    MsgSend(b.send, Message(2));
+  }
+  int from_a = 0, from_b = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint32_t id = set->Receive(milliseconds(1000)).value().id();
+    (id == 1 ? from_a : from_b)++;
+  }
+  EXPECT_EQ(from_a, 4);
+  EXPECT_EQ(from_b, 4);
+}
+
+TEST(PortSetTest, PollWhenEmpty) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  set->Add(a.receive);
+  EXPECT_EQ(set->Receive(kPoll).status(), KernReturn::kNoMessage);
+}
+
+TEST(PortSetTest, TimeoutWhenEmpty) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  set->Add(a.receive);
+  EXPECT_EQ(set->Receive(milliseconds(20)).status(), KernReturn::kTimedOut);
+}
+
+TEST(PortSetTest, WakesBlockedReceiver) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  set->Add(a.receive);
+  std::thread sender([send = a.send]() mutable {
+    std::this_thread::sleep_for(milliseconds(20));
+    MsgSend(send, Message(77));
+  });
+  Result<Message> got = set->Receive(milliseconds(5000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 77u);
+  sender.join();
+}
+
+TEST(PortSetTest, RemoveDisablesPort) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  set->Add(a.receive);
+  EXPECT_TRUE(a.receive.port()->Status().enabled);
+  EXPECT_EQ(set->Remove(a.receive), KernReturn::kSuccess);
+  EXPECT_EQ(set->member_count(), 0u);
+  EXPECT_EQ(set->Remove(a.receive), KernReturn::kNotFound);
+  MsgSend(a.send, Message(1));
+  EXPECT_EQ(set->Receive(kPoll).status(), KernReturn::kNoMessage);
+}
+
+TEST(PortSetTest, PortsWithMessages) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  PortPair b = PortAllocate();
+  set->Add(a.receive);
+  set->Add(b.receive);
+  MsgSend(b.send, Message(1));
+  std::vector<uint64_t> ids = set->PortsWithMessages();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], b.send.id());
+}
+
+TEST(PortSetTest, DeadMemberIsDropped) {
+  auto set = PortSet::Create();
+  PortPair a = PortAllocate();
+  PortPair b = PortAllocate();
+  set->Add(a.receive);
+  set->Add(b.receive);
+  a.receive.Destroy();
+  MsgSend(b.send, Message(5));
+  EXPECT_EQ(set->Receive(milliseconds(1000)).value().id(), 5u);
+  EXPECT_EQ(set->member_count(), 1u);
+}
+
+TEST(StressTest, ManySendersOneReceiver) {
+  PortPair p = PortAllocate();
+  p.receive.port()->SetBacklog(1024);
+  constexpr int kSenders = 8;
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([send = p.send, s]() mutable {
+      for (int i = 0; i < kPerSender; ++i) {
+        Message msg(static_cast<MsgId>(s));
+        msg.PushU32(static_cast<uint32_t>(i));
+        ASSERT_EQ(MsgSend(send, std::move(msg), milliseconds(10000)), KernReturn::kSuccess);
+      }
+    });
+  }
+  int received = 0;
+  std::vector<uint32_t> last_seen(kSenders, 0);
+  while (received < kSenders * kPerSender) {
+    Result<Message> msg = MsgReceive(p.receive, milliseconds(10000));
+    ASSERT_TRUE(msg.ok());
+    ++received;
+  }
+  for (auto& t : senders) {
+    t.join();
+  }
+  EXPECT_EQ(received, kSenders * kPerSender);
+}
+
+}  // namespace
+}  // namespace mach

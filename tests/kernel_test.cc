@@ -1,0 +1,312 @@
+// Tests for the kernel layer: task and thread lifecycle (§3.1), the task's
+// default port group (Table 3-2), user code running on threads against task
+// memory, and multi-threaded fault handling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() {
+    Kernel::Config config;
+    config.frames = 128;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    kernel_ = std::make_unique<Kernel>(config);
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(KernelTest, BootAndShutdown) {
+  EXPECT_EQ(kernel_->page_size(), kPage);
+  EXPECT_GT(kernel_->phys().free_frames(), 0u);
+}
+
+TEST_F(KernelTest, CreateTaskHasPortAndEmptyMap) {
+  std::shared_ptr<Task> task = kernel_->CreateTask(nullptr, "t1");
+  EXPECT_TRUE(task->task_port().valid());
+  EXPECT_TRUE(task->VmRegions().empty());
+  EXPECT_EQ(task->name(), "t1");
+}
+
+TEST_F(KernelTest, TasksHaveIndependentAddressSpaces) {
+  std::shared_ptr<Task> a = kernel_->CreateTask();
+  std::shared_ptr<Task> b = kernel_->CreateTask();
+  VmOffset addr_a = a->VmAllocate(kPage, false, 0x30000).value();
+  uint32_t v = 5;
+  ASSERT_EQ(a->Write(addr_a, &v, sizeof(v)), KernReturn::kSuccess);
+  uint32_t out;
+  // Same address in b is invalid: separate maps.
+  EXPECT_EQ(b->Read(0x30000, &out, sizeof(out)), KernReturn::kInvalidAddress);
+}
+
+TEST_F(KernelTest, TaskDestructionReleasesFrames) {
+  uint32_t free_before = kernel_->phys().free_frames();
+  {
+    std::shared_ptr<Task> task = kernel_->CreateTask();
+    VmOffset addr = task->VmAllocate(16 * kPage).value();
+    std::vector<uint8_t> junk(16 * kPage, 1);
+    ASSERT_EQ(task->Write(addr, junk.data(), junk.size()), KernReturn::kSuccess);
+    EXPECT_LT(kernel_->phys().free_frames(), free_before);
+  }
+  // Anonymous objects die with the task; their frames return.
+  EXPECT_EQ(kernel_->phys().free_frames(), free_before);
+}
+
+TEST_F(KernelTest, ThreadRunsUserCodeAgainstTaskMemory) {
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  VmOffset addr = task->VmAllocate(kPage).value();
+  std::shared_ptr<Thread> thread = task->SpawnThread([addr](Thread& self) {
+    uint32_t v = 999;
+    self.task().Write(addr, &v, sizeof(v));
+  });
+  thread->Join();
+  uint32_t out = 0;
+  ASSERT_EQ(task->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 999u);
+}
+
+TEST_F(KernelTest, ThreadsShareTaskAddressSpace) {
+  // "All threads within a task share the address space ... of that task"
+  // (§3.1).
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  VmOffset addr = task->VmAllocate(kPage).value();
+  Event ready;
+  std::shared_ptr<Thread> writer = task->SpawnThread([&](Thread& self) {
+    uint32_t v = 7;
+    self.task().Write(addr, &v, sizeof(v));
+    ready.Signal();
+  });
+  std::atomic<uint32_t> seen{0};
+  std::shared_ptr<Thread> reader = task->SpawnThread([&](Thread& self) {
+    ready.Wait();
+    uint32_t v = 0;
+    self.task().Read(addr, &v, sizeof(v));
+    seen = v;
+  });
+  writer->Join();
+  reader->Join();
+  EXPECT_EQ(seen.load(), 7u);
+}
+
+TEST_F(KernelTest, ManyThreadsFaultConcurrently) {
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  constexpr int kThreads = 8;
+  constexpr VmSize kPagesPer = 8;
+  VmOffset addr = task->VmAllocate(kThreads * kPagesPer * kPage).value();
+  std::vector<std::shared_ptr<Thread>> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(task->SpawnThread([&, t](Thread& self) {
+      VmOffset base = addr + t * kPagesPer * kPage;
+      for (VmOffset p = 0; p < kPagesPer; ++p) {
+        uint64_t v = (uint64_t{static_cast<uint64_t>(t)} << 32) | p;
+        if (!IsOk(self.task().Write(base + p * kPage, &v, sizeof(v)))) {
+          failures.fetch_add(1);
+        }
+      }
+    }));
+  }
+  for (auto& t : threads) {
+    t->Join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (VmOffset p = 0; p < kPagesPer; ++p) {
+      uint64_t out = 0;
+      ASSERT_EQ(task->Read(addr + (t * kPagesPer + p) * kPage, &out, sizeof(out)),
+                KernReturn::kSuccess);
+      EXPECT_EQ(out, (uint64_t{static_cast<uint64_t>(t)} << 32) | p);
+    }
+  }
+}
+
+TEST_F(KernelTest, ConcurrentFaultsOnSamePage) {
+  // Several threads fault the same non-resident page at once: one
+  // pager_data_request, everyone proceeds (busy-page waiting).
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  VmOffset addr = task->VmAllocate(kPage).value();
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<Thread>> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.push_back(task->SpawnThread([&](Thread& self) {
+      uint32_t v = 0;
+      if (IsOk(self.task().Read(addr, &v, sizeof(v))) && v == 0) {
+        ok.fetch_add(1);
+      }
+    }));
+  }
+  for (auto& t : threads) {
+    t->Join();
+  }
+  EXPECT_EQ(ok.load(), kThreads);
+}
+
+TEST_F(KernelTest, ThreadSuspendResume) {
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  std::atomic<int> progress{0};
+  std::shared_ptr<Thread> thread = task->SpawnThread([&](Thread& self) {
+    while (self.Checkpoint()) {
+      progress.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Let it run, then suspend.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  thread->Suspend();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int frozen = progress.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(progress.load(), frozen + 1);  // At most one in-flight iteration.
+  thread->Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(progress.load(), frozen);
+  thread->Terminate();
+  thread->Join();
+  EXPECT_TRUE(thread->finished());
+}
+
+TEST_F(KernelTest, TaskSuspendPausesAllThreads) {
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  std::atomic<int> progress{0};
+  std::vector<std::shared_ptr<Thread>> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(task->SpawnThread([&](Thread& self) {
+      while (self.Checkpoint()) {
+        progress.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  task->Suspend();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int frozen = progress.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(progress.load(), frozen + 3);
+  task->Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(progress.load(), frozen);
+  for (auto& t : threads) {
+    t->Terminate();
+    t->Join();
+  }
+}
+
+TEST_F(KernelTest, TaskDefaultPortGroup) {
+  // port_enable / port_disable / msg_receive on the default group
+  // (Table 3-2).
+  std::shared_ptr<Task> task = kernel_->CreateTask();
+  PortPair a = task->PortAllocate("a");
+  PortPair b = task->PortAllocate("b");
+  ASSERT_EQ(task->PortEnable(a.receive), KernReturn::kSuccess);
+  ASSERT_EQ(task->PortEnable(b.receive), KernReturn::kSuccess);
+  MsgSend(b.send, Message(42));
+  Result<Message> got = task->ReceiveAny(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 42u);
+  // port_messages reports queued ports.
+  MsgSend(a.send, Message(1));
+  std::vector<uint64_t> ids = task->PortsWithMessages();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], a.send.id());
+  // Disable removes from the group.
+  ASSERT_EQ(task->PortDisable(a.receive), KernReturn::kSuccess);
+  EXPECT_EQ(task->ReceiveAny(kPoll).status(), KernReturn::kNoMessage);
+}
+
+TEST_F(KernelTest, RpcBetweenTasks) {
+  // A server task answering a client task via msg_rpc, the §3.2 model.
+  std::shared_ptr<Task> server = kernel_->CreateTask(nullptr, "server");
+  std::shared_ptr<Task> client = kernel_->CreateTask(nullptr, "client");
+  PortPair service = server->PortAllocate("service");
+  server->PortEnable(service.receive);
+
+  std::shared_ptr<Thread> service_thread = server->SpawnThread([&](Thread& self) {
+    Result<Message> req = self.task().ReceiveAny(std::chrono::seconds(5));
+    if (!req.ok()) {
+      return;
+    }
+    uint32_t x = req.value().TakeU32().value_or(0);
+    Message reply(100);
+    reply.PushU32(x + 1);
+    MsgSend(req.value().reply_port(), std::move(reply));
+  });
+
+  Message request(1);
+  request.PushU32(41);
+  Result<Message> reply = MsgRpc(service.send, std::move(request), kWaitForever,
+                                 std::chrono::seconds(5));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().TakeU32().value(), 42u);
+  service_thread->Join();
+  (void)client;
+}
+
+TEST_F(KernelTest, ForkedChildRunsIndependently) {
+  std::shared_ptr<Task> parent = kernel_->CreateTask(nullptr, "parent");
+  VmOffset addr = parent->VmAllocate(kPage).value();
+  uint32_t v = 10;
+  ASSERT_EQ(parent->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(parent, "child");
+  std::shared_ptr<Thread> worker = child->SpawnThread([addr](Thread& self) {
+    uint32_t x = 0;
+    self.task().Read(addr, &x, sizeof(x));
+    x *= 3;
+    self.task().Write(addr, &x, sizeof(x));
+  });
+  worker->Join();
+  uint32_t parent_view = 0, child_view = 0;
+  ASSERT_EQ(parent->Read(addr, &parent_view, sizeof(parent_view)), KernReturn::kSuccess);
+  ASSERT_EQ(child->Read(addr, &child_view, sizeof(child_view)), KernReturn::kSuccess);
+  EXPECT_EQ(parent_view, 10u);  // Copy inheritance: parent unchanged.
+  EXPECT_EQ(child_view, 30u);
+}
+
+TEST_F(KernelTest, OolMessageBetweenTasksCarriesMemory) {
+  // The duality in one test: a message moves a large region between tasks
+  // by mapping, and the result is copy-on-write in the receiver.
+  std::shared_ptr<Task> sender = kernel_->CreateTask();
+  std::shared_ptr<Task> receiver = kernel_->CreateTask();
+  VmOffset src = sender->VmAllocate(8 * kPage).value();
+  std::vector<uint8_t> payload(8 * kPage);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_EQ(sender->Write(src, payload.data(), payload.size()), KernReturn::kSuccess);
+
+  PortPair channel = PortAllocate("channel");
+  auto copy = kernel_->vm().CopyIn(sender->vm_context(), src, 8 * kPage);
+  ASSERT_TRUE(copy.ok());
+  Message msg(7);
+  msg.PushOol(copy.value(), 8 * kPage);
+  ASSERT_EQ(MsgSend(channel.send, std::move(msg)), KernReturn::kSuccess);
+
+  Result<Message> got = MsgReceive(channel.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  Result<OolItem> ool = got.value().TakeOol();
+  ASSERT_TRUE(ool.ok());
+  auto received_copy = std::static_pointer_cast<VmMapCopy>(ool.value().copy);
+  Result<VmOffset> dst = kernel_->vm().CopyOut(receiver->vm_context(), received_copy);
+  ASSERT_TRUE(dst.ok());
+
+  std::vector<uint8_t> out(8 * kPage);
+  ASSERT_EQ(receiver->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(out, payload);
+}
+
+}  // namespace
+}  // namespace mach

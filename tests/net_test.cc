@@ -1,0 +1,178 @@
+// Tests for the NetLink proxy layer: message forwarding, latency charging,
+// reply-port rewriting, proxy unwrapping, out-of-line flattening between
+// kernels, and dead-target propagation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/net/net_link.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() {
+    Kernel::Config config;
+    config.frames = 96;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.name = "A";
+    host_a_ = std::make_unique<Kernel>(config);
+    config.name = "B";
+    host_b_ = std::make_unique<Kernel>(config);
+    link_ = std::make_unique<NetLink>(&host_a_->vm(), &host_b_->vm(), &clock_, kNormaLatency);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Kernel> host_a_;
+  std::unique_ptr<Kernel> host_b_;
+  std::unique_ptr<NetLink> link_;
+};
+
+TEST_F(NetTest, ForwardsMessages) {
+  PortPair on_b = PortAllocate("service-on-b");
+  SendRight proxy = link_->ProxyForA(on_b.send);
+  Message msg(11);
+  msg.PushU32(99);
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 11u);
+  EXPECT_EQ(got.value().TakeU32().value(), 99u);
+  EXPECT_EQ(link_->messages_forwarded(), 1u);
+}
+
+TEST_F(NetTest, ChargesLatency) {
+  PortPair on_b = PortAllocate();
+  SendRight proxy = link_->ProxyForA(on_b.send);
+  Message msg(1);
+  msg.PushData(std::string(1000, 'x').data(), 1000);
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+  ASSERT_TRUE(MsgReceive(on_b.receive, std::chrono::seconds(5)).ok());
+  // NORMA: per_msg 200us + per_byte 80ns * ~1000B.
+  EXPECT_GE(clock_.NowNs(), kNormaLatency.per_msg_ns);
+}
+
+TEST_F(NetTest, ProxyIsCachedPerTarget) {
+  PortPair on_b = PortAllocate();
+  SendRight p1 = link_->ProxyForA(on_b.send);
+  SendRight p2 = link_->ProxyForA(on_b.send);
+  EXPECT_EQ(p1.id(), p2.id());
+}
+
+TEST_F(NetTest, ReplyPortCrossesBackThroughLink) {
+  PortPair service_on_b = PortAllocate("svc");
+  SendRight proxy = link_->ProxyForA(service_on_b.send);
+
+  std::thread server([recv = std::move(service_on_b.receive)]() mutable {
+    Result<Message> req = MsgReceive(recv, std::chrono::seconds(5));
+    ASSERT_TRUE(req.ok());
+    Message reply(2);
+    reply.PushU32(req.value().TakeU32().value() * 2);
+    // The reply port the server sees is a proxy; replying crosses the link.
+    MsgSend(req.value().reply_port(), std::move(reply));
+  });
+  Message request(1);
+  request.PushU32(21);
+  Result<Message> reply = MsgRpc(proxy, std::move(request), kWaitForever, std::chrono::seconds(5));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().TakeU32().value(), 42u);
+  // Request + reply both crossed.
+  EXPECT_EQ(link_->messages_forwarded(), 2u);
+  server.join();
+}
+
+TEST_F(NetTest, ProxyOfProxyUnwraps) {
+  // A right that is already a proxy for the reverse direction gets
+  // unwrapped, not double-proxied: ping-pong does not accrete latency
+  // layers.
+  PortPair on_b = PortAllocate("b-port");
+  SendRight proxy_on_a = link_->ProxyForA(on_b.send);
+  // Send the proxy right across the link inside a message to a B port:
+  PortPair sink_on_b = PortAllocate("sink");
+  SendRight sink_proxy = link_->ProxyForA(sink_on_b.send);
+  Message carrier(3);
+  carrier.PushPort(proxy_on_a);
+  ASSERT_EQ(MsgSend(sink_proxy, std::move(carrier)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(sink_on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  Result<SendRight> carried = got.value().TakePort();
+  ASSERT_TRUE(carried.ok());
+  // B received the *real* port, not a proxy-of-proxy.
+  EXPECT_EQ(carried.value().id(), on_b.send.id());
+}
+
+TEST_F(NetTest, OolMemoryFlattensAcrossKernels) {
+  std::shared_ptr<Task> task_a = host_a_->CreateTask();
+  std::shared_ptr<Task> task_b = host_b_->CreateTask();
+  VmOffset src = task_a->VmAllocate(2 * kPage).value();
+  std::vector<uint8_t> payload(2 * kPage);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_EQ(task_a->Write(src, payload.data(), payload.size()), KernReturn::kSuccess);
+
+  PortPair on_b = PortAllocate("ool-sink");
+  SendRight proxy = link_->ProxyForA(on_b.send);
+  auto copy = host_a_->vm().CopyIn(task_a->vm_context(), src, 2 * kPage).value();
+  Message msg(4);
+  msg.PushOol(copy, 2 * kPage);
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  Result<OolItem> ool = got.value().TakeOol();
+  ASSERT_TRUE(ool.ok());
+  auto rebuilt = std::static_pointer_cast<VmMapCopy>(ool.value().copy);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->system(), &host_b_->vm());  // Lives in B's kernel now.
+  Result<VmOffset> dst = host_b_->vm().CopyOut(task_b->vm_context(), rebuilt);
+  ASSERT_TRUE(dst.ok());
+  std::vector<uint8_t> out(2 * kPage);
+  ASSERT_EQ(task_b->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(out, payload);
+  // Bytes were charged on the wire.
+  EXPECT_GE(link_->bytes_forwarded(), 2 * kPage);
+  task_a.reset();
+  task_b.reset();
+}
+
+TEST_F(NetTest, DeadTargetKillsProxy) {
+  SendRight proxy;
+  {
+    PortPair on_b = PortAllocate("dying");
+    proxy = link_->ProxyForA(on_b.send);
+    ASSERT_EQ(MsgSend(proxy, Message(1)), KernReturn::kSuccess);
+    // Receive right dropped here: target dies.
+  }
+  // Subsequent sends eventually observe port death (the forwarder kills
+  // the proxy when the forward fails).
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  KernReturn kr = KernReturn::kSuccess;
+  while (std::chrono::steady_clock::now() < deadline) {
+    kr = MsgSend(proxy, Message(2), kPoll);
+    if (kr == KernReturn::kPortDead) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(kr, KernReturn::kPortDead);
+}
+
+TEST_F(NetTest, LatencyRegimesOrdering) {
+  // §7: UMA < NUMA < NORMA by orders of magnitude.
+  EXPECT_LT(kUmaLatency.per_msg_ns, kNumaLatency.per_msg_ns);
+  EXPECT_LT(kNumaLatency.per_msg_ns, kNormaLatency.per_msg_ns);
+  EXPECT_GE(kNumaLatency.per_msg_ns / kUmaLatency.per_msg_ns, 10u);   // ~10x (Butterfly).
+  EXPECT_GE(kNormaLatency.per_msg_ns / kNumaLatency.per_msg_ns, 10u); // 100s of us (HyperCube).
+}
+
+}  // namespace
+}  // namespace mach

@@ -1,0 +1,549 @@
+// Tests for the external memory management interface (§3.4): user-level data
+// managers serving pager_data_request, lock/unlock negotiation, flush/clean,
+// caching (pager_cache), object termination and port death, failure handling
+// (§6), and multi-kernel mappings of one memory object.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/pager/data_manager.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+// A scriptable data manager for tests: serves pages from an in-memory store,
+// stamped with the page offset when the store has no explicit contents.
+class TestPager : public DataManager {
+ public:
+  enum class Mode {
+    kProvide,       // Normal: answer with data.
+    kUnavailable,   // Answer pager_data_unavailable.
+    kSilent,        // Never answer (errant manager, §6.1).
+  };
+
+  TestPager() : DataManager("test-pager") {}
+
+  Mode mode = Mode::kProvide;
+  VmProt provide_lock = kVmProtNone;  // lock_value for pager_data_provided.
+  std::atomic<bool> auto_unlock{true};
+
+  SendRight NewObject() { return CreateMemoryObject(++next_cookie_); }
+
+  // Pre-load explicit contents for a page.
+  void SetPage(VmOffset offset, uint8_t fill) {
+    std::lock_guard<std::mutex> g(mu_);
+    store_[offset] = fill;
+  }
+
+  // --- observation ------------------------------------------------------
+  int init_count() const { return init_count_.load(); }
+  int request_count() const { return request_count_.load(); }
+  int write_count() const { return write_count_.load(); }
+  int unlock_count() const { return unlock_count_.load(); }
+  int death_count() const { return death_count_.load(); }
+
+  std::vector<SendRight> request_ports() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return request_ports_;
+  }
+  SendRight last_request_port() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return request_ports_.empty() ? SendRight() : request_ports_.back();
+  }
+  std::vector<std::byte> last_write_data() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return last_write_data_;
+  }
+  VmOffset last_write_offset() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return last_write_offset_;
+  }
+
+  bool WaitForWrites(int n, Timeout timeout = std::chrono::milliseconds(5000)) {
+    auto deadline = std::chrono::steady_clock::now() + *timeout;
+    while (write_count() < n) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+  bool WaitForDeaths(int n) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (death_count() < n) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  // Expected page contents for verification.
+  static uint64_t Stamp(VmOffset offset) { return 0xDA7A000000000000ull + offset; }
+
+ protected:
+  void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) override {
+    init_count_.fetch_add(1);
+    std::lock_guard<std::mutex> g(mu_);
+    request_ports_.push_back(args.pager_request_port);
+  }
+
+  void OnDataRequest(uint64_t object_port_id, uint64_t cookie,
+                     PagerDataRequestArgs args) override {
+    request_count_.fetch_add(1);
+    switch (mode) {
+      case Mode::kSilent:
+        return;
+      case Mode::kUnavailable:
+        DataUnavailable(args.pager_request_port, args.offset, args.length);
+        return;
+      case Mode::kProvide: {
+        std::vector<std::byte> data(args.length);
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          auto it = store_.find(args.offset);
+          if (it != store_.end()) {
+            std::memset(data.data(), it->second, data.size());
+          } else {
+            uint64_t stamp = Stamp(args.offset);
+            std::memcpy(data.data(), &stamp, sizeof(stamp));
+          }
+        }
+        ProvideData(args.pager_request_port, args.offset, std::move(data), provide_lock);
+        return;
+      }
+    }
+  }
+
+  void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) override {
+    write_count_.fetch_add(1);
+    std::lock_guard<std::mutex> g(mu_);
+    last_write_offset_ = args.offset;
+    last_write_data_ = args.data;
+  }
+
+  void OnDataUnlock(uint64_t object_port_id, uint64_t cookie,
+                    PagerDataUnlockArgs args) override {
+    unlock_count_.fetch_add(1);
+    if (auto_unlock.load()) {
+      LockData(args.pager_request_port, args.offset, args.length, kVmProtNone);
+    }
+  }
+
+  void OnPortDeath(uint64_t port_id) override { death_count_.fetch_add(1); }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_cookie_ = 0;
+  std::map<VmOffset, uint8_t> store_;
+  std::vector<SendRight> request_ports_;
+  std::vector<std::byte> last_write_data_;
+  VmOffset last_write_offset_ = 0;
+  std::atomic<int> init_count_{0};
+  std::atomic<int> request_count_{0};
+  std::atomic<int> write_count_{0};
+  std::atomic<int> unlock_count_{0};
+  std::atomic<int> death_count_{0};
+};
+
+class ExternalPagerTest : public ::testing::Test {
+ protected:
+  ExternalPagerTest() {
+    Kernel::Config config;
+    config.frames = 64;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.vm.pager_timeout = std::chrono::milliseconds(500);
+    kernel_ = std::make_unique<Kernel>(config);
+    task_ = kernel_->CreateTask();
+    pager_.Start();
+  }
+  ~ExternalPagerTest() override {
+    task_.reset();
+    pager_.Stop();
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::shared_ptr<Task> task_;
+  TestPager pager_;
+};
+
+TEST_F(ExternalPagerTest, MapObjectSendsPagerInit) {
+  SendRight object = pager_.NewObject();
+  Result<VmOffset> addr = task_->VmAllocateWithPager(4 * kPage, object, 0);
+  ASSERT_TRUE(addr.ok());
+  // pager_init arrives with request and name ports (§3.4.1).
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (pager_.init_count() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pager_.init_count(), 1);
+  EXPECT_TRUE(pager_.last_request_port().valid());
+}
+
+TEST_F(ExternalPagerTest, FaultFetchesDataFromManager) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(4 * kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr + 2 * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, TestPager::Stamp(2 * kPage));
+  EXPECT_GE(pager_.request_count(), 1);
+}
+
+TEST_F(ExternalPagerTest, MappingOffsetIsHonoured) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(2 * kPage, object, 8 * kPage).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, TestPager::Stamp(8 * kPage));
+}
+
+TEST_F(ExternalPagerTest, UnalignedObjectOffsetRejected) {
+  SendRight object = pager_.NewObject();
+  EXPECT_EQ(task_->VmAllocateWithPager(kPage, object, 100).status(),
+            KernReturn::kInvalidArgument);
+}
+
+TEST_F(ExternalPagerTest, ResidentPagesDoNotReRequest) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  int requests = pager_.request_count();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  }
+  EXPECT_EQ(pager_.request_count(), requests);  // Cache hits, no traffic (§9).
+}
+
+TEST_F(ExternalPagerTest, DataUnavailableZeroFills) {
+  pager_.mode = TestPager::Mode::kUnavailable;
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0xFF;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0u);
+}
+
+TEST_F(ExternalPagerTest, SilentManagerTimesOutWithError) {
+  pager_.mode = TestPager::Mode::kSilent;
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  // §6.2.1: timeout aborts the memory request.
+  EXPECT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kMemoryFailure);
+}
+
+TEST_F(ExternalPagerTest, SharedMappingWithinKernel) {
+  // Footnote 7: mapping the same memory object in two tasks yields
+  // read/write shared access to the object, not a copy.
+  SendRight object = pager_.NewObject();
+  std::shared_ptr<Task> other = kernel_->CreateTask();
+  VmOffset a1 = task_->VmAllocateWithPager(kPage, object, 0).value();
+  VmOffset a2 = other->VmAllocateWithPager(kPage, object, 0).value();
+  uint32_t v = 0x12344321;
+  ASSERT_EQ(task_->Write(a1, &v, sizeof(v)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(other->Read(a2, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, v);
+  // Only one pager_init: one kernel, one object (§3.4.1).
+  EXPECT_EQ(pager_.init_count(), 1);
+}
+
+TEST_F(ExternalPagerTest, TwoKernelsEachGetInitAndRequestPorts) {
+  // "If a memory object is mapped into the address space of more than one
+  // task on different hosts, the data manager will receive an initialization
+  // call from each kernel" (§3.4.1).
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel2(config);
+  std::shared_ptr<Task> remote = kernel2.CreateTask();
+
+  SendRight object = pager_.NewObject();
+  VmOffset a1 = task_->VmAllocateWithPager(kPage, object, 0).value();
+  VmOffset a2 = remote->VmAllocateWithPager(kPage, object, 0).value();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (pager_.init_count() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(pager_.init_count(), 2);
+  std::vector<SendRight> ports = pager_.request_ports();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_NE(ports[0].id(), ports[1].id());  // Distinct per-kernel request ports.
+
+  // Both kernels read the same data.
+  uint64_t o1 = 0, o2 = 0;
+  ASSERT_EQ(task_->Read(a1, &o1, sizeof(o1)), KernReturn::kSuccess);
+  ASSERT_EQ(remote->Read(a2, &o2, sizeof(o2)), KernReturn::kSuccess);
+  EXPECT_EQ(o1, o2);
+  remote.reset();
+}
+
+TEST_F(ExternalPagerTest, DirtyEvictionSendsDataWrite) {
+  SendRight object = pager_.NewObject();
+  // Map more pager-backed pages than physical memory and dirty them all.
+  constexpr VmSize kPages = 96;
+  VmOffset addr = task_->VmAllocateWithPager(kPages * kPage, object, 0).value();
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t v = 0xBEEF000000000000ull + p;
+    ASSERT_EQ(task_->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  EXPECT_TRUE(pager_.WaitForWrites(1));
+  EXPECT_GT(pager_.write_count(), 0);
+  EXPECT_EQ(pager_.last_write_data().size(), kPage);
+}
+
+TEST_F(ExternalPagerTest, FlushRequestWritesBackAndInvalidates) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint32_t v = 0x600D;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  int requests_before = pager_.request_count();
+
+  // Manager forces invalidation (pager_flush_request).
+  ASSERT_EQ(DataManager::FlushRequest(pager_.last_request_port(), 0, kPage),
+            KernReturn::kSuccess);
+  ASSERT_TRUE(pager_.WaitForWrites(1));
+  // The dirty data was written back first (§3.4.1).
+  uint32_t written = 0;
+  std::memcpy(&written, pager_.last_write_data().data(), sizeof(written));
+  EXPECT_EQ(written, 0x600Du);
+
+  // Next access re-requests from the manager.
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_GT(pager_.request_count(), requests_before);
+}
+
+TEST_F(ExternalPagerTest, CleanRequestWritesBackButKeepsCache) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint32_t v = 0xC1EA;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  int requests_before = pager_.request_count();
+
+  ASSERT_EQ(DataManager::CleanRequest(pager_.last_request_port(), 0, kPage),
+            KernReturn::kSuccess);
+  ASSERT_TRUE(pager_.WaitForWrites(1));
+
+  // Data still cached: access needs no new request.
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0xC1EAu);
+  EXPECT_EQ(pager_.request_count(), requests_before);
+}
+
+TEST_F(ExternalPagerTest, ProvidedLockValueBlocksWriteUntilUnlock) {
+  // The shared-memory pattern of §4.2: data provided write-locked; a write
+  // fault triggers pager_data_unlock; the manager grants the lock change.
+  pager_.provide_lock = kVmProtWrite;
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);  // Read is fine.
+  uint32_t v = 7;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);  // Triggers unlock.
+  EXPECT_GE(pager_.unlock_count(), 1);
+}
+
+TEST_F(ExternalPagerTest, UnansweredUnlockTimesOut) {
+  pager_.provide_lock = kVmProtWrite;
+  pager_.auto_unlock = false;
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  uint32_t v = 7;
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kMemoryFailure);
+}
+
+TEST_F(ExternalPagerTest, DataLockStripsExistingWriteAccess) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint32_t v = 1;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  // Manager restricts writes (pager_data_lock).
+  ASSERT_EQ(DataManager::LockData(pager_.last_request_port(), 0, kPage, kVmProtWrite),
+            KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Next write must renegotiate (auto_unlock answers it).
+  int unlocks_before = pager_.unlock_count();
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_GT(pager_.unlock_count(), unlocks_before);
+}
+
+TEST_F(ExternalPagerTest, ObjectTerminationNotifiesManager) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  // All references gone; the kernel deallocates its port rights and the
+  // manager observes request-port death (§3.4.1, §4.1).
+  EXPECT_TRUE(pager_.WaitForDeaths(1));
+}
+
+TEST_F(ExternalPagerTest, PagerCacheRetainsObjectAcrossMappings) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  // Manager permits caching (pager_cache).
+  ASSERT_EQ(DataManager::SetCaching(pager_.last_request_port(), true), KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  int requests_before = pager_.request_count();
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  EXPECT_EQ(pager_.death_count(), 0);  // Object survives in the cache.
+
+  // Re-map: the cached data is immediately available — no pager_init, no
+  // pager_data_request (the §9 performance mechanism).
+  VmOffset addr2 = task_->VmAllocateWithPager(kPage, object, 0).value();
+  ASSERT_EQ(task_->Read(addr2, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, TestPager::Stamp(0));
+  EXPECT_EQ(pager_.request_count(), requests_before);
+  EXPECT_EQ(pager_.init_count(), 1);
+}
+
+TEST_F(ExternalPagerTest, RescindingCacheTerminatesIdleObject) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  ASSERT_EQ(DataManager::SetCaching(pager_.last_request_port(), true), KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  ASSERT_EQ(pager_.death_count(), 0);
+  // "A data manager may later rescind its permission to cache" (§3.4.1).
+  ASSERT_EQ(DataManager::SetCaching(pager_.last_request_port(), false), KernReturn::kSuccess);
+  EXPECT_TRUE(pager_.WaitForDeaths(1));
+}
+
+TEST_F(ExternalPagerTest, TrimObjectCacheReclaims) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  ASSERT_EQ(DataManager::SetCaching(pager_.last_request_port(), true), KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  size_t objects_before = kernel_->vm().object_count();
+  EXPECT_GE(objects_before, 1u);
+  // The kernel "may choose to relinquish its access ... as it deems
+  // necessary for its cache management" — here, once pages are gone.
+  // Force the pages out first by flushing.
+  ASSERT_EQ(DataManager::FlushRequest(pager_.last_request_port(), 0, kPage),
+            KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  kernel_->vm().TrimObjectCache();
+  EXPECT_LT(kernel_->vm().object_count(), objects_before);
+  EXPECT_TRUE(pager_.WaitForDeaths(1));
+}
+
+TEST_F(ExternalPagerTest, ManagerDeathFailsFaults) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(2 * kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  // The manager destroys the memory object port (§6.2.1 destruction).
+  pager_.DestroyMemoryObject(object);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Resident page still readable; non-resident page fails.
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(task_->Read(addr + kPage, &out, sizeof(out)), KernReturn::kMemoryFailure);
+}
+
+class ZeroFillPolicyTest : public ::testing::Test {};
+
+TEST_F(ZeroFillPolicyTest, SilentManagerZeroFillsUnderPolicy) {
+  // §6.2.1: "Aborting a memory request after a timeout may involve providing
+  // (zero-filled) memory backed by the default pager."
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.pager_timeout = std::chrono::milliseconds(300);
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  TestPager pager;
+  pager.mode = TestPager::Mode::kSilent;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  VmOffset addr = task->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0xFF;
+  EXPECT_EQ(task->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0u);
+  task.reset();
+  pager.Stop();
+}
+
+class ErrantManagerTest : public ::testing::Test {};
+
+TEST_F(ErrantManagerTest, UnresponsiveManagerDirtyPagesParkWithDefaultPager) {
+  // §6.2.2: dirty pages of an errant manager divert to the default pager so
+  // the kernel is never starved: "If the data manager does not process and
+  // release the data within an adequate period of time, the data may then be
+  // paged out to the default pager."
+  Kernel::Config config;
+  config.frames = 32;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.errant_manager_protection = true;
+  config.vm.pager_timeout = std::chrono::milliseconds(300);
+  // §6.2.1: aborted memory requests substitute zero-filled memory backed by
+  // the default pager, so a dead manager cannot fail user writes.
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  TestPager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  // Tiny queue so pageout's non-blocking sends fail fast once the manager
+  // stops draining.
+  object.port()->SetBacklog(1);
+
+  constexpr VmSize kPages = 80;
+  VmOffset addr = task->VmAllocateWithPager(kPages * kPage, object, 0).value();
+  // Populate all pages while the manager is alive.
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t v = 0;
+    ASSERT_EQ(task->Read(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  pager.Stop();  // Now errant: nothing drains its (size 1) queue.
+
+  // LIVENESS: dirtying 2.5x physical memory must still complete, because
+  // pageout keeps making progress by parking with the default pager.
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t v = 0xFEED000000000000ull + p;
+    ASSERT_EQ(task->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  VmStatistics st = kernel.vm().Statistics();
+  EXPECT_GT(st.parked_pageouts, 0u);
+
+  // DURABILITY: every written page is dirty, so evictions were parked with
+  // the default pager and reads serve them back without consulting the dead
+  // manager.
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t out = 0;
+    ASSERT_EQ(task->Read(addr + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+    ASSERT_EQ(out, 0xFEED000000000000ull + p) << "page " << p;
+  }
+  task.reset();
+}
+
+}  // namespace
+}  // namespace mach

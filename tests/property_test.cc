@@ -1,0 +1,288 @@
+// Parameterized property tests: systemwide invariants swept across boot
+// parameters (the system page size is "a boot time parameter and can be any
+// multiple of the hardware page size", §3.3), memory sizes, fork depths and
+// random seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/pager/data_manager.h"
+
+namespace mach {
+namespace {
+
+// --- invariant: memory round-trips under any (page size, frame count) ---------
+
+class BootParamTest : public ::testing::TestWithParam<std::tuple<VmSize, uint32_t>> {
+ protected:
+  BootParamTest() {
+    Kernel::Config config;
+    config.page_size = std::get<0>(GetParam());
+    config.frames = std::get<1>(GetParam());
+    config.disk_latency = DiskLatencyModel{0, 0};
+    kernel_ = std::make_unique<Kernel>(config);
+    task_ = kernel_->CreateTask();
+  }
+  ~BootParamTest() override { task_.reset(); }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::shared_ptr<Task> task_;
+};
+
+TEST_P(BootParamTest, WriteReadAcrossPages) {
+  const VmSize ps = kernel_->page_size();
+  VmOffset addr = task_->VmAllocate(4 * ps).value();
+  std::vector<uint8_t> data(2 * ps + 37);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 1);
+  }
+  // Deliberately unaligned start.
+  ASSERT_EQ(task_->Write(addr + ps - 19, data.data(), data.size()), KernReturn::kSuccess);
+  std::vector<uint8_t> out(data.size());
+  ASSERT_EQ(task_->Read(addr + ps - 19, out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(data, out);
+}
+
+TEST_P(BootParamTest, PagingPreservesDataBeyondPhysicalMemory) {
+  const VmSize ps = kernel_->page_size();
+  const uint32_t frames = std::get<1>(GetParam());
+  const VmSize pages = frames * 2;  // 2x physical memory.
+  VmOffset addr = task_->VmAllocate(pages * ps).value();
+  for (VmOffset p = 0; p < pages; ++p) {
+    uint64_t v = 0xBEA7000000000000ull + p;
+    ASSERT_EQ(task_->WriteValue<uint64_t>(addr + p * ps, v), KernReturn::kSuccess);
+  }
+  for (VmOffset p = 0; p < pages; ++p) {
+    ASSERT_EQ(task_->ReadValue<uint64_t>(addr + p * ps).value(), 0xBEA7000000000000ull + p)
+        << "page " << p;
+  }
+}
+
+TEST_P(BootParamTest, RegionsArePageAligned) {
+  const VmSize ps = kernel_->page_size();
+  task_->VmAllocate(3 * ps);
+  task_->VmAllocate(ps);
+  for (const RegionInfo& region : task_->VmRegions()) {
+    EXPECT_EQ(region.start % ps, 0u);
+    EXPECT_EQ(region.end % ps, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageSizesAndFrames, BootParamTest,
+    ::testing::Combine(::testing::Values(VmSize{4096}, VmSize{8192}, VmSize{16384}),
+                       ::testing::Values(uint32_t{32}, uint32_t{96})),
+    [](const ::testing::TestParamInfo<BootParamTest::ParamType>& info) {
+      return "ps" + std::to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- invariant: COW fork chains keep every generation independent ----------------
+
+class ForkDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForkDepthTest, EachGenerationSeesItsOwnWrites) {
+  const int depth = GetParam();
+  Kernel::Config config;
+  config.frames = 160;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::vector<std::shared_ptr<Task>> generations;
+  generations.push_back(kernel.CreateTask(nullptr, "gen0"));
+  VmOffset addr = generations[0]->VmAllocate(4 * 4096).value();
+  ASSERT_EQ(generations[0]->WriteValue<uint64_t>(addr, 0), KernReturn::kSuccess);
+  // Each generation forks from the previous and overwrites the value.
+  for (int g = 1; g <= depth; ++g) {
+    generations.push_back(kernel.CreateTask(generations.back(), "gen" + std::to_string(g)));
+    ASSERT_EQ(generations.back()->WriteValue<uint64_t>(addr, g), KernReturn::kSuccess);
+  }
+  // Every generation still sees exactly its own value (shadow chains of
+  // depth up to `depth` resolve correctly).
+  for (int g = 0; g <= depth; ++g) {
+    EXPECT_EQ(generations[g]->ReadValue<uint64_t>(addr).value(), static_cast<uint64_t>(g))
+        << "generation " << g;
+  }
+  generations.clear();
+}
+
+TEST_P(ForkDepthTest, UntouchedPagesStaySharedThroughTheChain) {
+  const int depth = GetParam();
+  Kernel::Config config;
+  config.frames = 160;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::vector<std::shared_ptr<Task>> generations;
+  generations.push_back(kernel.CreateTask(nullptr));
+  VmOffset addr = generations[0]->VmAllocate(4096).value();
+  ASSERT_EQ(generations[0]->WriteValue<uint64_t>(addr, 42), KernReturn::kSuccess);
+  for (int g = 1; g <= depth; ++g) {
+    generations.push_back(kernel.CreateTask(generations.back()));
+  }
+  uint64_t cow_before = kernel.vm().Statistics().cow_faults;
+  // Reads all the way down the chain never copy.
+  for (auto& task : generations) {
+    EXPECT_EQ(task->ReadValue<uint64_t>(addr).value(), 42u);
+  }
+  EXPECT_EQ(kernel.vm().Statistics().cow_faults, cow_before);
+  generations.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ForkDepthTest, ::testing::Values(1, 3, 6, 10));
+
+// --- invariant: random workloads match a flat reference model --------------------
+
+class RandomWorkloadTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RandomWorkloadTest, MatchesReferenceModelUnderPaging) {
+  Kernel::Config config;
+  config.frames = 48;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  constexpr VmSize kBytes = 96 * 4096;  // 2x physical memory.
+  VmOffset addr = task->VmAllocate(kBytes).value();
+  std::vector<uint8_t> model(kBytes, 0);
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    VmOffset off = rng() % (kBytes - 256);
+    VmSize len = 1 + rng() % 256;
+    if (rng() % 3 != 0) {
+      std::vector<uint8_t> chunk(len);
+      for (auto& b : chunk) {
+        b = static_cast<uint8_t>(rng());
+      }
+      ASSERT_EQ(task->Write(addr + off, chunk.data(), len), KernReturn::kSuccess);
+      std::memcpy(model.data() + off, chunk.data(), len);
+    } else {
+      std::vector<uint8_t> chunk(len);
+      ASSERT_EQ(task->Read(addr + off, chunk.data(), len), KernReturn::kSuccess);
+      ASSERT_EQ(std::memcmp(chunk.data(), model.data() + off, len), 0)
+          << "iteration " << i << " offset " << off;
+    }
+  }
+  task.reset();
+}
+
+TEST_P(RandomWorkloadTest, VmCopyMatchesReferenceModel) {
+  Kernel::Config config;
+  config.frames = 128;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  constexpr VmSize kRegion = 8 * 4096;
+  VmOffset a = task->VmAllocate(kRegion).value();
+  VmOffset b = task->VmAllocate(kRegion).value();
+  std::vector<uint8_t> model_a(kRegion, 0), model_b(kRegion, 0);
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    switch (rng() % 3) {
+      case 0: {  // Write somewhere in a.
+        VmOffset off = rng() % (kRegion - 8);
+        uint64_t v = rng();
+        ASSERT_EQ(task->WriteValue<uint64_t>(a + off, v), KernReturn::kSuccess);
+        std::memcpy(model_a.data() + off, &v, sizeof(v));
+        break;
+      }
+      case 1: {  // vm_copy a -> b.
+        ASSERT_EQ(task->VmCopy(a, kRegion, b), KernReturn::kSuccess);
+        model_b = model_a;
+        break;
+      }
+      case 2: {  // Verify a random window of both regions.
+        VmOffset off = rng() % (kRegion - 64);
+        std::vector<uint8_t> out(64);
+        ASSERT_EQ(task->Read(a + off, out.data(), out.size()), KernReturn::kSuccess);
+        ASSERT_EQ(std::memcmp(out.data(), model_a.data() + off, out.size()), 0);
+        ASSERT_EQ(task->Read(b + off, out.data(), out.size()), KernReturn::kSuccess);
+        ASSERT_EQ(std::memcmp(out.data(), model_b.data() + off, out.size()), 0);
+        break;
+      }
+    }
+  }
+  task.reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(1u, 42u, 20260705u, 0xDEADBEEFu));
+
+// --- invariant: pager-backed data survives arbitrary eviction patterns -----------
+
+class PagerStoreTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  // A store-backed manager: remembers writes, serves them back.
+  class StorePager : public DataManager {
+   public:
+    explicit StorePager(VmSize page_size) : DataManager("store"), ps_(page_size) {}
+    SendRight NewObject() { return CreateMemoryObject(1); }
+
+   protected:
+    void OnDataRequest(uint64_t id, uint64_t cookie, PagerDataRequestArgs args) override {
+      std::lock_guard<std::mutex> g(mu_);
+      for (VmOffset off = args.offset; off < args.offset + args.length; off += ps_) {
+        auto it = store_.find(off);
+        if (it == store_.end()) {
+          DataUnavailable(args.pager_request_port, off, ps_);
+        } else {
+          ProvideData(args.pager_request_port, off, it->second, kVmProtNone);
+        }
+      }
+    }
+    void OnDataWrite(uint64_t id, uint64_t cookie, PagerDataWriteArgs args) override {
+      std::lock_guard<std::mutex> g(mu_);
+      for (VmOffset delta = 0; delta + ps_ <= args.data.size(); delta += ps_) {
+        store_[args.offset + delta] = std::vector<std::byte>(
+            args.data.begin() + delta, args.data.begin() + delta + ps_);
+      }
+    }
+
+   private:
+    VmSize ps_;
+    std::mutex mu_;
+    std::map<VmOffset, std::vector<std::byte>> store_;
+  };
+};
+
+TEST_P(PagerStoreTest, RandomWritesSurviveEvictionChurn) {
+  Kernel::Config config;
+  config.frames = 40;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  StorePager pager(4096);
+  pager.Start();
+  SendRight object = pager.NewObject();
+  constexpr VmSize kPages = 64;
+  VmOffset addr = task->VmAllocateWithPager(kPages * 4096, object, 0).value();
+  std::vector<uint64_t> model(kPages, 0);
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    VmOffset page = rng() % kPages;
+    if (rng() % 2 == 0) {
+      uint64_t v = rng();
+      ASSERT_EQ(task->WriteValue<uint64_t>(addr + page * 4096, v), KernReturn::kSuccess);
+      model[page] = v;
+    } else {
+      ASSERT_EQ(task->ReadValue<uint64_t>(addr + page * 4096).value(), model[page])
+          << "page " << page << " iteration " << i;
+    }
+  }
+  task.reset();
+  pager.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PagerStoreTest, ::testing::Values(7u, 777u, 77777u));
+
+}  // namespace
+}  // namespace mach

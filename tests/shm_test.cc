@@ -1,0 +1,243 @@
+// Tests for the consistent network shared memory server (§4.2): the
+// single-writer/multiple-readers protocol over the external memory
+// management interface, across multiple kernels ("hosts"), directly and
+// through latency-modelled NetLink proxies (§7).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/managers/shm/shm_server.h"
+#include "src/net/net_link.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+std::unique_ptr<Kernel> MakeHost(const std::string& name) {
+  Kernel::Config config;
+  config.name = name;
+  config.frames = 128;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.pager_timeout = std::chrono::milliseconds(5000);
+  return std::make_unique<Kernel>(config);
+}
+
+class ShmTest : public ::testing::Test {
+ protected:
+  ShmTest() {
+    host_a_ = MakeHost("host-a");
+    host_b_ = MakeHost("host-b");
+    server_ = std::make_unique<SharedMemoryServer>(kPage);
+    server_->Start();
+    task_a_ = host_a_->CreateTask(nullptr, "client-a");
+    task_b_ = host_b_->CreateTask(nullptr, "client-b");
+  }
+  ~ShmTest() override {
+    task_a_.reset();
+    task_b_.reset();
+    server_->Stop();
+  }
+
+  // Polls until `task` observes `expect` at `addr` (coherence actions are
+  // asynchronous messages).
+  bool EventuallySees(Task& task, VmOffset addr, uint32_t expect,
+                      std::chrono::milliseconds budget = std::chrono::milliseconds(5000)) {
+    auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      uint32_t v = 0;
+      if (IsOk(task.Read(addr, &v, sizeof(v))) && v == expect) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+
+  std::unique_ptr<Kernel> host_a_;
+  std::unique_ptr<Kernel> host_b_;
+  std::unique_ptr<SharedMemoryServer> server_;
+  std::shared_ptr<Task> task_a_;
+  std::shared_ptr<Task> task_b_;
+};
+
+TEST_F(ShmTest, SameObjectReturnedForSameName) {
+  SendRight x1 = server_->GetRegion("r", 4 * kPage);
+  SendRight x2 = server_->GetRegion("r", 4 * kPage);
+  EXPECT_EQ(x1.id(), x2.id());
+  EXPECT_NE(server_->GetRegion("other", kPage).id(), x1.id());
+}
+
+TEST_F(ShmTest, InitialContentsAreZero) {
+  SendRight region = server_->GetRegion("zeros", 2 * kPage);
+  VmOffset addr = task_a_->VmAllocateWithPager(2 * kPage, region, 0).value();
+  uint64_t v = 0xFF;
+  ASSERT_EQ(task_a_->Read(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_EQ(v, 0u);
+  EXPECT_GE(server_->read_grants(), 1u);
+}
+
+TEST_F(ShmTest, WriteVisibleAcrossHosts) {
+  SendRight region = server_->GetRegion("xhost", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, region, 0).value();
+  uint32_t v = 0x1234;
+  ASSERT_EQ(task_a_->Write(a, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 0x1234));
+}
+
+TEST_F(ShmTest, PingPongWrites) {
+  // Ownership of the page migrates back and forth (§4.2's final frame,
+  // repeatedly).
+  SendRight region = server_->GetRegion("pingpong", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, region, 0).value();
+  for (uint32_t round = 1; round <= 10; ++round) {
+    uint32_t va = round * 2;
+    ASSERT_EQ(task_a_->Write(a, &va, sizeof(va)), KernReturn::kSuccess);
+    ASSERT_TRUE(EventuallySees(*task_b_, b, va)) << "round " << round;
+    uint32_t vb = round * 2 + 1;
+    ASSERT_EQ(task_b_->Write(b, &vb, sizeof(vb)), KernReturn::kSuccess);
+    ASSERT_TRUE(EventuallySees(*task_a_, a, vb)) << "round " << round;
+  }
+  EXPECT_GT(server_->invalidations() + server_->recalls(), 0u);
+}
+
+TEST_F(ShmTest, ConcurrentReadersNoInvalidation) {
+  // Multiple readers of a stable page coexist without coherence traffic.
+  SendRight region = server_->GetRegion("readers", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, region, 0).value();
+  uint32_t seed = 77;
+  ASSERT_EQ(task_a_->Write(a, &seed, sizeof(seed)), KernReturn::kSuccess);
+  ASSERT_TRUE(EventuallySees(*task_b_, b, 77));
+  // Settle, then read from both sides repeatedly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  uint64_t inval_before = server_->invalidations();
+  for (int i = 0; i < 20; ++i) {
+    uint32_t va = 0, vb = 0;
+    ASSERT_EQ(task_a_->Read(a, &va, sizeof(va)), KernReturn::kSuccess);
+    ASSERT_EQ(task_b_->Read(b, &vb, sizeof(vb)), KernReturn::kSuccess);
+    EXPECT_EQ(va, 77u);
+    EXPECT_EQ(vb, 77u);
+  }
+  EXPECT_EQ(server_->invalidations(), inval_before);
+}
+
+TEST_F(ShmTest, DistinctPagesHaveIndependentOwnership) {
+  // Writers on different pages do not interfere (no false sharing at page
+  // granularity).
+  SendRight region = server_->GetRegion("pages", 2 * kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(2 * kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(2 * kPage, region, 0).value();
+  uint32_t va = 100, vb = 200;
+  ASSERT_EQ(task_a_->Write(a, &va, sizeof(va)), KernReturn::kSuccess);
+  ASSERT_EQ(task_b_->Write(b + kPage, &vb, sizeof(vb)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 100));
+  EXPECT_TRUE(EventuallySees(*task_a_, a + kPage, 200));
+}
+
+TEST_F(ShmTest, ThreeHosts) {
+  auto host_c = MakeHost("host-c");
+  std::shared_ptr<Task> task_c = host_c->CreateTask(nullptr, "client-c");
+  SendRight region = server_->GetRegion("trio", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset c = task_c->VmAllocateWithPager(kPage, region, 0).value();
+  uint32_t v = 555;
+  ASSERT_EQ(task_c->Write(c, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_a_, a, 555));
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 555));
+  uint32_t v2 = 777;
+  ASSERT_EQ(task_a_->Write(a, &v2, sizeof(v2)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_c, c, 777));
+  task_c.reset();
+}
+
+TEST_F(ShmTest, SequentialConsistencyUnderContention) {
+  // Property: a monotonically increasing counter written under ping-pong
+  // ownership never goes backwards from either host's view.
+  SendRight region = server_->GetRegion("mono", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, region, 0).value();
+  uint32_t zero = 0;
+  ASSERT_EQ(task_a_->Write(a, &zero, sizeof(zero)), KernReturn::kSuccess);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> last_b{0};
+  std::atomic<bool> regression{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      uint32_t v = 0;
+      if (IsOk(task_b_->Read(b, &v, sizeof(v)))) {
+        uint32_t prev = last_b.load();
+        if (v < prev) {
+          regression.store(true);
+        }
+        last_b.store(std::max(prev, v));
+      }
+    }
+  });
+  for (uint32_t i = 1; i <= 50; ++i) {
+    ASSERT_EQ(task_a_->Write(a, &i, sizeof(i)), KernReturn::kSuccess);
+  }
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 50));
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(regression.load()) << "shared counter went backwards on host B";
+}
+
+class ShmOverNetTest : public ShmTest {};
+
+TEST_F(ShmOverNetTest, CoherenceThroughNormaLink) {
+  // The server lives on host A; host B reaches the memory object through a
+  // NORMA-latency proxy. All pager traffic for B crosses the link.
+  SimClock net_clock;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &net_clock, kNormaLatency);
+  SendRight region = server_->GetRegion("remote", kPage);
+  VmOffset a = task_a_->VmAllocateWithPager(kPage, region, 0).value();
+  SendRight remote_region = link.ProxyForB(region);
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, remote_region, 0).value();
+
+  uint32_t v = 42;
+  ASSERT_EQ(task_a_->Write(a, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 42));
+  uint64_t msgs_after_read = link.messages_forwarded();
+  EXPECT_GT(msgs_after_read, 0u);
+  EXPECT_GT(net_clock.NowNs(), 0u);
+
+  // Remote write: unlock/invalidate traffic also crosses the link.
+  uint32_t v2 = 43;
+  ASSERT_EQ(task_b_->Write(b, &v2, sizeof(v2)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_a_, a, 43));
+  EXPECT_GT(link.messages_forwarded(), msgs_after_read);
+}
+
+TEST_F(ShmOverNetTest, LocalityKeepsTrafficLow) {
+  // Li's observation (§7): processors that seldom write the same data can
+  // use network shared memory efficiently — repeated local reads after the
+  // first fetch generate no link traffic.
+  SimClock net_clock;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &net_clock, kNormaLatency);
+  SendRight region = server_->GetRegion("locality", kPage);
+  SendRight remote_region = link.ProxyForB(region);
+  VmOffset b = task_b_->VmAllocateWithPager(kPage, remote_region, 0).value();
+  uint32_t v = 0;
+  ASSERT_EQ(task_b_->Read(b, &v, sizeof(v)), KernReturn::kSuccess);
+  uint64_t msgs_before = link.messages_forwarded();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(task_b_->Read(b, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  EXPECT_EQ(link.messages_forwarded(), msgs_before);  // All cache hits.
+}
+
+}  // namespace
+}  // namespace mach

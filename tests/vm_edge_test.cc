@@ -1,0 +1,209 @@
+// Additional VM edge cases: sharing-map semantics under vm ops, OOL copies
+// of untouched (zero) memory, CopyFromBytes/CopyAsBytes round trips, object
+// cache behaviour, and deallocation across many split entries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+class VmEdgeTest : public ::testing::Test {
+ protected:
+  VmEdgeTest() {
+    Kernel::Config config;
+    config.frames = 128;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    kernel_ = std::make_unique<Kernel>(config);
+    task_ = kernel_->CreateTask();
+  }
+  ~VmEdgeTest() override { task_.reset(); }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::shared_ptr<Task> task_;
+};
+
+TEST_F(VmEdgeTest, SharedRegionSurvivesParentProtectChange) {
+  // Per-task attributes live in the top-level entry (§5.1): the parent
+  // making its own view read-only must not affect the child's access.
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  task_->VmInherit(addr, kPage, VmInherit::kShare);
+  uint32_t v = 1;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  ASSERT_EQ(task_->VmProtect(addr, kPage, false, kVmProtRead), KernReturn::kSuccess);
+  // Parent: read-only now.
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kProtectionFailure);
+  // Child: still read/write, and changes are visible to the parent.
+  uint32_t cv = 99;
+  EXPECT_EQ(child->Write(addr, &cv, sizeof(cv)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  EXPECT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 99u);
+}
+
+TEST_F(VmEdgeTest, VmWriteIntoSharedRegionReflectsInAllTasks) {
+  // §5.1: "a vm_write operation into a region shared by more than one task
+  // would take place in the sharing map referenced by all of their task
+  // maps."
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  task_->VmInherit(addr, kPage, VmInherit::kShare);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  uint32_t v = 0xABCD;
+  ASSERT_EQ(task_->VmWrite(addr, &v, sizeof(v)), KernReturn::kSuccess);  // Kernel path.
+  uint32_t out = 0;
+  ASSERT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0xABCDu);
+}
+
+TEST_F(VmEdgeTest, SharedRegionReportedInRegions) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  task_->VmInherit(addr, kPage, VmInherit::kShare);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  bool found_shared = false;
+  for (const RegionInfo& region : task_->VmRegions()) {
+    if (region.start == addr) {
+      found_shared = region.is_shared;
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST_F(VmEdgeTest, OolCopyOfUntouchedMemoryIsZero) {
+  // Transferring never-touched (lazily zero-filled) memory works and the
+  // receiver sees zeros.
+  std::shared_ptr<Task> receiver = kernel_->CreateTask();
+  VmOffset src = task_->VmAllocate(2 * kPage).value();
+  auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, 2 * kPage);
+  ASSERT_TRUE(copy.ok());
+  Result<VmOffset> dst = kernel_->vm().CopyOut(receiver->vm_context(), copy.value());
+  ASSERT_TRUE(dst.ok());
+  std::vector<uint8_t> out(2 * kPage, 0xFF);
+  ASSERT_EQ(receiver->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  for (uint8_t b : out) {
+    ASSERT_EQ(b, 0);
+  }
+}
+
+TEST_F(VmEdgeTest, CopyBytesRoundTrip) {
+  // CopyAsBytes/CopyFromBytes (the cross-host transport primitives).
+  VmOffset src = task_->VmAllocate(2 * kPage).value();
+  std::vector<uint8_t> data(2 * kPage);
+  std::iota(data.begin(), data.end(), 3);
+  ASSERT_EQ(task_->Write(src, data.data(), data.size()), KernReturn::kSuccess);
+  auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, 2 * kPage).value();
+  Result<std::vector<std::byte>> flat = kernel_->vm().CopyAsBytes(copy);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_EQ(flat.value().size(), 2 * kPage);
+  EXPECT_EQ(std::memcmp(flat.value().data(), data.data(), data.size()), 0);
+
+  auto rebuilt = kernel_->vm().CopyFromBytes(flat.value().data(), flat.value().size());
+  ASSERT_TRUE(rebuilt.ok());
+  Result<VmOffset> dst = kernel_->vm().CopyOut(task_->vm_context(), rebuilt.value());
+  ASSERT_TRUE(dst.ok());
+  std::vector<uint8_t> out(2 * kPage);
+  ASSERT_EQ(task_->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VmEdgeTest, CopyFromBytesPartialPagePadsWithZeros) {
+  std::vector<uint8_t> data(100, 0x77);
+  auto copy = kernel_->vm().CopyFromBytes(data.data(), data.size());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value()->size(), kPage);  // Rounded to a page.
+  Result<VmOffset> dst = kernel_->vm().CopyOut(task_->vm_context(), copy.value());
+  ASSERT_TRUE(dst.ok());
+  uint8_t head = 0, tail = 0xFF;
+  ASSERT_EQ(task_->Read(dst.value(), &head, 1), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(dst.value() + 200, &tail, 1), KernReturn::kSuccess);
+  EXPECT_EQ(head, 0x77);
+  EXPECT_EQ(tail, 0);
+}
+
+TEST_F(VmEdgeTest, DeallocateSpanningManyEntries) {
+  // Build a striped region (splits via per-page protection changes), then
+  // deallocate the whole thing at once.
+  VmOffset addr = task_->VmAllocate(8 * kPage).value();
+  std::vector<uint8_t> data(8 * kPage, 0x21);
+  ASSERT_EQ(task_->Write(addr, data.data(), data.size()), KernReturn::kSuccess);
+  for (VmOffset p = 0; p < 8; p += 2) {
+    ASSERT_EQ(task_->VmProtect(addr + p * kPage, kPage, false, kVmProtRead),
+              KernReturn::kSuccess);
+  }
+  EXPECT_GE(task_->VmRegions().size(), 7u);  // Split into stripes.
+  ASSERT_EQ(task_->VmDeallocate(addr, 8 * kPage), KernReturn::kSuccess);
+  EXPECT_TRUE(task_->VmRegions().empty());
+  uint8_t b;
+  EXPECT_EQ(task_->Read(addr + 3 * kPage, &b, 1), KernReturn::kInvalidAddress);
+}
+
+TEST_F(VmEdgeTest, ForkWhileSplitEntriesExist) {
+  VmOffset addr = task_->VmAllocate(4 * kPage).value();
+  std::vector<uint8_t> data(4 * kPage, 0x44);
+  ASSERT_EQ(task_->Write(addr, data.data(), data.size()), KernReturn::kSuccess);
+  // Split: middle pages shared, outer pages copied.
+  ASSERT_EQ(task_->VmInherit(addr + kPage, 2 * kPage, VmInherit::kShare), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  // Outer page: COW.
+  uint32_t v = 1;
+  ASSERT_EQ(child->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_NE(out, 1u);
+  // Middle page: shared.
+  uint32_t sv = 2;
+  ASSERT_EQ(child->Write(addr + kPage, &sv, sizeof(sv)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(addr + kPage, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 2u);
+}
+
+TEST_F(VmEdgeTest, ReadAfterWriteThroughVmCopyChain) {
+  // a -> b -> c chained vm_copies preserve values through two COW layers.
+  VmOffset a = task_->VmAllocate(kPage).value();
+  VmOffset b = task_->VmAllocate(kPage).value();
+  VmOffset c = task_->VmAllocate(kPage).value();
+  uint32_t v = 0x1A2B;
+  ASSERT_EQ(task_->Write(a, &v, sizeof(v)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmCopy(a, kPage, b), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmCopy(b, kPage, c), KernReturn::kSuccess);
+  uint32_t v2 = 0x3C4D;
+  ASSERT_EQ(task_->Write(b, &v2, sizeof(v2)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(c, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0x1A2Bu);  // c froze b's old value.
+  ASSERT_EQ(task_->Read(a, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0x1A2Bu);
+}
+
+TEST_F(VmEdgeTest, StatisticsHitRateImprovesOnRepeatedAccess) {
+  VmOffset addr = task_->VmAllocate(4 * kPage).value();
+  std::vector<uint8_t> buf(4 * kPage);
+  task_->Read(addr, buf.data(), buf.size());
+  VmStatistics first = task_->VmStats();
+  // vm_read path: repeated kernel-mediated access hits the resident pages.
+  for (int i = 0; i < 10; ++i) {
+    task_->VmRead(addr, buf.data(), buf.size());
+  }
+  VmStatistics after = task_->VmStats();
+  EXPECT_GT(after.hits, first.hits);
+  EXPECT_GT(after.lookups, first.lookups);
+}
+
+TEST_F(VmEdgeTest, AllocateAtConflictsWithExistingRegion) {
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  EXPECT_EQ(task_->VmAllocate(kPage, false, addr + kPage).status(), KernReturn::kNoSpace);
+  // But adjacent is fine.
+  EXPECT_TRUE(task_->VmAllocate(kPage, false, addr + 2 * kPage).ok());
+}
+
+}  // namespace
+}  // namespace mach

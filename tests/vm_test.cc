@@ -1,0 +1,569 @@
+// Tests for the VM layer: address maps, the Table 3-3 operations,
+// copy-on-write (vm_copy, fork inheritance, out-of-line transfer), lazy zero
+// fill, pageout under memory pressure through the default pager, and the
+// statistics counters.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/vm/address_map.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+// --- AddressMap unit tests ---------------------------------------------------
+
+class AddressMapTest : public ::testing::Test {
+ protected:
+  AddressMap map_{kPage, 1u << 20, kPage};
+
+  MapEntry MakeEntry(VmOffset start, VmOffset end) {
+    MapEntry e;
+    e.start = start;
+    e.end = end;
+    return e;
+  }
+};
+
+TEST_F(AddressMapTest, LookupEmpty) {
+  EXPECT_EQ(map_.Lookup(0x5000), nullptr);
+}
+
+TEST_F(AddressMapTest, InsertAndLookup) {
+  ASSERT_EQ(map_.Insert(MakeEntry(0x5000, 0x8000)), KernReturn::kSuccess);
+  EXPECT_NE(map_.Lookup(0x5000), nullptr);
+  EXPECT_NE(map_.Lookup(0x7FFF), nullptr);
+  EXPECT_EQ(map_.Lookup(0x8000), nullptr);
+  EXPECT_EQ(map_.Lookup(0x4FFF), nullptr);
+}
+
+TEST_F(AddressMapTest, InsertOverlapFails) {
+  ASSERT_EQ(map_.Insert(MakeEntry(0x5000, 0x8000)), KernReturn::kSuccess);
+  EXPECT_EQ(map_.Insert(MakeEntry(0x7000, 0x9000)), KernReturn::kNoSpace);
+  EXPECT_EQ(map_.Insert(MakeEntry(0x4000, 0x6000)), KernReturn::kNoSpace);
+  EXPECT_EQ(map_.Insert(MakeEntry(0x8000, 0x9000)), KernReturn::kSuccess);
+}
+
+TEST_F(AddressMapTest, FindSpaceSkipsUsedRanges) {
+  ASSERT_EQ(map_.Insert(MakeEntry(kPage, kPage + 0x3000)), KernReturn::kSuccess);
+  Result<VmOffset> found = map_.FindSpace(0x2000);
+  ASSERT_TRUE(found.ok());
+  EXPECT_GE(found.value(), kPage + 0x3000u);
+}
+
+TEST_F(AddressMapTest, FindSpaceHonoursHint) {
+  Result<VmOffset> found = map_.FindSpace(0x1000, 0x50000);
+  ASSERT_TRUE(found.ok());
+  EXPECT_GE(found.value(), 0x50000u);
+}
+
+TEST_F(AddressMapTest, FindSpaceFailsWhenFull) {
+  AddressMap tiny(kPage, 4 * kPage, kPage);
+  ASSERT_EQ(tiny.Insert(MakeEntry(kPage, 4 * kPage)), KernReturn::kSuccess);
+  EXPECT_EQ(tiny.FindSpace(kPage).status(), KernReturn::kNoSpace);
+}
+
+TEST_F(AddressMapTest, ClipSplitsEntriesAndPreservesOffsets) {
+  MapEntry e = MakeEntry(0x10000, 0x14000);
+  e.offset = 0x2000;
+  ASSERT_EQ(map_.Insert(std::move(e)), KernReturn::kSuccess);
+  std::vector<MapEntry*> clipped = map_.ClipRange(0x11000, 0x13000);
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0]->start, 0x11000u);
+  EXPECT_EQ(clipped[0]->end, 0x13000u);
+  EXPECT_EQ(clipped[0]->offset, 0x3000u);
+  EXPECT_EQ(map_.entry_count(), 3u);
+  // Outer fragments intact.
+  EXPECT_EQ(map_.Lookup(0x10000)->end, 0x11000u);
+  EXPECT_EQ(map_.Lookup(0x13000)->end, 0x14000u);
+  EXPECT_EQ(map_.Lookup(0x13000)->offset, 0x5000u);
+}
+
+TEST_F(AddressMapTest, RemoveRangeMiddle) {
+  ASSERT_EQ(map_.Insert(MakeEntry(0x10000, 0x14000)), KernReturn::kSuccess);
+  std::vector<MapEntry> removed = map_.RemoveRange(0x11000, 0x12000);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].start, 0x11000u);
+  EXPECT_EQ(map_.Lookup(0x11000), nullptr);
+  EXPECT_NE(map_.Lookup(0x10000), nullptr);
+  EXPECT_NE(map_.Lookup(0x12000), nullptr);
+}
+
+TEST_F(AddressMapTest, RangeFullyCovered) {
+  ASSERT_EQ(map_.Insert(MakeEntry(0x10000, 0x12000)), KernReturn::kSuccess);
+  ASSERT_EQ(map_.Insert(MakeEntry(0x12000, 0x14000)), KernReturn::kSuccess);
+  EXPECT_TRUE(map_.RangeFullyCovered(0x10000, 0x4000));
+  EXPECT_TRUE(map_.RangeFullyCovered(0x11000, 0x2000));
+  EXPECT_FALSE(map_.RangeFullyCovered(0x10000, 0x5000));
+  EXPECT_FALSE(map_.RangeFullyCovered(0xF000, 0x2000));
+}
+
+// --- Task-level VM operation tests -------------------------------------------
+
+class VmOpsTest : public ::testing::Test {
+ protected:
+  VmOpsTest() {
+    Kernel::Config config;
+    config.frames = 128;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    kernel_ = std::make_unique<Kernel>(config);
+    task_ = kernel_->CreateTask();
+  }
+  ~VmOpsTest() override { task_.reset(); }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::shared_ptr<Task> task_;
+};
+
+TEST_F(VmOpsTest, AllocateAnywhereReturnsPageAligned) {
+  Result<VmOffset> addr = task_->VmAllocate(3 * kPage);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value() % kPage, 0u);
+}
+
+TEST_F(VmOpsTest, AllocateZeroSizeFails) {
+  EXPECT_EQ(task_->VmAllocate(0).status(), KernReturn::kInvalidArgument);
+}
+
+TEST_F(VmOpsTest, AllocateAtFixedAddress) {
+  Result<VmOffset> addr = task_->VmAllocate(kPage, /*anywhere=*/false, 0x40000);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value(), 0x40000u);
+  // Same place again: no space.
+  EXPECT_EQ(task_->VmAllocate(kPage, false, 0x40000).status(), KernReturn::kNoSpace);
+}
+
+TEST_F(VmOpsTest, NewMemoryIsZeroFilled) {
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  std::vector<uint8_t> buf(2 * kPage, 0xFF);
+  ASSERT_EQ(task_->Read(addr, buf.data(), buf.size()), KernReturn::kSuccess);
+  for (uint8_t b : buf) {
+    ASSERT_EQ(b, 0);
+  }
+}
+
+TEST_F(VmOpsTest, WriteThenReadRoundTrip) {
+  VmOffset addr = task_->VmAllocate(4 * kPage).value();
+  std::vector<uint8_t> data(4 * kPage);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_EQ(task_->Write(addr, data.data(), data.size()), KernReturn::kSuccess);
+  std::vector<uint8_t> out(4 * kPage);
+  ASSERT_EQ(task_->Read(addr, out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(data, out);
+}
+
+TEST_F(VmOpsTest, UnalignedAccessSpanningPages) {
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  uint64_t v = 0x1122334455667788ull;
+  ASSERT_EQ(task_->Write(addr + kPage - 3, &v, sizeof(v)), KernReturn::kSuccess);
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr + kPage - 3, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, v);
+}
+
+TEST_F(VmOpsTest, AccessUnallocatedFails) {
+  uint32_t v;
+  EXPECT_EQ(task_->Read(0x7FFF0000, &v, sizeof(v)), KernReturn::kInvalidAddress);
+  EXPECT_EQ(task_->Write(0x7FFF0000, &v, sizeof(v)), KernReturn::kInvalidAddress);
+}
+
+TEST_F(VmOpsTest, DeallocateInvalidatesRange) {
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  uint32_t v = 7;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmDeallocate(addr, 2 * kPage), KernReturn::kSuccess);
+  EXPECT_EQ(task_->Read(addr, &v, sizeof(v)), KernReturn::kInvalidAddress);
+}
+
+TEST_F(VmOpsTest, PartialDeallocateKeepsRest) {
+  VmOffset addr = task_->VmAllocate(3 * kPage).value();
+  uint32_t v = 9;
+  ASSERT_EQ(task_->Write(addr + 2 * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  uint32_t out = 0;
+  EXPECT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kInvalidAddress);
+  EXPECT_EQ(task_->Read(addr + 2 * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 9u);
+}
+
+TEST_F(VmOpsTest, ProtectReadOnlyBlocksWrites) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  uint32_t v = 5;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmProtect(addr, kPage, false, kVmProtRead), KernReturn::kSuccess);
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kProtectionFailure);
+  uint32_t out = 0;
+  EXPECT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 5u);
+  // Restore write access: allowed because max_protection still includes it.
+  ASSERT_EQ(task_->VmProtect(addr, kPage, false, kVmProtDefault), KernReturn::kSuccess);
+  v = 6;
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+}
+
+TEST_F(VmOpsTest, SetMaxProtectionIsIrrevocable) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmProtect(addr, kPage, /*set_max=*/true, kVmProtRead), KernReturn::kSuccess);
+  // Cannot raise protection beyond the new maximum.
+  EXPECT_EQ(task_->VmProtect(addr, kPage, false, kVmProtDefault),
+            KernReturn::kProtectionFailure);
+  uint32_t v = 1;
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kProtectionFailure);
+}
+
+TEST_F(VmOpsTest, ProtectSubrangeSplitsEntry) {
+  VmOffset addr = task_->VmAllocate(3 * kPage).value();
+  ASSERT_EQ(task_->VmProtect(addr + kPage, kPage, false, kVmProtRead), KernReturn::kSuccess);
+  uint32_t v = 3;
+  EXPECT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_EQ(task_->Write(addr + kPage, &v, sizeof(v)), KernReturn::kProtectionFailure);
+  EXPECT_EQ(task_->Write(addr + 2 * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+}
+
+TEST_F(VmOpsTest, ProtectUnallocatedFails) {
+  EXPECT_EQ(task_->VmProtect(0x7F000000, kPage, false, kVmProtRead),
+            KernReturn::kInvalidAddress);
+}
+
+TEST_F(VmOpsTest, VmReadWriteKernelPath) {
+  // vm_read/vm_write work without the task ever touching the memory.
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  std::vector<uint8_t> data(100, 0xAB);
+  ASSERT_EQ(task_->VmWrite(addr + 50, data.data(), data.size()), KernReturn::kSuccess);
+  std::vector<uint8_t> out(100);
+  ASSERT_EQ(task_->VmRead(addr + 50, out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(data, out);
+  // And the user view agrees.
+  std::vector<uint8_t> user(100);
+  ASSERT_EQ(task_->Read(addr + 50, user.data(), user.size()), KernReturn::kSuccess);
+  EXPECT_EQ(data, user);
+}
+
+TEST_F(VmOpsTest, VmCopyCreatesIndependentCopy) {
+  VmOffset src = task_->VmAllocate(2 * kPage).value();
+  VmOffset dst = task_->VmAllocate(2 * kPage).value();
+  uint32_t v = 0xCAFE;
+  ASSERT_EQ(task_->Write(src, &v, sizeof(v)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmCopy(src, 2 * kPage, dst), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(dst, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0xCAFEu);
+  // Writes to the copy do not affect the original, and vice versa.
+  uint32_t v2 = 0xBEEF;
+  ASSERT_EQ(task_->Write(dst, &v2, sizeof(v2)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(src, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0xCAFEu);
+  uint32_t v3 = 0xF00D;
+  ASSERT_EQ(task_->Write(src, &v3, sizeof(v3)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(dst, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0xBEEFu);
+}
+
+TEST_F(VmOpsTest, VmCopyIsLazy) {
+  // Copying a large region must not copy pages eagerly: the copy-on-write
+  // fault count only grows when pages are actually written.
+  VmOffset src = task_->VmAllocate(16 * kPage).value();
+  std::vector<uint8_t> data(16 * kPage, 0x11);
+  ASSERT_EQ(task_->Write(src, data.data(), data.size()), KernReturn::kSuccess);
+  VmOffset dst = task_->VmAllocate(16 * kPage).value();
+  uint64_t cow_before = task_->VmStats().cow_faults;
+  ASSERT_EQ(task_->VmCopy(src, 16 * kPage, dst), KernReturn::kSuccess);
+  EXPECT_EQ(task_->VmStats().cow_faults, cow_before);
+  // Touch one page of the copy: exactly that page is copied.
+  uint32_t v = 1;
+  ASSERT_EQ(task_->Write(dst + 5 * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_EQ(task_->VmStats().cow_faults, cow_before + 1);
+}
+
+TEST_F(VmOpsTest, RegionsReflectState) {
+  VmOffset a = task_->VmAllocate(kPage).value();
+  VmOffset b = task_->VmAllocate(2 * kPage).value();
+  ASSERT_EQ(task_->VmProtect(b, 2 * kPage, false, kVmProtRead), KernReturn::kSuccess);
+  ASSERT_EQ(task_->VmInherit(a, kPage, VmInherit::kShare), KernReturn::kSuccess);
+  std::vector<RegionInfo> regions = task_->VmRegions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].start, a);
+  EXPECT_EQ(regions[0].inheritance, VmInherit::kShare);
+  EXPECT_EQ(regions[1].start, b);
+  EXPECT_EQ(regions[1].protection, kVmProtRead);
+}
+
+TEST_F(VmOpsTest, StatisticsTrackFaultsAndZeroFills) {
+  VmStatistics before = task_->VmStats();
+  VmOffset addr = task_->VmAllocate(4 * kPage).value();
+  std::vector<uint8_t> buf(4 * kPage);
+  ASSERT_EQ(task_->Read(addr, buf.data(), buf.size()), KernReturn::kSuccess);
+  VmStatistics after = task_->VmStats();
+  EXPECT_GE(after.faults, before.faults + 4);
+  EXPECT_GE(after.zero_fill_count, before.zero_fill_count + 4);
+  EXPECT_EQ(after.page_size, kPage);
+}
+
+// --- fork / inheritance -------------------------------------------------------
+
+TEST_F(VmOpsTest, ForkCopyInheritanceIsCopyOnWrite) {
+  VmOffset addr = task_->VmAllocate(2 * kPage).value();
+  uint32_t v = 41;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  uint32_t out = 0;
+  ASSERT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 41u);
+
+  // Child writes do not affect the parent.
+  uint32_t cv = 42;
+  ASSERT_EQ(child->Write(addr, &cv, sizeof(cv)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 41u);
+
+  // Parent writes do not affect the child.
+  uint32_t pv = 43;
+  ASSERT_EQ(task_->Write(addr, &pv, sizeof(pv)), KernReturn::kSuccess);
+  ASSERT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 42u);
+}
+
+TEST_F(VmOpsTest, ForkShareInheritanceIsReadWriteShared) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmInherit(addr, kPage, VmInherit::kShare), KernReturn::kSuccess);
+  uint32_t v = 10;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  uint32_t out = 0;
+  ASSERT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 10u);
+
+  // Writes propagate both ways (read/write sharing, §3.3).
+  uint32_t cv = 20;
+  ASSERT_EQ(child->Write(addr, &cv, sizeof(cv)), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 20u);
+  uint32_t pv = 30;
+  ASSERT_EQ(task_->Write(addr, &pv, sizeof(pv)), KernReturn::kSuccess);
+  ASSERT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 30u);
+}
+
+TEST_F(VmOpsTest, ForkNoneInheritanceLeavesHole) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmInherit(addr, kPage, VmInherit::kNone), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  uint32_t out = 0;
+  EXPECT_EQ(child->Read(addr, &out, sizeof(out)), KernReturn::kInvalidAddress);
+}
+
+TEST_F(VmOpsTest, ShareInheritanceSurvivesGrandchildren) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmInherit(addr, kPage, VmInherit::kShare), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  std::shared_ptr<Task> grandchild = kernel_->CreateTask(child);
+  uint32_t v = 77;
+  ASSERT_EQ(grandchild->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 77u);
+}
+
+TEST_F(VmOpsTest, MixedInheritanceRegions) {
+  VmOffset shared = task_->VmAllocate(kPage).value();
+  VmOffset copied = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmInherit(shared, kPage, VmInherit::kShare), KernReturn::kSuccess);
+  uint32_t v = 1;
+  ASSERT_EQ(task_->Write(shared, &v, sizeof(v)), KernReturn::kSuccess);
+  v = 2;
+  ASSERT_EQ(task_->Write(copied, &v, sizeof(v)), KernReturn::kSuccess);
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  uint32_t w = 100;
+  ASSERT_EQ(child->Write(shared, &w, sizeof(w)), KernReturn::kSuccess);
+  w = 200;
+  ASSERT_EQ(child->Write(copied, &w, sizeof(w)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(shared, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 100u);  // Shared: parent sees child write.
+  ASSERT_EQ(task_->Read(copied, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 2u);  // Copied: parent unaffected.
+}
+
+// --- out-of-line transfer -----------------------------------------------------
+
+TEST_F(VmOpsTest, OolTransferBetweenTasks) {
+  std::shared_ptr<Task> receiver = kernel_->CreateTask();
+  VmOffset src = task_->VmAllocate(2 * kPage).value();
+  std::vector<uint8_t> data(2 * kPage, 0x5A);
+  ASSERT_EQ(task_->Write(src, data.data(), data.size()), KernReturn::kSuccess);
+
+  auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, 2 * kPage);
+  ASSERT_TRUE(copy.ok());
+  Result<VmOffset> dst = kernel_->vm().CopyOut(receiver->vm_context(), copy.value());
+  ASSERT_TRUE(dst.ok());
+
+  std::vector<uint8_t> out(2 * kPage);
+  ASSERT_EQ(receiver->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(VmOpsTest, OolTransferIsCopyOnWrite) {
+  std::shared_ptr<Task> receiver = kernel_->CreateTask();
+  VmOffset src = task_->VmAllocate(kPage).value();
+  uint32_t v = 111;
+  ASSERT_EQ(task_->Write(src, &v, sizeof(v)), KernReturn::kSuccess);
+
+  auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, kPage);
+  ASSERT_TRUE(copy.ok());
+  // Sender modifies after copyin: receiver must still see the old value.
+  uint32_t v2 = 222;
+  ASSERT_EQ(task_->Write(src, &v2, sizeof(v2)), KernReturn::kSuccess);
+
+  Result<VmOffset> dst = kernel_->vm().CopyOut(receiver->vm_context(), copy.value());
+  ASSERT_TRUE(dst.ok());
+  uint32_t out = 0;
+  ASSERT_EQ(receiver->Read(dst.value(), &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 111u);
+}
+
+TEST_F(VmOpsTest, OolCopyConsumedOnlyOnce) {
+  VmOffset src = task_->VmAllocate(kPage).value();
+  auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, kPage);
+  ASSERT_TRUE(copy.ok());
+  ASSERT_TRUE(kernel_->vm().CopyOut(task_->vm_context(), copy.value()).ok());
+  EXPECT_EQ(kernel_->vm().CopyOut(task_->vm_context(), copy.value()).status(),
+            KernReturn::kInvalidArgument);
+}
+
+TEST_F(VmOpsTest, OolUnalignedFails) {
+  VmOffset src = task_->VmAllocate(kPage).value();
+  EXPECT_EQ(kernel_->vm().CopyIn(task_->vm_context(), src + 1, kPage).status(),
+            KernReturn::kInvalidArgument);
+  EXPECT_EQ(kernel_->vm().CopyIn(task_->vm_context(), src, 100).status(),
+            KernReturn::kInvalidArgument);
+}
+
+TEST_F(VmOpsTest, OolDroppedWithoutConsumingReleasesRefs) {
+  VmOffset src = task_->VmAllocate(kPage).value();
+  uint32_t v = 1;
+  ASSERT_EQ(task_->Write(src, &v, sizeof(v)), KernReturn::kSuccess);
+  {
+    auto copy = kernel_->vm().CopyIn(task_->vm_context(), src, kPage);
+    ASSERT_TRUE(copy.ok());
+  }  // Dropped unconsumed.
+  // The source must still be fully usable afterwards.
+  uint32_t v2 = 2;
+  ASSERT_EQ(task_->Write(src, &v2, sizeof(v2)), KernReturn::kSuccess);
+  uint32_t out = 0;
+  ASSERT_EQ(task_->Read(src, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 2u);
+}
+
+// --- memory pressure / pageout ------------------------------------------------
+
+class PageoutTest : public ::testing::Test {
+ protected:
+  PageoutTest() {
+    Kernel::Config config;
+    config.frames = 32;  // Small memory: force paging.
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    kernel_ = std::make_unique<Kernel>(config);
+    task_ = kernel_->CreateTask();
+  }
+  ~PageoutTest() override { task_.reset(); }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::shared_ptr<Task> task_;
+};
+
+TEST_F(PageoutTest, AnonymousMemoryLargerThanPhysical) {
+  // 3x physical memory of anonymous data, written and verified: pages must
+  // round-trip through the default pager.
+  constexpr VmSize kPages = 96;
+  VmOffset addr = task_->VmAllocate(kPages * kPage).value();
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t stamp = 0xA000000000000000ull + p;
+    ASSERT_EQ(task_->Write(addr + p * kPage + 8, &stamp, sizeof(stamp)), KernReturn::kSuccess);
+  }
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t out = 0;
+    ASSERT_EQ(task_->Read(addr + p * kPage + 8, &out, sizeof(out)), KernReturn::kSuccess);
+    ASSERT_EQ(out, 0xA000000000000000ull + p) << "page " << p;
+  }
+  // The default pager must have really been exercised.
+  EXPECT_GT(kernel_->default_pager().pageout_count(), 0u);
+  EXPECT_GT(kernel_->default_pager().pagein_count(), 0u);
+}
+
+TEST_F(PageoutTest, RandomAccessAgainstReferenceModel) {
+  // Property test: a random workload over paged memory matches a flat
+  // reference model byte for byte.
+  constexpr VmSize kPages = 64;
+  VmOffset addr = task_->VmAllocate(kPages * kPage).value();
+  std::vector<uint8_t> model(kPages * kPage, 0);
+  std::mt19937 rng(12345);
+  std::uniform_int_distribution<VmOffset> off_dist(0, kPages * kPage - 64);
+  for (int i = 0; i < 500; ++i) {
+    VmOffset off = off_dist(rng);
+    if (rng() % 2 == 0) {
+      uint8_t value = static_cast<uint8_t>(rng());
+      std::vector<uint8_t> chunk(1 + rng() % 64, value);
+      ASSERT_EQ(task_->Write(addr + off, chunk.data(), chunk.size()), KernReturn::kSuccess);
+      std::memcpy(model.data() + off, chunk.data(), chunk.size());
+    } else {
+      std::vector<uint8_t> chunk(1 + rng() % 64);
+      ASSERT_EQ(task_->Read(addr + off, chunk.data(), chunk.size()), KernReturn::kSuccess);
+      ASSERT_EQ(std::memcmp(chunk.data(), model.data() + off, chunk.size()), 0)
+          << "mismatch at offset " << off << " iteration " << i;
+    }
+  }
+}
+
+TEST_F(PageoutTest, CowPagesSurvivePageout) {
+  // COW-forked data must stay correct even when both copies get paged out.
+  constexpr VmSize kPages = 24;
+  VmOffset addr = task_->VmAllocate(kPages * kPage).value();
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint32_t v = 1000 + static_cast<uint32_t>(p);
+    ASSERT_EQ(task_->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  std::shared_ptr<Task> child = kernel_->CreateTask(task_);
+  // Child overwrites every other page.
+  for (VmOffset p = 0; p < kPages; p += 2) {
+    uint32_t v = 2000 + static_cast<uint32_t>(p);
+    ASSERT_EQ(child->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  // Blow the cache with extra traffic.
+  VmOffset extra = task_->VmAllocate(48 * kPage).value();
+  std::vector<uint8_t> junk(48 * kPage, 0x77);
+  ASSERT_EQ(task_->Write(extra, junk.data(), junk.size()), KernReturn::kSuccess);
+  // Verify both sides.
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint32_t parent = 0, kid = 0;
+    ASSERT_EQ(task_->Read(addr + p * kPage, &parent, sizeof(parent)), KernReturn::kSuccess);
+    ASSERT_EQ(child->Read(addr + p * kPage, &kid, sizeof(kid)), KernReturn::kSuccess);
+    EXPECT_EQ(parent, 1000 + p) << "parent page " << p;
+    EXPECT_EQ(kid, (p % 2 == 0 ? 2000 + p : 1000 + p)) << "child page " << p;
+  }
+}
+
+TEST_F(PageoutTest, StatisticsShowPagingActivity) {
+  VmOffset addr = task_->VmAllocate(80 * kPage).value();
+  std::vector<uint8_t> junk(80 * kPage, 0x33);
+  ASSERT_EQ(task_->Write(addr, junk.data(), junk.size()), KernReturn::kSuccess);
+  std::vector<uint8_t> out(80 * kPage);
+  ASSERT_EQ(task_->Read(addr, out.data(), out.size()), KernReturn::kSuccess);
+  VmStatistics st = task_->VmStats();
+  EXPECT_GT(st.pageouts, 0u);
+  EXPECT_GT(st.pageins, 0u);
+}
+
+}  // namespace
+}  // namespace mach
