@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_camelot.dir/bench_camelot.cc.o"
+  "CMakeFiles/bench_camelot.dir/bench_camelot.cc.o.d"
+  "bench_camelot"
+  "bench_camelot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_camelot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

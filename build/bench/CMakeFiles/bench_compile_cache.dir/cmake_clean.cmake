@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_cache.dir/bench_compile_cache.cc.o"
+  "CMakeFiles/bench_compile_cache.dir/bench_compile_cache.cc.o.d"
+  "bench_compile_cache"
+  "bench_compile_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_reduction.dir/bench_io_reduction.cc.o"
+  "CMakeFiles/bench_io_reduction.dir/bench_io_reduction.cc.o.d"
+  "bench_io_reduction"
+  "bench_io_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

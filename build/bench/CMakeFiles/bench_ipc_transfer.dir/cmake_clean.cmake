@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc_transfer.dir/bench_ipc_transfer.cc.o"
+  "CMakeFiles/bench_ipc_transfer.dir/bench_ipc_transfer.cc.o.d"
+  "bench_ipc_transfer"
+  "bench_ipc_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

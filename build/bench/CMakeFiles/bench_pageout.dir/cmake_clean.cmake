@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pageout.dir/bench_pageout.cc.o"
+  "CMakeFiles/bench_pageout.dir/bench_pageout.cc.o.d"
+  "bench_pageout"
+  "bench_pageout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pageout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shm_coherence.dir/bench_shm_coherence.cc.o"
+  "CMakeFiles/bench_shm_coherence.dir/bench_shm_coherence.cc.o.d"
+  "bench_shm_coherence"
+  "bench_shm_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shm_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_blackboard.dir/shared_blackboard.cpp.o"
+  "CMakeFiles/shared_blackboard.dir/shared_blackboard.cpp.o.d"
+  "shared_blackboard"
+  "shared_blackboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_blackboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_demo.dir/transaction_demo.cpp.o"
+  "CMakeFiles/transaction_demo.dir/transaction_demo.cpp.o.d"
+  "transaction_demo"
+  "transaction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_hw.dir/physical_memory.cc.o"
+  "CMakeFiles/mach_hw.dir/physical_memory.cc.o.d"
+  "CMakeFiles/mach_hw.dir/pmap.cc.o"
+  "CMakeFiles/mach_hw.dir/pmap.cc.o.d"
+  "CMakeFiles/mach_hw.dir/sim_disk.cc.o"
+  "CMakeFiles/mach_hw.dir/sim_disk.cc.o.d"
+  "libmach_hw.a"
+  "libmach_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

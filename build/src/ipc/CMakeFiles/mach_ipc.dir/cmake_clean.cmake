@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_ipc.dir/message.cc.o"
+  "CMakeFiles/mach_ipc.dir/message.cc.o.d"
+  "CMakeFiles/mach_ipc.dir/port.cc.o"
+  "CMakeFiles/mach_ipc.dir/port.cc.o.d"
+  "libmach_ipc.a"
+  "libmach_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

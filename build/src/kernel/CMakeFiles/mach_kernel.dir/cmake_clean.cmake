@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_kernel.dir/kernel.cc.o"
+  "CMakeFiles/mach_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/mach_kernel.dir/kernel_server.cc.o"
+  "CMakeFiles/mach_kernel.dir/kernel_server.cc.o.d"
+  "CMakeFiles/mach_kernel.dir/task.cc.o"
+  "CMakeFiles/mach_kernel.dir/task.cc.o.d"
+  "libmach_kernel.a"
+  "libmach_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_managers.dir/camelot/recovery_manager.cc.o"
+  "CMakeFiles/mach_managers.dir/camelot/recovery_manager.cc.o.d"
+  "CMakeFiles/mach_managers.dir/camelot/wal.cc.o"
+  "CMakeFiles/mach_managers.dir/camelot/wal.cc.o.d"
+  "CMakeFiles/mach_managers.dir/fs/fs_server.cc.o"
+  "CMakeFiles/mach_managers.dir/fs/fs_server.cc.o.d"
+  "CMakeFiles/mach_managers.dir/mfs/mapped_file.cc.o"
+  "CMakeFiles/mach_managers.dir/mfs/mapped_file.cc.o.d"
+  "CMakeFiles/mach_managers.dir/mfs/traditional_io.cc.o"
+  "CMakeFiles/mach_managers.dir/mfs/traditional_io.cc.o.d"
+  "CMakeFiles/mach_managers.dir/migrate/migration_manager.cc.o"
+  "CMakeFiles/mach_managers.dir/migrate/migration_manager.cc.o.d"
+  "CMakeFiles/mach_managers.dir/shm/shm_server.cc.o"
+  "CMakeFiles/mach_managers.dir/shm/shm_server.cc.o.d"
+  "libmach_managers.a"
+  "libmach_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_net.dir/net_link.cc.o"
+  "CMakeFiles/mach_net.dir/net_link.cc.o.d"
+  "libmach_net.a"
+  "libmach_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

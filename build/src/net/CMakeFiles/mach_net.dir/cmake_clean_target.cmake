@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmach_net.a"
+)

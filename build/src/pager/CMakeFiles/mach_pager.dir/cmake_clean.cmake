@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_pager.dir/data_manager.cc.o"
+  "CMakeFiles/mach_pager.dir/data_manager.cc.o.d"
+  "CMakeFiles/mach_pager.dir/default_pager.cc.o"
+  "CMakeFiles/mach_pager.dir/default_pager.cc.o.d"
+  "libmach_pager.a"
+  "libmach_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mach_pager.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_pager_protocol.dir/protocol.cc.o"
+  "CMakeFiles/mach_pager_protocol.dir/protocol.cc.o.d"
+  "libmach_pager_protocol.a"
+  "libmach_pager_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_pager_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

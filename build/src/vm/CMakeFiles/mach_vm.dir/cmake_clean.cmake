@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_vm.dir/address_map.cc.o"
+  "CMakeFiles/mach_vm.dir/address_map.cc.o.d"
+  "CMakeFiles/mach_vm.dir/vm_fault.cc.o"
+  "CMakeFiles/mach_vm.dir/vm_fault.cc.o.d"
+  "CMakeFiles/mach_vm.dir/vm_object.cc.o"
+  "CMakeFiles/mach_vm.dir/vm_object.cc.o.d"
+  "CMakeFiles/mach_vm.dir/vm_pageout.cc.o"
+  "CMakeFiles/mach_vm.dir/vm_pageout.cc.o.d"
+  "CMakeFiles/mach_vm.dir/vm_system.cc.o"
+  "CMakeFiles/mach_vm.dir/vm_system.cc.o.d"
+  "libmach_vm.a"
+  "libmach_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_tables_test.dir/api_tables_test.cc.o"
+  "CMakeFiles/api_tables_test.dir/api_tables_test.cc.o.d"
+  "api_tables_test"
+  "api_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

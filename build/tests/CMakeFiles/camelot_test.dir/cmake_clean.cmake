@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camelot_test.dir/camelot_test.cc.o"
+  "CMakeFiles/camelot_test.dir/camelot_test.cc.o.d"
+  "camelot_test"
+  "camelot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camelot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_server_test.dir/kernel_server_test.cc.o"
+  "CMakeFiles/kernel_server_test.dir/kernel_server_test.cc.o.d"
+  "kernel_server_test"
+  "kernel_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
