@@ -2,13 +2,21 @@
 // isolates one fault flavour:
 //   resident revalidation < zero-fill < COW copy < external-pager fetch,
 // with the external fetch dominated by the two messages it implies.
+//
+// The failure-path benchmarks at the bottom drive the fault-injection
+// harness and report its counters (faults injected, retransmits, manager
+// deaths recovered, pages zero-filled) as benchmark counters.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
+#include "src/base/fault_injector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
+#include "src/net/net_link.h"
 #include "src/pager/data_manager.h"
 
 namespace {
@@ -162,6 +170,131 @@ void BM_ResidentAccess(benchmark::State& state) {
   task.reset();
 }
 
+// --- failure paths ----------------------------------------------------------
+
+// A manager that never answers; destroying its object exercises the death
+// recovery path.
+class SilentPager : public DataManager {
+ public:
+  SilentPager() : DataManager("silent") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs) override {}
+};
+
+// Manager death mid-fault: the faulting thread is woken by the death
+// notification and resolved under the zero-fill policy — this measures the
+// recovery latency that replaces the 5 s pager timeout.
+void BM_PagerDeathRecovery(benchmark::State& state) {
+  Kernel::Config config;
+  config.frames = 8192;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  auto kernel = std::make_unique<Kernel>(config);
+  auto task = kernel->CreateTask();
+  SilentPager pager;
+  pager.Start();
+  for (auto _ : state) {
+    SendRight object = pager.NewObject();
+    VmOffset addr = task->VmAllocateWithPager(kPage, object, 0).value();
+    uint8_t b = 0;
+    std::thread faulter([&] { task->Read(addr, &b, 1); });
+    pager.DestroyMemoryObject(object);
+    faulter.join();
+    state.PauseTiming();
+    task->VmDeallocate(addr, kPage);
+    state.ResumeTiming();
+  }
+  VmStatistics stats = kernel->vm().Statistics();
+  state.counters["deaths_recovered"] = static_cast<double>(stats.manager_deaths);
+  state.counters["death_resolved_pages"] = static_cast<double>(stats.death_resolved_pages);
+  state.counters["pages_zero_filled"] = static_cast<double>(stats.zero_fill_count);
+  task.reset();
+  pager.Stop();
+}
+
+// Demand paging through a small frame pool while the backing disk throws
+// seeded transient errors: the steady-state cost of running *through*
+// faults rather than around them.
+void BM_PagingUnderDiskFaults(benchmark::State& state) {
+  FaultInjector inj(42);
+  inj.SetProbability(SimDisk::kFaultRead, 0.02);
+  inj.SetProbability(SimDisk::kFaultWrite, 0.02);
+  Kernel::Config config;
+  config.frames = 64;  // Working set below is 4x this: constant pageout.
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  config.fault_injector = &inj;
+  auto kernel = std::make_unique<Kernel>(config);
+  auto task = kernel->CreateTask();
+  const VmSize pages = 256;
+  VmOffset base = task->VmAllocate(pages * kPage).value();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    VmOffset addr = base + (i++ % pages) * kPage;
+    uint64_t v = i;
+    task->Write(addr, &v, sizeof(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+  VmStatistics stats = kernel->vm().Statistics();
+  state.counters["faults_injected"] = static_cast<double>(inj.TotalInjected());
+  state.counters["backing_errors"] =
+      static_cast<double>(kernel->default_pager().backing_error_count());
+  state.counters["pages_zero_filled"] = static_cast<double>(stats.zero_fill_count);
+  state.counters["pageouts"] = static_cast<double>(stats.pageouts);
+  task.reset();
+}
+
+// Request/reply over a lossy link in reliable mode: the retransmit scheme's
+// cost, with its counters.
+void BM_RpcOverLossyLink(benchmark::State& state) {
+  Kernel::Config config;
+  config.frames = 128;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.name = "bench-a";
+  auto host_a = std::make_unique<Kernel>(config);
+  config.name = "bench-b";
+  auto host_b = std::make_unique<Kernel>(config);
+  FaultInjector inj(42);
+  inj.SetProbability(NetLink::kFaultDrop, 0.1);
+  SimClock net_clock;
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  faults.reliable = true;
+  NetLink link(&host_a->vm(), &host_b->vm(), &net_clock, kNormaLatency, faults);
+
+  PortPair service = PortAllocate("bench-echo");
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Result<Message> req = MsgReceive(service.receive, std::chrono::milliseconds(50));
+      if (req.ok()) {
+        MsgSend(req.value().reply_port(), Message(req.value().id() + 1));
+      }
+    }
+  });
+  SendRight proxy = link.ProxyForA(service.send);
+  for (auto _ : state) {
+    Result<Message> reply =
+        MsgRpc(proxy, Message(1), kWaitForever, std::chrono::seconds(10));
+    if (!reply.ok()) {
+      state.SkipWithError("rpc lost on a reliable link");
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  server.join();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["faults_injected"] = static_cast<double>(inj.TotalInjected());
+  state.counters["retransmits"] = static_cast<double>(link.retransmits());
+  state.counters["wire_drops"] = static_cast<double>(link.messages_dropped());
+  state.counters["lost"] = static_cast<double>(link.messages_lost());
+}
+
 }  // namespace
 
 BENCHMARK(BM_ResidentAccess);
@@ -169,5 +302,8 @@ BENCHMARK(BM_ResidentRevalidation);
 BENCHMARK(BM_ZeroFillFault);
 BENCHMARK(BM_CowFault);
 BENCHMARK(BM_ExternalPagerFetch);
+BENCHMARK(BM_PagerDeathRecovery)->Iterations(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PagingUnderDiskFaults);
+BENCHMARK(BM_RpcOverLossyLink);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mach_base.dir/fault_injector.cc.o"
+  "CMakeFiles/mach_base.dir/fault_injector.cc.o.d"
+  "CMakeFiles/mach_base.dir/kern_return.cc.o"
+  "CMakeFiles/mach_base.dir/kern_return.cc.o.d"
+  "CMakeFiles/mach_base.dir/log.cc.o"
+  "CMakeFiles/mach_base.dir/log.cc.o.d"
+  "libmach_base.a"
+  "libmach_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mach_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

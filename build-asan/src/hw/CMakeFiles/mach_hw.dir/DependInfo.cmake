@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/physical_memory.cc" "src/hw/CMakeFiles/mach_hw.dir/physical_memory.cc.o" "gcc" "src/hw/CMakeFiles/mach_hw.dir/physical_memory.cc.o.d"
+  "/root/repo/src/hw/pmap.cc" "src/hw/CMakeFiles/mach_hw.dir/pmap.cc.o" "gcc" "src/hw/CMakeFiles/mach_hw.dir/pmap.cc.o.d"
+  "/root/repo/src/hw/sim_disk.cc" "src/hw/CMakeFiles/mach_hw.dir/sim_disk.cc.o" "gcc" "src/hw/CMakeFiles/mach_hw.dir/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/mach_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

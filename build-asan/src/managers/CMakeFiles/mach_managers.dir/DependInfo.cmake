@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/managers/camelot/recovery_manager.cc" "src/managers/CMakeFiles/mach_managers.dir/camelot/recovery_manager.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/camelot/recovery_manager.cc.o.d"
+  "/root/repo/src/managers/camelot/wal.cc" "src/managers/CMakeFiles/mach_managers.dir/camelot/wal.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/camelot/wal.cc.o.d"
+  "/root/repo/src/managers/fs/fs_server.cc" "src/managers/CMakeFiles/mach_managers.dir/fs/fs_server.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/fs/fs_server.cc.o.d"
+  "/root/repo/src/managers/mfs/mapped_file.cc" "src/managers/CMakeFiles/mach_managers.dir/mfs/mapped_file.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/mfs/mapped_file.cc.o.d"
+  "/root/repo/src/managers/mfs/traditional_io.cc" "src/managers/CMakeFiles/mach_managers.dir/mfs/traditional_io.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/mfs/traditional_io.cc.o.d"
+  "/root/repo/src/managers/migrate/migration_manager.cc" "src/managers/CMakeFiles/mach_managers.dir/migrate/migration_manager.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/migrate/migration_manager.cc.o.d"
+  "/root/repo/src/managers/shm/shm_server.cc" "src/managers/CMakeFiles/mach_managers.dir/shm/shm_server.cc.o" "gcc" "src/managers/CMakeFiles/mach_managers.dir/shm/shm_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/kernel/CMakeFiles/mach_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/mach_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pager/CMakeFiles/mach_pager.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/mach_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/mach_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pager/CMakeFiles/mach_pager_protocol.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ipc/CMakeFiles/mach_ipc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/base/CMakeFiles/mach_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

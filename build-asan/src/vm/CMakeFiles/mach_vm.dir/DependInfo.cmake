@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_map.cc" "src/vm/CMakeFiles/mach_vm.dir/address_map.cc.o" "gcc" "src/vm/CMakeFiles/mach_vm.dir/address_map.cc.o.d"
+  "/root/repo/src/vm/vm_fault.cc" "src/vm/CMakeFiles/mach_vm.dir/vm_fault.cc.o" "gcc" "src/vm/CMakeFiles/mach_vm.dir/vm_fault.cc.o.d"
+  "/root/repo/src/vm/vm_object.cc" "src/vm/CMakeFiles/mach_vm.dir/vm_object.cc.o" "gcc" "src/vm/CMakeFiles/mach_vm.dir/vm_object.cc.o.d"
+  "/root/repo/src/vm/vm_pageout.cc" "src/vm/CMakeFiles/mach_vm.dir/vm_pageout.cc.o" "gcc" "src/vm/CMakeFiles/mach_vm.dir/vm_pageout.cc.o.d"
+  "/root/repo/src/vm/vm_system.cc" "src/vm/CMakeFiles/mach_vm.dir/vm_system.cc.o" "gcc" "src/vm/CMakeFiles/mach_vm.dir/vm_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/mach_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/mach_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ipc/CMakeFiles/mach_ipc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pager/CMakeFiles/mach_pager_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus an optional sanitizer pass.
+#
+#   ./ci.sh            # tier-1: configure, build, ctest
+#   ./ci.sh asan       # tier-1 under ASan+UBSan (-DMACH_SANITIZE=address)
+#   ./ci.sh all        # both, sequentially
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_suite() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+mode=${1:-tier1}
+case "$mode" in
+  tier1)
+    run_suite build
+    ;;
+  asan)
+    # Chaos and soak tests allocate aggressively; keep ASan strict but let
+    # UBSan report without aborting the whole suite on first finding.
+    export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+    export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+    run_suite build-asan -DMACH_SANITIZE=address
+    ;;
+  all)
+    "$0" tier1
+    "$0" asan
+    ;;
+  *)
+    echo "usage: $0 [tier1|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,138 @@
+#include "src/base/fault_injector.h"
+
+#include <algorithm>
+
+namespace mach {
+
+namespace {
+
+// SplitMix64 finalizer: a well-mixed 64-bit hash. Decisions are a pure
+// function of (seed, point, hit) so a trace replays from the seed no matter
+// how threads interleave across different points.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPoint(const std::string& point) {
+  // FNV-1a over the point name.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : point) {
+    h = (h ^ static_cast<uint8_t>(c)) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::SetProbability(const std::string& point, double p) {
+  std::lock_guard<std::mutex> g(mu_);
+  PointState& st = points_[point];
+  st.probability = std::clamp(p, 0.0, 1.0);
+  st.every_nth = 0;
+  st.has_schedule = false;
+  st.schedule.clear();
+}
+
+void FaultInjector::SetSchedule(const std::string& point, std::vector<uint64_t> hit_indices) {
+  std::lock_guard<std::mutex> g(mu_);
+  PointState& st = points_[point];
+  st.probability = 0.0;
+  st.every_nth = 0;
+  st.has_schedule = true;
+  st.schedule = std::unordered_set<uint64_t>(hit_indices.begin(), hit_indices.end());
+}
+
+void FaultInjector::SetEveryNth(const std::string& point, uint64_t n) {
+  std::lock_guard<std::mutex> g(mu_);
+  PointState& st = points_[point];
+  st.probability = 0.0;
+  st.every_nth = n;
+  st.has_schedule = false;
+  st.schedule.clear();
+}
+
+void FaultInjector::Clear(const std::string& point) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) {
+    PointState& st = it->second;
+    st.probability = 0.0;
+    st.every_nth = 0;
+    st.has_schedule = false;
+    st.schedule.clear();
+  }
+}
+
+void FaultInjector::Reset(uint64_t new_seed) {
+  std::lock_guard<std::mutex> g(mu_);
+  seed_ = new_seed;
+  points_.clear();
+}
+
+bool FaultInjector::Decide(const std::string& point, const PointState& st, uint64_t hit) const {
+  if (st.has_schedule) {
+    return st.schedule.count(hit) != 0;
+  }
+  if (st.every_nth > 0) {
+    return (hit + 1) % st.every_nth == 0;
+  }
+  if (st.probability > 0.0) {
+    uint64_t h = Mix64(seed_ ^ Mix64(HashPoint(point) ^ Mix64(hit)));
+    // Map the top 53 bits to [0, 1).
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < st.probability;
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    return false;
+  }
+  PointState& st = it->second;
+  uint64_t hit = st.hits++;
+  bool fail = Decide(point, st, hit);
+  if (fail) {
+    ++st.injected;
+  }
+  return fail;
+}
+
+uint64_t FaultInjector::Evaluations(const std::string& point) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::Injected(const std::string& point) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, st] : points_) {
+    total += st.injected;
+  }
+  return total;
+}
+
+std::vector<std::string> FaultInjector::Report() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> lines;
+  lines.reserve(points_.size());
+  for (const auto& [name, st] : points_) {
+    lines.push_back(name + ":" + std::to_string(st.injected) + "/" + std::to_string(st.hits));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace mach

@@ -1,0 +1,94 @@
+// Deterministic, seeded fault injection.
+//
+// §6 of the paper is about surviving errant data managers, and §7 about
+// running over real (lossy) interconnects. The FaultInjector makes those
+// failure paths drivable: components that can fail consult a named *fault
+// point* ("disk.read", "net.drop", ...) before doing work, and the injector
+// decides — purely as a function of (seed, point name, hit index) — whether
+// that particular occurrence fails.
+//
+// Determinism contract: for a given seed, the k-th evaluation of a given
+// point always returns the same decision, regardless of how evaluations of
+// *different* points interleave across threads. This makes a chaos run
+// replayable from its seed alone.
+
+#ifndef SRC_BASE_FAULT_INJECTOR_H_
+#define SRC_BASE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mach {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- configuration (typically done once, before the run) ---------------
+
+  // Fail each evaluation of `point` independently with probability `p`
+  // (0.0..1.0). The per-hit decision is derived from the seed, so the same
+  // seed produces the same fault trace.
+  void SetProbability(const std::string& point, double p);
+
+  // Fail exactly the listed hit indices (0-based) of `point`. A schedule
+  // overrides any probability for the scheduled point.
+  void SetSchedule(const std::string& point, std::vector<uint64_t> hit_indices);
+
+  // Fail every `n`-th evaluation of `point` (hits n-1, 2n-1, ...). n == 0
+  // clears the rule.
+  void SetEveryNth(const std::string& point, uint64_t n);
+
+  // Remove all rules for `point` (it will never fire).
+  void Clear(const std::string& point);
+  // Remove all rules and reset all hit counters.
+  void Reset(uint64_t new_seed);
+
+  // --- the hot call -------------------------------------------------------
+
+  // Should this occurrence of `point` fail? Advances the point's hit
+  // counter. Unconfigured points are always healthy (and cheap).
+  bool ShouldFail(const std::string& point);
+
+  // --- introspection ------------------------------------------------------
+
+  uint64_t seed() const { return seed_; }
+  // Total evaluations / injected failures of one point.
+  uint64_t Evaluations(const std::string& point) const;
+  uint64_t Injected(const std::string& point) const;
+  // Across all points.
+  uint64_t TotalInjected() const;
+  // "point:injected/evaluations" lines, sorted by point name (stable for
+  // trace comparison in tests).
+  std::vector<std::string> Report() const;
+
+ private:
+  struct PointState {
+    // Rule: exactly one of these is active.
+    double probability = 0.0;             // > 0 ⇒ probabilistic rule
+    uint64_t every_nth = 0;               // > 0 ⇒ modular rule
+    bool has_schedule = false;
+    std::unordered_set<uint64_t> schedule;
+
+    // Counters.
+    uint64_t hits = 0;
+    uint64_t injected = 0;
+  };
+
+  bool Decide(const std::string& point, const PointState& st, uint64_t hit) const;
+
+  uint64_t seed_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_FAULT_INJECTOR_H_

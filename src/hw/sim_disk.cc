@@ -6,11 +6,12 @@
 namespace mach {
 
 SimDisk::SimDisk(uint32_t block_count, VmSize block_size, SimClock* clock,
-                 DiskLatencyModel latency)
+                 DiskLatencyModel latency, FaultInjector* injector)
     : block_count_(block_count),
       block_size_(block_size),
       clock_(clock),
       latency_(latency),
+      injector_(injector),
       data_(static_cast<size_t>(block_count) * block_size) {
   free_list_.reserve(block_count);
   for (uint32_t b = block_count; b > 0; --b) {
@@ -25,28 +26,71 @@ void SimDisk::Charge(VmSize bytes) {
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
-void SimDisk::ReadBlock(uint32_t block, void* dst) { ReadAt(block, 0, dst, block_size_); }
+KernReturn SimDisk::CheckTransfer(uint32_t block, VmOffset offset, VmSize len, bool is_write) {
+  if (block >= block_count_ || offset > block_size_ || len > block_size_ - offset) {
+    return KernReturn::kInvalidArgument;
+  }
+  bool bad;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    bad = bad_blocks_.count(block) != 0;
+  }
+  if (!bad && injector_ != nullptr) {
+    bad = injector_->ShouldFail(is_write ? kFaultWrite : kFaultRead);
+  }
+  if (bad) {
+    // A failed transfer still costs the seek (and retries re-charge).
+    Charge(0);
+    (is_write ? write_errors_ : read_errors_).fetch_add(1, std::memory_order_relaxed);
+    return KernReturn::kFailure;
+  }
+  return KernReturn::kSuccess;
+}
 
-void SimDisk::WriteBlock(uint32_t block, const void* src) { WriteAt(block, 0, src, block_size_); }
+KernReturn SimDisk::ReadBlock(uint32_t block, void* dst) {
+  return ReadAt(block, 0, dst, block_size_);
+}
 
-void SimDisk::ReadAt(uint32_t block, VmOffset offset, void* dst, VmSize len) {
-  assert(block < block_count_ && offset + len <= block_size_);
+KernReturn SimDisk::WriteBlock(uint32_t block, const void* src) {
+  return WriteAt(block, 0, src, block_size_);
+}
+
+KernReturn SimDisk::ReadAt(uint32_t block, VmOffset offset, void* dst, VmSize len) {
+  KernReturn kr = CheckTransfer(block, offset, len, /*is_write=*/false);
+  if (!IsOk(kr)) {
+    return kr;
+  }
   {
     std::lock_guard<std::mutex> g(mu_);
     std::memcpy(dst, data_.data() + static_cast<size_t>(block) * block_size_ + offset, len);
   }
   read_ops_.fetch_add(1, std::memory_order_relaxed);
   Charge(len);
+  return KernReturn::kSuccess;
 }
 
-void SimDisk::WriteAt(uint32_t block, VmOffset offset, const void* src, VmSize len) {
-  assert(block < block_count_ && offset + len <= block_size_);
+KernReturn SimDisk::WriteAt(uint32_t block, VmOffset offset, const void* src, VmSize len) {
+  KernReturn kr = CheckTransfer(block, offset, len, /*is_write=*/true);
+  if (!IsOk(kr)) {
+    return kr;
+  }
   {
     std::lock_guard<std::mutex> g(mu_);
     std::memcpy(data_.data() + static_cast<size_t>(block) * block_size_ + offset, src, len);
   }
   write_ops_.fetch_add(1, std::memory_order_relaxed);
   Charge(len);
+  return KernReturn::kSuccess;
+}
+
+void SimDisk::MarkBadBlock(uint32_t block) {
+  std::lock_guard<std::mutex> g(mu_);
+  bad_blocks_.insert(block);
+}
+
+void SimDisk::ClearBadBlock(uint32_t block) {
+  std::lock_guard<std::mutex> g(mu_);
+  bad_blocks_.erase(block);
 }
 
 uint32_t SimDisk::AllocBlock() {
@@ -74,6 +118,8 @@ void SimDisk::ResetStats() {
   read_ops_.store(0, std::memory_order_relaxed);
   write_ops_.store(0, std::memory_order_relaxed);
   bytes_.store(0, std::memory_order_relaxed);
+  read_errors_.store(0, std::memory_order_relaxed);
+  write_errors_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mach

@@ -38,6 +38,9 @@ class Kernel {
     uint32_t backing_blocks = 8192; // Default pager backing store size.
     DiskLatencyModel disk_latency;  // Paging disk latency model.
     VmSystem::Config vm;            // VM tunables.
+    // Optional fault injector attached to the paging disk ("disk.read" /
+    // "disk.write" points). Must outlive the kernel.
+    FaultInjector* fault_injector = nullptr;
   };
 
   Kernel() : Kernel(Config{}) {}

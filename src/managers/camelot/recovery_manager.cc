@@ -59,7 +59,12 @@ void RecoveryManager::SaveDirectory() {
   }
   out.resize(kDirBlocks * bs);
   for (uint32_t b = 0; b < kDirBlocks; ++b) {
-    data_disk_->WriteBlock(b, out.data() + static_cast<size_t>(b) * bs);
+    if (!IsOk(data_disk_->WriteBlock(b, out.data() + static_cast<size_t>(b) * bs))) {
+      // The on-disk directory is now stale for this block; the in-memory
+      // copy is authoritative and the next SaveDirectory retries.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "camelot: directory write failed for block " << b;
+    }
   }
 }
 
@@ -67,7 +72,11 @@ void RecoveryManager::LoadDirectory() {
   const VmSize bs = data_disk_->block_size();
   std::vector<std::byte> in(kDirBlocks * bs);
   for (uint32_t b = 0; b < kDirBlocks; ++b) {
-    data_disk_->ReadBlock(b, in.data() + static_cast<size_t>(b) * bs);
+    if (!IsOk(data_disk_->ReadBlock(b, in.data() + static_cast<size_t>(b) * bs))) {
+      // An unreadable directory block leaves zeroes in the buffer; the
+      // magic/length checks below reject a torn directory.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   size_t pos = 0;
   uint32_t magic = 0;
@@ -148,7 +157,11 @@ uint32_t RecoveryManager::EnsureBlock(Segment* segment, size_t page_index) {
     uint32_t block = data_disk_->AllocBlock();
     if (block != UINT32_MAX) {
       std::vector<std::byte> zero(page_size_, std::byte{0});
-      data_disk_->WriteBlock(block, zero.data());
+      if (!IsOk(data_disk_->WriteBlock(block, zero.data()))) {
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        data_disk_->FreeBlock(block);
+        return UINT32_MAX;
+      }
       segment->blocks[page_index] = block;
       SaveDirectory();
     }
@@ -173,7 +186,12 @@ void RecoveryManager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
       continue;
     }
     std::vector<std::byte> data(page_size_);
-    data_disk_->ReadBlock(segment->blocks[page], data.data());
+    if (!IsOk(data_disk_->ReadBlock(segment->blocks[page], data.data()))) {
+      // §6.2.1: unreadable backing page → pager_data_unavailable.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      DataUnavailable(args.pager_request_port, off, page_size_);
+      continue;
+    }
     ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
   }
 }
@@ -200,7 +218,14 @@ void RecoveryManager::OnDataWrite(uint64_t object_port_id, uint64_t cookie,
       MACH_LOG(kError) << "camelot: data disk full";
       return;
     }
-    data_disk_->WriteBlock(block, args.data.data() + p * page_size_);
+    if (!IsOk(data_disk_->WriteBlock(block, args.data.data() + p * page_size_))) {
+      // The redo log still covers this page (the WAL rule forced it
+      // above), so the update survives via Recover() even though the
+      // in-place write failed.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "camelot: segment write failed for block " << block;
+      continue;
+    }
     pageouts_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -312,7 +337,9 @@ void RecoveryManager::ApplyImage(uint64_t segment_id, VmOffset offset,
     if (block == UINT32_MAX) {
       return;
     }
-    data_disk_->WriteAt(block, in_page, image.data() + done, n);
+    if (!IsOk(data_disk_->WriteAt(block, in_page, image.data() + done, n))) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
     cursor += n;
     done += n;
   }

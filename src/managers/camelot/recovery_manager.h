@@ -67,6 +67,7 @@ class RecoveryManager : public DataManager {
   uint64_t log_force_count() const;
   uint64_t wal_enforced_count() const { return wal_enforced_.load(std::memory_order_relaxed); }
   uint64_t pageout_count() const { return pageouts_.load(std::memory_order_relaxed); }
+  uint64_t io_error_count() const { return io_errors_.load(std::memory_order_relaxed); }
 
  protected:
   void OnDataRequest(uint64_t object_port_id, uint64_t cookie, PagerDataRequestArgs args) override;
@@ -104,6 +105,7 @@ class RecoveryManager : public DataManager {
 
   std::atomic<uint64_t> wal_enforced_{0};
   std::atomic<uint64_t> pageouts_{0};
+  std::atomic<uint64_t> io_errors_{0};
 };
 
 // Client-side failure-atomic transactions over mapped recoverable segments.

@@ -105,7 +105,13 @@ uint64_t WriteAheadLog::Force() {
       uint32_t block = static_cast<uint32_t>((durable_bytes_ + written) / bs);
       VmOffset in_block = (durable_bytes_ + written) % bs;
       VmSize n = std::min<VmSize>(bs - in_block, tail_.size() - written);
-      disk_->WriteAt(block, in_block, tail_.data() + written, n);
+      if (!IsOk(disk_->WriteAt(block, in_block, tail_.data() + written, n))) {
+        // Durability not achieved: keep the tail and the old cursor so a
+        // retry rewrites the same region (idempotent), and report the old
+        // forced LSN — callers must not treat the failed records as stable.
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        return forced_lsn_;
+      }
       written += n;
     }
     durable_bytes_ += tail_.size();
@@ -166,7 +172,13 @@ std::vector<LogRecord> WriteAheadLog::ReadAll() const {
     }
     size_t old = buf.size();
     buf.resize(old + bs);
-    disk_->ReadAt(next_block, 0, buf.data() + old, bs);
+    if (!IsOk(disk_->ReadAt(next_block, 0, buf.data() + old, bs))) {
+      // An unreadable log block ends the scan: everything before it is
+      // still recovered.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      buf.resize(old);
+      break;
+    }
     ++next_block;
   }
   return records;

@@ -6,6 +6,7 @@
 #ifndef SRC_MANAGERS_CAMELOT_WAL_H_
 #define SRC_MANAGERS_CAMELOT_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -48,12 +49,17 @@ class WriteAheadLog {
   // Appends to the volatile tail; returns the record's LSN.
   uint64_t Append(LogRecord record);
 
-  // Makes everything appended so far durable. Returns the forced LSN.
+  // Makes everything appended so far durable. Returns the forced LSN. If
+  // the disk fails mid-force, the unwritten tail stays volatile, the
+  // durable cursor does not advance (a retry rewrites from the same
+  // position), and the pre-failure forced LSN is returned.
   uint64_t Force();
 
   uint64_t last_lsn() const;
   uint64_t forced_lsn() const;
   uint64_t force_count() const;
+  // Disk transfers that failed during Force/ReadAll.
+  uint64_t io_error_count() const { return io_errors_.load(std::memory_order_relaxed); }
 
   // Drops the volatile tail (crash).
   void SimulateCrash();
@@ -70,6 +76,7 @@ class WriteAheadLog {
   uint64_t forced_lsn_ = 0;
   uint64_t durable_bytes_ = 0;  // Write cursor on the disk.
   uint64_t force_count_ = 0;
+  mutable std::atomic<uint64_t> io_errors_{0};
 };
 
 }  // namespace mach

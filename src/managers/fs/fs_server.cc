@@ -236,7 +236,11 @@ void FsServer::HandleWriteFile(Message& msg) {
           break;
         }
       }
-      disk_->WriteBlock(file->blocks[p], buf.data());
+      status = disk_->WriteBlock(file->blocks[p], buf.data());
+      if (!IsOk(status)) {
+        io_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
     }
     if (IsOk(status)) {
       file->size = std::max(file->size, new_size);
@@ -382,7 +386,13 @@ void FsServer::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
       continue;
     }
     std::vector<std::byte> data(ps);
-    disk_->ReadBlock(file->blocks[page], data.data());
+    if (!IsOk(disk_->ReadBlock(file->blocks[page], data.data()))) {
+      // §6.2.1: unreadable file block → pager_data_unavailable; mapping
+      // kernels substitute per their failure policy instead of hanging.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      DataUnavailable(args.pager_request_port, off, ps);
+      continue;
+    }
     ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
   }
 }
@@ -409,7 +419,10 @@ void FsServer::OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWr
         return;
       }
     }
-    disk_->WriteBlock(file->blocks[page], args.data.data() + p * ps);
+    if (!IsOk(disk_->WriteBlock(file->blocks[page], args.data.data() + p * ps))) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "fs: writeback failed for block " << file->blocks[page];
+    }
   }
   // File size is authoritative from fs_write_file; dirty-cache writebacks
   // never extend it.

@@ -60,6 +60,7 @@ class FsServer : public DataManager {
   // Statistics.
   uint64_t read_file_count() const { return read_files_.load(std::memory_order_relaxed); }
   uint64_t write_file_count() const { return write_files_.load(std::memory_order_relaxed); }
+  uint64_t io_error_count() const { return io_errors_.load(std::memory_order_relaxed); }
 
  protected:
   void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) override;
@@ -110,6 +111,7 @@ class FsServer : public DataManager {
 
   std::atomic<uint64_t> read_files_{0};
   std::atomic<uint64_t> write_files_{0};
+  std::atomic<uint64_t> io_errors_{0};
 };
 
 // Client-side library for the file API (the paper's fs_read_file /

@@ -48,8 +48,10 @@ void TraditionalFileSystem::EvictIfNeeded() {
     lru_.pop_back();
     auto it = cache_.find(victim);
     if (it != cache_.end()) {
-      if (it->second.dirty) {
-        disk_->WriteBlock(victim, it->second.data.data());
+      if (it->second.dirty && !IsOk(disk_->WriteBlock(victim, it->second.data.data()))) {
+        // Classic delayed-write semantics: the eviction proceeds and the
+        // failure is only visible in the error counter (cf. UNIX bwrite).
+        ++io_errors_;
       }
       cache_.erase(it);
     }
@@ -72,8 +74,10 @@ TraditionalFileSystem::CacheEntry& TraditionalFileSystem::GetBlock(uint32_t bloc
   entry.data.resize(disk_->block_size());
   if (will_overwrite) {
     std::memset(entry.data.data(), 0, entry.data.size());
-  } else {
-    disk_->ReadBlock(block, entry.data.data());
+  } else if (!IsOk(disk_->ReadBlock(block, entry.data.data()))) {
+    // The buffer stays zeroed; readers see a hole where the bad block was.
+    ++io_errors_;
+    std::memset(entry.data.data(), 0, entry.data.size());
   }
   lru_.push_front(block);
   entry.lru_pos = lru_.begin();

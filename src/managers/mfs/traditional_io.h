@@ -41,6 +41,7 @@ class TraditionalFileSystem {
   // Statistics.
   uint64_t cache_hits() const { return hits_; }
   uint64_t cache_misses() const { return misses_; }
+  uint64_t io_errors() const { return io_errors_; }
 
  private:
   struct File {
@@ -70,6 +71,7 @@ class TraditionalFileSystem {
   std::list<uint32_t> lru_;  // Front = most recent.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t io_errors_ = 0;
 };
 
 }  // namespace mach

@@ -1,11 +1,38 @@
 #include "src/net/net_link.h"
 
+#include <optional>
+
 #include "src/base/log.h"
 
 namespace mach {
 
-NetLink::NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock, NetLatencyModel latency)
-    : clock_(clock), latency_(latency) {
+namespace {
+
+// A best-effort copy for duplicate delivery. Receive rights cannot be
+// duplicated (there is one receiver), so a message carrying one is never
+// duplicated on the wire.
+std::optional<Message> CloneMessage(const Message& msg) {
+  Message copy(msg.id());
+  copy.set_reply_port(msg.reply_port());
+  for (const MsgItem& item : msg.items()) {
+    if (const auto* data = std::get_if<DataItem>(&item)) {
+      copy.PushBytes(data->bytes);
+    } else if (const auto* port = std::get_if<PortItem>(&item)) {
+      copy.PushPort(port->right);
+    } else if (const auto* ool = std::get_if<OolItem>(&item)) {
+      copy.PushOol(ool->copy, ool->size);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+NetLink::NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock, NetLatencyModel latency,
+                 NetFaultConfig faults)
+    : clock_(clock), latency_(latency), faults_(faults) {
   a_to_b_.dst_vm = vm_b;  // Messages entering on A are delivered into B.
   b_to_a_.dst_vm = vm_a;
   a_to_b_.forwarder = std::thread([this] { ForwarderLoop(a_to_b_, b_to_a_); });
@@ -107,11 +134,45 @@ void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Mes
     }
   }
 
-  if (clock_ != nullptr) {
-    clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * payload_bytes);
+  // Wire transmission. In reliable mode a dropped attempt is retransmitted
+  // with exponential backoff (virtual ack timeouts); otherwise it is lost.
+  const uint64_t seq = dir.next_seq++;
+  bool on_wire = Transmit(payload_bytes);
+  for (uint32_t attempt = 0; !on_wire && faults_.reliable && attempt < faults_.max_retransmits;
+       ++attempt) {
+    if (clock_ != nullptr) {
+      clock_->Charge(faults_.retransmit_base_ns << attempt);
+    }
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+    on_wire = Transmit(payload_bytes);
   }
+  if (!on_wire) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // The wire may deliver the message twice. Delivery is in-order per
+  // direction, so the duplicate's sequence number is never above the
+  // cumulative ack by the time it lands: the reliable receiver suppresses
+  // it, the unreliable receiver sees a fresh message.
+  dir.delivered_up_to = seq;
+  std::optional<Message> duplicate;
+  if (faults_.injector != nullptr && faults_.injector->ShouldFail(kFaultDuplicate)) {
+    if (faults_.reliable && seq <= dir.delivered_up_to) {
+      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      duplicate = CloneMessage(msg);
+    }
+  }
+
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+
+  if (duplicate.has_value()) {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+    Transmit(payload_bytes);  // The duplicate crossed the wire too.
+    MsgSend(target, std::move(duplicate).value(), std::chrono::milliseconds(2000));
+  }
 
   KernReturn kr = MsgSend(target, std::move(msg), std::chrono::milliseconds(2000));
   if (kr == KernReturn::kPortDead) {
@@ -128,6 +189,26 @@ void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Mes
     dir.target_by_proxy.erase(proxy_id);
     dir.proxies_by_target.erase(target.id());
   }
+}
+
+bool NetLink::Transmit(uint64_t payload_bytes) {
+  if (clock_ != nullptr) {
+    clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * payload_bytes);
+  }
+  if (partitioned()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (faults_.injector != nullptr) {
+    if (faults_.injector->ShouldFail(kFaultDrop)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (faults_.injector->ShouldFail(kFaultDelay) && clock_ != nullptr) {
+      clock_->Charge(faults_.delay_jitter_ns);
+    }
+  }
+  return true;
 }
 
 }  // namespace mach

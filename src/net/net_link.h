@@ -13,6 +13,12 @@
 // §7 gives the regimes: remote access ≈ sub-microsecond on a MultiMax-class
 // UMA, ≈5 µs through a Butterfly-class NUMA switch (≈10x local), and
 // hundreds of microseconds on a HyperCube-class NORMA.
+//
+// Real interconnects lose, duplicate and delay packets. A FaultInjector
+// (points "net.drop" / "net.duplicate" / "net.delay") plus SetPartitioned()
+// model that; the optional reliable mode layers sequence numbers and an
+// ack-and-retransmit scheme with bounded exponential backoff on top, so
+// proxied pager traffic degrades to added (virtual) latency instead of loss.
 
 #ifndef SRC_NET_NET_LINK_H_
 #define SRC_NET_NET_LINK_H_
@@ -25,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/fault_injector.h"
 #include "src/base/sim_clock.h"
 #include "src/ipc/port.h"
 #include "src/vm/vm_system.h"
@@ -41,12 +48,30 @@ inline constexpr NetLatencyModel kUmaLatency{500, 0};        // "considerably le
 inline constexpr NetLatencyModel kNumaLatency{5'000, 1};     // Butterfly: ≈5 µs
 inline constexpr NetLatencyModel kNormaLatency{200'000, 80}; // HyperCube: 100s of µs, 10 Mb/s
 
+struct NetFaultConfig {
+  // Consulted per transmission attempt (null = healthy link).
+  FaultInjector* injector = nullptr;
+  // Extra virtual-time delay charged when "net.delay" fires.
+  uint64_t delay_jitter_ns = 1'000'000;  // 1 ms.
+  // Sequence-numbered ack-and-retransmit: a dropped transmission is retried
+  // with exponentially backed-off (virtual) delay instead of being lost,
+  // and receiver-side sequence tracking suppresses duplicate deliveries.
+  bool reliable = false;
+  uint32_t max_retransmits = 6;
+  uint64_t retransmit_base_ns = 5'000'000;  // 5 ms, doubled per attempt.
+};
+
 class NetLink {
  public:
+  // Fault points consulted per transmission when an injector is attached.
+  static constexpr const char* kFaultDrop = "net.drop";
+  static constexpr const char* kFaultDuplicate = "net.duplicate";
+  static constexpr const char* kFaultDelay = "net.delay";
+
   // Host A and host B are identified by their VM systems (for OOL
   // rebuild). Latency is charged to `clock` per traversal.
   NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock,
-          NetLatencyModel latency = kNormaLatency);
+          NetLatencyModel latency = kNormaLatency, NetFaultConfig faults = NetFaultConfig{});
   ~NetLink();
 
   NetLink(const NetLink&) = delete;
@@ -57,8 +82,26 @@ class NetLink {
   SendRight ProxyForA(SendRight target_on_b);
   SendRight ProxyForB(SendRight target_on_a);
 
+  // A partitioned link transmits nothing: unreliable messages are lost,
+  // reliable ones burn their retransmit budget and are then lost too.
+  // Heals (or breaks) both directions at once.
+  void SetPartitioned(bool on) { partitioned_.store(on, std::memory_order_release); }
+  bool partitioned() const { return partitioned_.load(std::memory_order_acquire); }
+
   uint64_t messages_forwarded() const { return messages_.load(std::memory_order_relaxed); }
   uint64_t bytes_forwarded() const { return bytes_.load(std::memory_order_relaxed); }
+  // Transmission attempts dropped on the wire (includes retried ones).
+  uint64_t messages_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  // Retransmissions performed in reliable mode.
+  uint64_t retransmits() const { return retransmits_.load(std::memory_order_relaxed); }
+  // Messages lost for good (unreliable drop, or retransmit budget spent).
+  uint64_t messages_lost() const { return lost_.load(std::memory_order_relaxed); }
+  // Extra deliveries from duplication (unreliable mode).
+  uint64_t messages_duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
+  // Duplicates suppressed by sequence numbers (reliable mode).
+  uint64_t duplicates_suppressed() const {
+    return dup_suppressed_.load(std::memory_order_relaxed);
+  }
 
  private:
   // One direction of the link.
@@ -72,6 +115,11 @@ class NetLink {
     std::unordered_map<uint64_t, SendRight> target_by_proxy;
     std::vector<ReceiveRight> receives;
     std::thread forwarder;
+    // Reliable mode (forwarder-thread-only): next sequence number stamped
+    // on the wire, and the receiver's cumulative ack. Delivery is in-order
+    // per direction, so "seq <= delivered_up_to" detects any duplicate.
+    uint64_t next_seq = 1;
+    uint64_t delivered_up_to = 0;
   };
 
   SendRight MakeProxy(Direction& dir, SendRight target);
@@ -81,14 +129,24 @@ class NetLink {
   SendRight RewriteRight(Direction& dir, Direction& reverse, SendRight right);
   void ForwarderLoop(Direction& dir, Direction& reverse);
   void Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Message&& msg);
+  // One wire traversal: charges latency and decides drop/delay. Returns
+  // false if the transmission was dropped.
+  bool Transmit(uint64_t payload_bytes);
 
   SimClock* const clock_;
   const NetLatencyModel latency_;
+  const NetFaultConfig faults_;
   Direction a_to_b_;  // Proxies that live on A and target ports on B.
   Direction b_to_a_;
   std::atomic<bool> running_{true};
+  std::atomic<bool> partitioned_{false};
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> lost_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> dup_suppressed_{0};
 };
 
 }  // namespace mach

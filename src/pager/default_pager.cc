@@ -46,7 +46,15 @@ void DefaultPager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
       continue;
     }
     std::vector<std::byte> data(page);
-    disk_->ReadBlock(block, data.data());
+    if (!IsOk(disk_->ReadBlock(block, data.data()))) {
+      // §6.2.1: a manager that cannot produce the page answers
+      // pager_data_unavailable; the kernel applies its failure policy
+      // rather than waiting out the fault timeout.
+      backing_errors_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "default pager: backing read failed for block " << block;
+      DataUnavailable(args.pager_request_port, off, page);
+      continue;
+    }
     pageins_.fetch_add(1, std::memory_order_relaxed);
     ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
   }
@@ -73,7 +81,13 @@ void DefaultPager::OnDataWrite(uint64_t object_port_id, uint64_t cookie,
         blocks_.emplace(key, block);
       }
     }
-    disk_->WriteBlock(block, args.data.data() + delta);
+    if (!IsOk(disk_->WriteBlock(block, args.data.data() + delta))) {
+      // The page's prior backing copy (if any) is still intact; the next
+      // pageout of this page retries the write.
+      backing_errors_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "default pager: backing write failed for block " << block;
+      continue;
+    }
     pageouts_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -43,6 +43,9 @@ class DefaultPager : public DataManager, public TrustedParkingStore {
   // Statistics.
   uint64_t pagein_count() const { return pageins_.load(std::memory_order_relaxed); }
   uint64_t pageout_count() const { return pageouts_.load(std::memory_order_relaxed); }
+  // Backing-store I/O failures (injected or bad-block). A failed read is
+  // answered with pager_data_unavailable per §6.2.1.
+  uint64_t backing_error_count() const { return backing_errors_.load(std::memory_order_relaxed); }
   uint64_t parked_count() const;
   size_t managed_object_count() const;
 
@@ -77,6 +80,7 @@ class DefaultPager : public DataManager, public TrustedParkingStore {
 
   std::atomic<uint64_t> pageins_{0};
   std::atomic<uint64_t> pageouts_{0};
+  std::atomic<uint64_t> backing_errors_{0};
 };
 
 }  // namespace mach

@@ -75,6 +75,10 @@ struct VmStatistics {
   uint64_t parked_pageouts = 0; // Dirty pages diverted to the default pager
                                 // because their manager was unresponsive
                                 // (§6.2.2 protection path).
+  uint64_t manager_deaths = 0;  // Memory-object port deaths recovered via
+                                // the death-notification fast path (§6.2.1).
+  uint64_t death_resolved_pages = 0;  // In-flight placeholder pages resolved
+                                      // (zero-filled or errored) on death.
 };
 
 }  // namespace mach

@@ -137,6 +137,9 @@ bool VmSystem::EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObj
   objects_by_pager_.emplace(object->pager.id(), object);
   objects_by_request_.emplace(object->request_send.id(), object);
   pager_requests_->Add(object->request_receive);
+  // Even the trusted default pager gets a death watch: if it goes away the
+  // same §6.2.1 policy applies instead of a hung fault.
+  object->pager.port()->RequestDeathNotification(death_notify_send_);
   return true;
 }
 
@@ -189,6 +192,19 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
 
 void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
   KernelLock lock(mu_);
+  if (msg.id() == kMsgIdPortDeath) {
+    // Death notification for a watched memory-object port. It arrives on
+    // the dedicated notify port, which is not a request port, so handle it
+    // before the registry lookup. The payload is the dead port's id.
+    Result<uint64_t> dead_id = msg.TakeU64();
+    if (dead_id.ok()) {
+      auto dead_it = objects_by_pager_.find(dead_id.value());
+      if (dead_it != objects_by_pager_.end()) {
+        HandlePagerDeath(lock, dead_it->second);
+      }
+    }
+    return;
+  }
   auto it = objects_by_request_.find(request_port_id);
   if (it == objects_by_request_.end()) {
     MACH_LOG(kDebug) << "pager message for unknown request port " << request_port_id;
@@ -395,6 +411,62 @@ void VmSystem::HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& ob
     // Permission rescinded after the object went idle: terminate now.
     TerminateObject(lock, object);
   }
+}
+
+void VmSystem::HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> object) {
+  if (!object->alive) {
+    return;
+  }
+  ++stats_.manager_deaths;
+  const bool zero_fill = config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill;
+  for (VmPage* page : object->pages) {
+    if (page->busy && page->absent) {
+      // In-flight placeholder: the requested data can never arrive. Resolve
+      // it under the same §6.2.1 policy a timeout would apply, but now.
+      if (zero_fill) {
+        phys_->ZeroFrame(page->frame);
+        phys_->ClearModify(page->frame);
+        phys_->ClearReference(page->frame);
+        page->busy = false;
+        page->absent = false;
+        page->unavailable = false;
+        page->dirty = true;  // No backing copy of the zeroes exists.
+        PageActivate(page);
+        ++stats_.zero_fill_count;
+      } else {
+        page->error = true;
+        page->busy = false;
+        page->absent = false;
+      }
+      ++stats_.death_resolved_pages;
+    }
+    // A dead manager can never answer pager_data_unlock: lift its locks.
+    page->page_lock = kVmProtNone;
+    page->unlock_pending = false;
+  }
+  if (zero_fill) {
+    // Sever the association with the dead manager cleanly. The object
+    // lives on as an internal one: future non-resident faults zero-fill,
+    // and future pageouts re-home it with the default pager.
+    if (object->pager.valid()) {
+      objects_by_pager_.erase(object->pager.id());
+    }
+    if (object->request_receive.valid()) {
+      objects_by_request_.erase(object->request_receive.id());
+      pager_requests_->Remove(object->request_receive);
+    }
+    object->pager = SendRight();
+    object->request_send = SendRight();
+    object->name_send = SendRight();
+    object->request_receive.Destroy();
+    object->name_receive.Destroy();
+    object->internal = true;
+    object->pager_initialized = false;
+  }
+  // Under kError the registries keep the dead pager right: resident error
+  // pages answer kMemoryError, and future faults on non-resident pages hit
+  // the pager.IsDead() fast path in ResolvePage (kMemoryFailure).
+  page_cv_.notify_all();
 }
 
 }  // namespace mach

@@ -17,6 +17,13 @@ VmSystem::VmSystem(PhysicalMemory* phys, Config config) : phys_(phys), config_(c
   uint32_t frames = phys_->frame_count();
   free_target_ = config.free_target != 0 ? config.free_target : std::max<uint32_t>(frames / 8, 4);
   reserved_ = config.reserved != 0 ? config.reserved : std::max<uint32_t>(frames / 64, 2);
+  // Death notifications are delivered with non-blocking sends; a roomy
+  // backlog keeps a burst of port deaths from dropping any.
+  PortPair death = PortAllocate("pager-death-notify");
+  death.receive.port()->SetBacklog(4096);
+  death_notify_receive_ = std::move(death.receive);
+  death_notify_send_ = std::move(death.send);
+  pager_requests_->Add(death_notify_receive_);
 }
 
 VmSystem::~VmSystem() {
@@ -371,6 +378,10 @@ Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize
       objects_by_pager_.emplace(memory_object.id(), object);
       objects_by_request_.emplace(object->request_send.id(), object);
       pager_requests_->Add(object->request_receive);
+      // Watch the manager's memory-object port so its death resolves
+      // waiting faulters immediately (§6.2.1). Fires at once if the port
+      // is already dead.
+      memory_object.port()->RequestDeathNotification(death_notify_send_);
       need_init = true;
     }
     if (anywhere) {

@@ -291,6 +291,14 @@ class VmSystem {
                    VmSize length);
   void HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& object, bool may_cache);
 
+  // Death-notification fast path (§6.2.1): the memory-object port of a
+  // manager died. Resolves every in-flight placeholder page under the
+  // configured on_pager_timeout policy (zero fill or error) and wakes the
+  // faulting threads immediately instead of letting them burn the timeout.
+  // Takes the object by value: the caller's reference typically aliases the
+  // objects_by_pager_ entry this function erases.
+  void HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> object);
+
   // ------------------------------------------------------------------------
 
   PhysicalMemory* const phys_;
@@ -315,6 +323,13 @@ class VmSystem {
   std::unordered_map<uint64_t, std::shared_ptr<VmObject>> objects_by_request_;
 
   std::shared_ptr<PortSet> pager_requests_ = PortSet::Create();
+
+  // Every memory-object port is watched for death at association time
+  // (vm_allocate_with_pager / pager_create); the notification lands here,
+  // inside pager_requests_, so the pager service thread dispatches it like
+  // any other manager->kernel message.
+  ReceiveRight death_notify_receive_;
+  SendRight death_notify_send_;
 
   SendRight default_pager_service_;
   TrustedParkingStore* parking_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "src/base/fault_injector.h"
 #include "src/base/intrusive_list.h"
 #include "src/base/kern_return.h"
 #include "src/base/sim_clock.h"
@@ -206,6 +207,92 @@ TEST(SimClockTest, ConcurrentCharges) {
     t.join();
   }
   EXPECT_EQ(clock.NowNs(), 4000u);
+}
+
+TEST(FaultInjectorTest, UnconfiguredPointsNeverFire) {
+  FaultInjector inj(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.ShouldFail("disk.read"));
+  }
+  // Unconfigured points are not tracked (the hot path stays cheap).
+  EXPECT_EQ(inj.Evaluations("disk.read"), 0u);
+  EXPECT_EQ(inj.TotalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameTrace) {
+  FaultInjector a(1234), b(1234);
+  a.SetProbability("net.drop", 0.3);
+  b.SetProbability("net.drop", 0.3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.ShouldFail("net.drop"), b.ShouldFail("net.drop")) << "hit " << i;
+  }
+  EXPECT_EQ(a.Injected("net.drop"), b.Injected("net.drop"));
+  EXPECT_GT(a.Injected("net.drop"), 0u);
+  EXPECT_LT(a.Injected("net.drop"), 2000u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(1), b(2);
+  a.SetProbability("p", 0.5);
+  b.SetProbability("p", 0.5);
+  bool diverged = false;
+  for (int i = 0; i < 256 && !diverged; ++i) {
+    diverged = a.ShouldFail("p") != b.ShouldFail("p");
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, ProbabilityRoughlyHonoured) {
+  FaultInjector inj(99);
+  inj.SetProbability("p", 0.25);
+  uint64_t fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    fired += inj.ShouldFail("p") ? 1 : 0;
+  }
+  EXPECT_GT(fired, 2000u);
+  EXPECT_LT(fired, 3000u);
+}
+
+TEST(FaultInjectorTest, ScheduleAndEveryNth) {
+  FaultInjector inj(7);
+  inj.SetSchedule("s", {0, 3});
+  EXPECT_TRUE(inj.ShouldFail("s"));
+  EXPECT_FALSE(inj.ShouldFail("s"));
+  EXPECT_FALSE(inj.ShouldFail("s"));
+  EXPECT_TRUE(inj.ShouldFail("s"));
+  EXPECT_FALSE(inj.ShouldFail("s"));
+  inj.SetEveryNth("n", 3);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    fired += inj.ShouldFail("n") ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 3);
+  inj.Clear("n");
+  EXPECT_FALSE(inj.ShouldFail("n"));
+}
+
+TEST(FaultInjectorTest, ResetRestartsTheTrace) {
+  FaultInjector inj(5);
+  inj.SetProbability("p", 0.5);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(inj.ShouldFail("p"));
+  }
+  inj.Reset(5);
+  inj.SetProbability("p", 0.5);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(inj.ShouldFail("p"), first[i]) << "hit " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ReportListsConfiguredPoints) {
+  FaultInjector inj(3);
+  inj.SetEveryNth("a", 2);
+  inj.ShouldFail("a");
+  inj.ShouldFail("a");
+  std::vector<std::string> report = inj.Report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0], "a:1/2");
 }
 
 }  // namespace

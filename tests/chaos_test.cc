@@ -1,0 +1,325 @@
+// Chaos soak for the deterministic fault-injection harness: seeded faults
+// at the disk, link, and pager layers, driven through the full stack
+// (paging under memory pressure, RPC over a lossy link, task migration,
+// manager death mid-fault).
+//
+// Invariants checked per seed:
+//   * Determinism: the same seed replays the same per-point fault trace.
+//   * No corruption: a page read back is either the data written or a whole
+//     page of zeros (the §6.2.1 zero-fill substitution) — never torn.
+//   * No hangs: every operation completes; a dead manager's waiting
+//     faulters resolve in a small fraction of the 5 s pager timeout.
+//   * No leaks: physical frames return to the free pool when tasks die.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/fault_injector.h"
+#include "src/hw/sim_disk.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/managers/migrate/migration_manager.h"
+#include "src/net/net_link.h"
+#include "src/pager/data_manager.h"
+
+namespace mach {
+namespace {
+
+constexpr VmSize kPage = 4096;
+
+const uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+// --- determinism: same seed => same fault trace -----------------------------
+
+struct DiskTrace {
+  std::vector<KernReturn> results;
+  std::vector<std::string> report;
+};
+
+// A single-threaded disk workload whose fault decisions depend only on the
+// injector seed.
+DiskTrace RunDiskWorkload(uint64_t seed) {
+  FaultInjector inj(seed);
+  inj.SetProbability(SimDisk::kFaultRead, 0.1);
+  inj.SetProbability(SimDisk::kFaultWrite, 0.1);
+  SimClock clock;
+  SimDisk disk(64, 512, &clock, DiskLatencyModel{}, &inj);
+  DiskTrace trace;
+  std::vector<char> buf(512, 'z');
+  for (uint32_t i = 0; i < 200; ++i) {
+    uint32_t block = (i * 7) % 64;
+    if (i % 3 == 0) {
+      trace.results.push_back(disk.WriteBlock(block, buf.data()));
+    } else {
+      trace.results.push_back(disk.ReadBlock(block, buf.data()));
+    }
+  }
+  trace.report = inj.Report();
+  return trace;
+}
+
+TEST(ChaosDeterminismTest, SameSeedReplaysTheSameFaultTrace) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    DiskTrace a = RunDiskWorkload(seed);
+    DiskTrace b = RunDiskWorkload(seed);
+    EXPECT_EQ(a.results, b.results);
+    EXPECT_EQ(a.report, b.report);
+  }
+}
+
+TEST(ChaosDeterminismTest, DistinctSeedsProduceDistinctTraces) {
+  EXPECT_NE(RunDiskWorkload(kSeeds[0]).results, RunDiskWorkload(kSeeds[1]).results);
+}
+
+TEST(ChaosDeterminismTest, TraceIndependentOfOtherPointsInterleaving) {
+  // The contract that makes multi-threaded chaos runs replayable: the k-th
+  // decision of one point does not depend on how many times *other* points
+  // were evaluated in between.
+  FaultInjector plain(77), interleaved(77);
+  plain.SetProbability("net.drop", 0.3);
+  interleaved.SetProbability("net.drop", 0.3);
+  interleaved.SetProbability("disk.read", 0.5);
+  for (int i = 0; i < 500; ++i) {
+    interleaved.ShouldFail("disk.read");  // Noise on another point.
+    EXPECT_EQ(plain.ShouldFail("net.drop"), interleaved.ShouldFail("net.drop")) << "hit " << i;
+  }
+}
+
+// --- the full-stack soak ----------------------------------------------------
+
+// A manager that never answers data requests; its death mid-fault drives
+// the kernel's death-notification fast path.
+class SilentPager : public DataManager {
+ public:
+  SilentPager() : DataManager("chaos-silent") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs) override {}
+};
+
+uint64_t Stamp(uint64_t seed, VmOffset page) {
+  return 0xC0DE000000000000ull ^ (seed << 32) ^ page;
+}
+
+class ChaosSoak {
+ public:
+  explicit ChaosSoak(uint64_t seed) : seed_(seed), faults_(seed) {
+    // Fault plan: transient backing-disk errors plus a lossy, jittery,
+    // duplicating link. Rates are high enough to fire constantly but low
+    // enough that the reliable link's retransmit budget (6 attempts)
+    // effectively never exhausts.
+    faults_.SetProbability(SimDisk::kFaultRead, 0.05);
+    faults_.SetProbability(SimDisk::kFaultWrite, 0.05);
+    faults_.SetProbability(NetLink::kFaultDrop, 0.15);
+    faults_.SetProbability(NetLink::kFaultDuplicate, 0.05);
+    faults_.SetProbability(NetLink::kFaultDelay, 0.2);
+
+    Kernel::Config config;
+    config.name = "chaos-a";
+    config.frames = 48;  // Small pool: the workload below forces pageout.
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    // Injected backing faults degrade to zero-filled pages, not errors, so
+    // the workload keeps running through them (§6.2.1).
+    config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+    config.fault_injector = &faults_;
+    host_a_ = std::make_unique<Kernel>(config);
+
+    config.name = "chaos-b";
+    config.frames = 96;
+    config.fault_injector = nullptr;  // Faults live on A's disk only.
+    host_b_ = std::make_unique<Kernel>(config);
+
+    NetFaultConfig net;
+    net.injector = &faults_;
+    net.reliable = true;
+    link_ = std::make_unique<NetLink>(&host_a_->vm(), &host_b_->vm(), &net_clock_,
+                                      kNormaLatency, net);
+  }
+
+  void Run() {
+    PagingUnderDiskFaults();
+    RpcOverLossyLink();
+    PartitionAndHeal();
+    ManagerDeathMidFault();
+    MigrationOverLossyLink();
+    NoLeaksAfterTeardown();
+
+    // The faults were real: every layer saw injections.
+    EXPECT_GT(faults_.Injected(SimDisk::kFaultRead) + faults_.Injected(SimDisk::kFaultWrite), 0u)
+        << "disk faults never fired";
+    EXPECT_GT(faults_.Injected(NetLink::kFaultDrop), 0u) << "link drops never fired";
+  }
+
+ private:
+  // Thrash 2x physical memory through a 48-frame pool while the backing
+  // disk throws transient errors. Every page must come back as the written
+  // stamp or as zeros — never garbage.
+  void PagingUnderDiskFaults() {
+    std::shared_ptr<Task> task = host_a_->CreateTask(nullptr, "thrash");
+    const VmSize pages = 96;
+    VmOffset base = task->VmAllocate(pages * kPage).value();
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t stamp = Stamp(seed_, p);
+      ASSERT_EQ(task->Write(base + p * kPage, &stamp, sizeof(stamp)), KernReturn::kSuccess);
+    }
+    uint64_t zeroed = 0;
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(task->Read(base + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+      if (out == 0) {
+        ++zeroed;  // Lost to an injected backing fault: allowed.
+      } else {
+        EXPECT_EQ(out, Stamp(seed_, p)) << "page " << p << " is torn";
+      }
+    }
+    // The workload must have survived as a whole: zero-fill substitution is
+    // the exception, not the rule.
+    EXPECT_LT(zeroed, pages / 2);
+  }
+
+  // A request/reply workload across the faulty link. Reliable mode must
+  // deliver every RPC despite drops, duplicates, and delay jitter.
+  void RpcOverLossyLink() {
+    PortPair service = PortAllocate("chaos-echo");
+    std::atomic<bool> stop{false};
+    std::thread server([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<Message> req = MsgReceive(service.receive, std::chrono::milliseconds(100));
+        if (!req.ok()) {
+          continue;
+        }
+        Message reply(req.value().id() + 1);
+        reply.PushU64(req.value().TakeU64().value() * 3);
+        MsgSend(req.value().reply_port(), std::move(reply));
+      }
+    });
+    SendRight proxy = link_->ProxyForA(service.send);
+    for (uint64_t i = 0; i < 50; ++i) {
+      Message request(100 + i);
+      request.PushU64(i);
+      Result<Message> reply =
+          MsgRpc(proxy, std::move(request), kWaitForever, std::chrono::seconds(10));
+      ASSERT_TRUE(reply.ok()) << "rpc " << i << " lost on a reliable link";
+      EXPECT_EQ(reply.value().id(), 101 + i);
+      EXPECT_EQ(reply.value().TakeU64().value(), i * 3);
+    }
+    stop.store(true, std::memory_order_release);
+    server.join();
+    EXPECT_EQ(link_->messages_lost(), 0u);
+  }
+
+  // A partitioned link loses even reliable traffic (after burning its
+  // retransmit budget); healing restores the flow.
+  void PartitionAndHeal() {
+    PortPair sink = PortAllocate("chaos-partition-sink");
+    SendRight proxy = link_->ProxyForA(sink.send);
+    uint64_t lost_before = link_->messages_lost();
+    link_->SetPartitioned(true);
+    ASSERT_EQ(MsgSend(proxy, Message(7)), KernReturn::kSuccess);  // Into the void.
+    EXPECT_FALSE(MsgReceive(sink.receive, std::chrono::milliseconds(300)).ok());
+    link_->SetPartitioned(false);
+    ASSERT_EQ(MsgSend(proxy, Message(8)), KernReturn::kSuccess);
+    Result<Message> got = MsgReceive(sink.receive, std::chrono::seconds(10));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().id(), 8u);
+    EXPECT_GT(link_->messages_lost(), lost_before);
+  }
+
+  // Kill a manager while a fault is parked on it: the faulter must resolve
+  // (zero-filled, per A's policy) in a small fraction of the 5 s timeout.
+  void ManagerDeathMidFault() {
+    std::shared_ptr<Task> task = host_a_->CreateTask(nullptr, "victim");
+    SilentPager pager;
+    pager.Start();
+    SendRight object = pager.NewObject();
+    VmOffset addr = task->VmAllocateWithPager(kPage, object, 0).value();
+    std::atomic<KernReturn> result{KernReturn::kFailure};
+    uint64_t out = 0xFFFF;
+    std::thread faulter([&] { result.store(task->Read(addr, &out, sizeof(out))); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto death_time = std::chrono::steady_clock::now();
+    pager.DestroyMemoryObject(object);
+    faulter.join();
+    auto resolved_in = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - death_time);
+    EXPECT_EQ(result.load(), KernReturn::kSuccess);
+    EXPECT_EQ(out, 0u);
+    EXPECT_LT(resolved_in.count(), 2000) << "faulter burned the pager timeout";
+    EXPECT_GE(host_a_->vm().Statistics().manager_deaths, 1u);
+    pager.Stop();
+  }
+
+  // Migrate a task from the faulty host to the healthy one with its paging
+  // traffic on the lossy (reliable) wire.
+  void MigrationOverLossyLink() {
+    std::shared_ptr<Task> source = host_a_->CreateTask(nullptr, "migrant");
+    const VmSize pages = 8;
+    VmOffset base = source->VmAllocate(pages * kPage).value();
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t stamp = Stamp(seed_, 1000 + p);
+      ASSERT_EQ(source->Write(base + p * kPage, &stamp, sizeof(stamp)), KernReturn::kSuccess);
+    }
+    MigrationManager manager;
+    manager.Start();
+    MigrationManager::Options options;
+    options.export_port = [&](SendRight object) { return link_->ProxyForB(std::move(object)); };
+    Result<std::shared_ptr<Task>> migrated = manager.Migrate(source, host_b_.get(), options);
+    ASSERT_TRUE(migrated.ok());
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(migrated.value()->Read(base + p * kPage, &out, sizeof(out)),
+                KernReturn::kSuccess);
+      // Source pages may have been zero-filled by A's faulty disk before
+      // the migration; they must never arrive torn.
+      EXPECT_TRUE(out == Stamp(seed_, 1000 + p) || out == 0) << "page " << p;
+    }
+    migrated.value().reset();
+    source.reset();
+    manager.Stop();
+  }
+
+  // With every task gone, the faulty host's frames drain back to the free
+  // pool (no stuck busy pages, no leaked placeholder frames).
+  void NoLeaksAfterTeardown() {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    uint64_t free = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      free = host_a_->phys().free_frames();
+      if (free >= 48 - 4) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GE(free, 48u - 4u) << "frames leaked after teardown";
+  }
+
+  const uint64_t seed_;
+  FaultInjector faults_;
+  SimClock net_clock_;
+  std::unique_ptr<Kernel> host_a_;
+  std::unique_ptr<Kernel> host_b_;
+  std::unique_ptr<NetLink> link_;
+};
+
+TEST(ChaosSoakTest, TenSeedsSurviveDiskLinkAndPagerFaults) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosSoak soak(seed);
+    soak.Run();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mach

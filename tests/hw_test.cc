@@ -246,10 +246,59 @@ TEST(SimDiskTest, PartialAccess) {
   SimClock clock;
   SimDisk disk(4, 512, &clock);
   const char msg[] = "log-record";
-  disk.WriteAt(2, 100, msg, sizeof(msg));
+  EXPECT_EQ(disk.WriteAt(2, 100, msg, sizeof(msg)), KernReturn::kSuccess);
   char buf[sizeof(msg)] = {};
-  disk.ReadAt(2, 100, buf, sizeof(buf));
+  EXPECT_EQ(disk.ReadAt(2, 100, buf, sizeof(buf)), KernReturn::kSuccess);
   EXPECT_STREQ(buf, msg);
+}
+
+TEST(SimDiskTest, OutOfRangeIsAnErrorNotACrash) {
+  SimClock clock;
+  SimDisk disk(4, 512, &clock);
+  std::vector<char> buf(512);
+  // Block index out of range.
+  EXPECT_EQ(disk.ReadBlock(4, buf.data()), KernReturn::kInvalidArgument);
+  EXPECT_EQ(disk.WriteBlock(4, buf.data()), KernReturn::kInvalidArgument);
+  EXPECT_EQ(disk.ReadBlock(UINT32_MAX, buf.data()), KernReturn::kInvalidArgument);
+  // Transfer running past the end of the block.
+  EXPECT_EQ(disk.ReadAt(0, 500, buf.data(), 13), KernReturn::kInvalidArgument);
+  EXPECT_EQ(disk.WriteAt(0, 513, buf.data(), 0), KernReturn::kInvalidArgument);
+  // Failed transfers neither move data nor count as operations.
+  EXPECT_EQ(disk.total_ops(), 0u);
+  // Boundary cases that must succeed: last block, exact-fit transfer.
+  EXPECT_EQ(disk.WriteBlock(3, buf.data()), KernReturn::kSuccess);
+  EXPECT_EQ(disk.WriteAt(0, 500, buf.data(), 12), KernReturn::kSuccess);
+  EXPECT_EQ(disk.ReadAt(0, 512, buf.data(), 0), KernReturn::kSuccess);
+}
+
+TEST(SimDiskTest, BadBlocksFailUntilCleared) {
+  SimClock clock;
+  SimDisk disk(4, 512, &clock);
+  std::vector<char> buf(512, 'y');
+  disk.MarkBadBlock(2);
+  EXPECT_EQ(disk.WriteBlock(2, buf.data()), KernReturn::kFailure);
+  EXPECT_EQ(disk.ReadBlock(2, buf.data()), KernReturn::kFailure);
+  EXPECT_EQ(disk.write_errors(), 1u);
+  EXPECT_EQ(disk.read_errors(), 1u);
+  EXPECT_EQ(disk.WriteBlock(1, buf.data()), KernReturn::kSuccess);
+  disk.ClearBadBlock(2);
+  EXPECT_EQ(disk.WriteBlock(2, buf.data()), KernReturn::kSuccess);
+}
+
+TEST(SimDiskTest, InjectedFaultsFollowTheSchedule) {
+  SimClock clock;
+  FaultInjector inj(42);
+  inj.SetSchedule(SimDisk::kFaultRead, {1});  // Fail the second read only.
+  SimDisk disk(4, 512, &clock, DiskLatencyModel{}, &inj);
+  std::vector<char> buf(512);
+  EXPECT_EQ(disk.ReadBlock(0, buf.data()), KernReturn::kSuccess);
+  EXPECT_EQ(disk.ReadBlock(0, buf.data()), KernReturn::kFailure);
+  EXPECT_EQ(disk.ReadBlock(0, buf.data()), KernReturn::kSuccess);
+  EXPECT_EQ(disk.read_errors(), 1u);
+  EXPECT_EQ(inj.Injected(SimDisk::kFaultRead), 1u);
+  // Writes are a separate fault point.
+  EXPECT_EQ(disk.WriteBlock(0, buf.data()), KernReturn::kSuccess);
+  EXPECT_EQ(disk.WriteBlock(0, buf.data()), KernReturn::kSuccess);
 }
 
 }  // namespace

@@ -174,5 +174,104 @@ TEST_F(NetTest, LatencyRegimesOrdering) {
   EXPECT_GE(kNormaLatency.per_msg_ns / kNumaLatency.per_msg_ns, 10u); // 100s of us (HyperCube).
 }
 
+TEST_F(NetTest, InjectedDropLosesUnreliableMessages) {
+  FaultInjector inj(7);
+  inj.SetSchedule(NetLink::kFaultDrop, {0});  // Drop the first transmission.
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  NetLink lossy(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("lossy-sink");
+  SendRight proxy = lossy.ProxyForA(on_b.send);
+  Message first(1);
+  ASSERT_EQ(MsgSend(proxy, std::move(first)), KernReturn::kSuccess);
+  Message second(2);
+  ASSERT_EQ(MsgSend(proxy, std::move(second)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 2u);  // The first died on the wire.
+  EXPECT_EQ(lossy.messages_lost(), 1u);
+  EXPECT_EQ(lossy.messages_dropped(), 1u);
+  EXPECT_EQ(lossy.retransmits(), 0u);  // Unreliable: no recovery attempted.
+}
+
+TEST_F(NetTest, ReliableModeRetransmitsThroughDrops) {
+  FaultInjector inj(7);
+  inj.SetSchedule(NetLink::kFaultDrop, {0, 1});  // First two attempts fail.
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  faults.reliable = true;
+  NetLink lossy(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("reliable-sink");
+  SendRight proxy = lossy.ProxyForA(on_b.send);
+  Message msg(9);
+  msg.PushU32(33);
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 9u);
+  EXPECT_EQ(got.value().TakeU32().value(), 33u);
+  EXPECT_EQ(lossy.retransmits(), 2u);
+  EXPECT_EQ(lossy.messages_lost(), 0u);
+  // Exponential backoff was charged in virtual time: base + 2*base.
+  EXPECT_GE(clock_.NowNs(), faults.retransmit_base_ns * 3);
+}
+
+TEST_F(NetTest, PartitionLosesEvenReliableTraffic) {
+  NetFaultConfig faults;
+  faults.reliable = true;
+  faults.max_retransmits = 3;
+  NetLink plink(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("partition-sink");
+  SendRight proxy = plink.ProxyForA(on_b.send);
+  plink.SetPartitioned(true);
+  ASSERT_EQ(MsgSend(proxy, Message(1)), KernReturn::kSuccess);
+  EXPECT_FALSE(MsgReceive(on_b.receive, std::chrono::milliseconds(300)).ok());
+  EXPECT_EQ(plink.messages_lost(), 1u);
+  EXPECT_EQ(plink.retransmits(), 3u);  // The budget was spent first.
+  // Healing restores the flow.
+  plink.SetPartitioned(false);
+  ASSERT_EQ(MsgSend(proxy, Message(2)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 2u);
+}
+
+TEST_F(NetTest, DuplicatesDeliveredUnreliablySuppressedReliably) {
+  // Unreliable: the duplicate reaches the receiver twice.
+  FaultInjector inj(3);
+  inj.SetSchedule(NetLink::kFaultDuplicate, {0});
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  NetLink dup(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("dup-sink");
+  SendRight proxy = dup.ProxyForA(on_b.send);
+  Message msg(5);
+  msg.PushU32(11);
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+  Result<Message> one = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  Result<Message> two = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(one.value().id(), 5u);
+  EXPECT_EQ(two.value().id(), 5u);
+  EXPECT_EQ(dup.messages_duplicated(), 1u);
+
+  // Reliable: sequence numbers suppress the duplicate delivery.
+  FaultInjector inj2(3);
+  inj2.SetSchedule(NetLink::kFaultDuplicate, {0});
+  NetFaultConfig rfaults;
+  rfaults.injector = &inj2;
+  rfaults.reliable = true;
+  NetLink rel(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, rfaults);
+  PortPair on_b2 = PortAllocate("dedup-sink");
+  SendRight rproxy = rel.ProxyForA(on_b2.send);
+  Message msg2(6);
+  ASSERT_EQ(MsgSend(rproxy, std::move(msg2)), KernReturn::kSuccess);
+  ASSERT_TRUE(MsgReceive(on_b2.receive, std::chrono::seconds(5)).ok());
+  EXPECT_FALSE(MsgReceive(on_b2.receive, std::chrono::milliseconds(200)).ok());
+  EXPECT_EQ(rel.duplicates_suppressed(), 1u);
+  EXPECT_EQ(rel.messages_duplicated(), 0u);
+}
+
 }  // namespace
 }  // namespace mach

@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
+#include "src/pager/data_manager.h"
 
 namespace mach {
 namespace {
@@ -203,6 +207,86 @@ TEST_F(VmEdgeTest, AllocateAtConflictsWithExistingRegion) {
   EXPECT_EQ(task_->VmAllocate(kPage, false, addr + kPage).status(), KernReturn::kNoSpace);
   // But adjacent is fine.
   EXPECT_TRUE(task_->VmAllocate(kPage, false, addr + 2 * kPage).ok());
+}
+
+// A manager that accepts objects but never answers a data request; killing
+// its memory-object port mid-fault exercises the death fast path (§6.2.1).
+class SilentPager : public DataManager {
+ public:
+  SilentPager() : DataManager("silent") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs) override {}
+};
+
+TEST_F(VmEdgeTest, ManagerDeathResolvesParkedFaulterWithErrorFast) {
+  // Default policy (kError) and default pager_timeout (5 s): a faulter
+  // parked on a dead manager's object must fail well before the timeout.
+  SilentPager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  std::atomic<KernReturn> result{KernReturn::kSuccess};
+  std::thread faulter([&] {
+    uint64_t out = 0;
+    result.store(task_->Read(addr, &out, sizeof(out)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // Park it.
+  auto death_time = std::chrono::steady_clock::now();
+  pager.DestroyMemoryObject(object);
+  faulter.join();
+  auto resolved_in = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - death_time);
+  EXPECT_EQ(result.load(), KernReturn::kMemoryError);
+  EXPECT_LT(resolved_in.count(), 2000);  // Much less than the 5 s deadline.
+  VmStatistics stats = kernel_->vm().Statistics();
+  EXPECT_GE(stats.manager_deaths, 1u);
+  EXPECT_GE(stats.death_resolved_pages, 1u);
+  pager.Stop();
+}
+
+TEST(VmManagerDeathTest, ZeroFillPolicyRehomesObjectOnDeath) {
+  // Under kZeroFill the parked faulter gets zeros instead of an error, and
+  // the object is severed from the dead manager: later faults and writes
+  // behave like ordinary anonymous memory.
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  SilentPager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  VmOffset addr = task->VmAllocateWithPager(2 * kPage, object, 0).value();
+  std::atomic<KernReturn> result{KernReturn::kFailure};
+  uint64_t out = 0xFFFF;
+  std::thread faulter([&] { result.store(task->Read(addr, &out, sizeof(out))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto death_time = std::chrono::steady_clock::now();
+  pager.DestroyMemoryObject(object);
+  faulter.join();
+  auto resolved_in = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - death_time);
+  EXPECT_EQ(result.load(), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0u);
+  EXPECT_LT(resolved_in.count(), 2000);
+  // The kernel dropped its association with the dead manager.
+  EXPECT_EQ(kernel.vm().ObjectForPager(object), nullptr);
+  // The never-faulted second page zero-fills like anonymous memory, and
+  // writes succeed.
+  uint64_t out2 = 0xFFFF;
+  EXPECT_EQ(task->Read(addr + kPage, &out2, sizeof(out2)), KernReturn::kSuccess);
+  EXPECT_EQ(out2, 0u);
+  uint64_t v = 42;
+  EXPECT_EQ(task->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  VmStatistics stats = kernel.vm().Statistics();
+  EXPECT_EQ(stats.manager_deaths, 1u);
+  EXPECT_GE(stats.death_resolved_pages, 1u);
+  task.reset();
+  pager.Stop();
 }
 
 }  // namespace
