@@ -36,6 +36,7 @@ KernReturn Port::Enqueue(Message&& msg, Timeout timeout) {
     if (!ok) {
       return queue_.size() >= backlog_ ? KernReturn::kPortFull : KernReturn::kTimedOut;
     }
+    StripSelfRights(&msg);
     queue_.push_back(std::move(msg));
     recv_cv_.notify_one();
     set_to_notify = set_.lock();
@@ -53,6 +54,7 @@ Result<Message> Port::Dequeue(Timeout timeout) {
     Message msg = std::move(queue_.front());
     queue_.pop_front();
     send_cv_.notify_one();
+    ReownSelfRights(&msg);
     return msg;
   }
   if (dead_) {
@@ -70,9 +72,55 @@ Result<Message> Port::TryDequeue() {
     Message msg = std::move(queue_.front());
     queue_.pop_front();
     send_cv_.notify_one();
+    ReownSelfRights(&msg);
     return msg;
   }
   return dead_ ? KernReturn::kPortDead : KernReturn::kNoMessage;
+}
+
+void Port::StripSelfRights(Message* msg) {
+  // Non-owning alias: get() == this but no control block.
+  std::shared_ptr<Port> alias(std::shared_ptr<Port>(), this);
+  if (msg->reply_port().port().get() == this) {
+    msg->set_reply_port(SendRight(alias));
+  }
+  for (MsgItem& item : msg->items()) {
+    if (auto* port_item = std::get_if<PortItem>(&item)) {
+      if (port_item->right.port().get() == this) {
+        port_item->right = SendRight(alias);
+      }
+    } else if (auto* recv_item = std::get_if<ReceiveItem>(&item)) {
+      if (recv_item->right.port_.get() == this) {
+        // Direct rebind: plain assignment must not MarkDead the port the
+        // way destroying the right would.
+        recv_item->right.port_ = alias;
+      }
+    }
+  }
+}
+
+void Port::ReownSelfRights(Message* msg) {
+  std::shared_ptr<Port> self;  // Materialized lazily: most messages carry no self-rights.
+  auto owned = [&] {
+    if (self == nullptr) {
+      self = shared_from_this();
+    }
+    return self;
+  };
+  if (msg->reply_port().port().get() == this && msg->reply_port().port().use_count() == 0) {
+    msg->set_reply_port(SendRight(owned()));
+  }
+  for (MsgItem& item : msg->items()) {
+    if (auto* port_item = std::get_if<PortItem>(&item)) {
+      if (port_item->right.port().get() == this && port_item->right.port().use_count() == 0) {
+        port_item->right = SendRight(owned());
+      }
+    } else if (auto* recv_item = std::get_if<ReceiveItem>(&item)) {
+      if (recv_item->right.non_owning() && recv_item->right.port_.get() == this) {
+        recv_item->right.port_ = owned();
+      }
+    }
+  }
 }
 
 PortStatus Port::Status() const {
@@ -295,14 +343,16 @@ std::string SendRight::label() const { return port_ ? port_->label() : std::stri
 bool SendRight::IsDead() const { return port_ == nullptr || port_->dead(); }
 
 ReceiveRight::~ReceiveRight() {
-  if (port_ != nullptr) {
+  // A non-owning right is a queue-internal cycle-breaker; it dies when its
+  // port's own queue is torn down and must not re-enter MarkDead.
+  if (port_ != nullptr && !non_owning()) {
     port_->MarkDead();
   }
 }
 
 ReceiveRight& ReceiveRight::operator=(ReceiveRight&& o) noexcept {
   if (this != &o) {
-    if (port_ != nullptr) {
+    if (port_ != nullptr && !non_owning()) {
       port_->MarkDead();
     }
     port_ = std::move(o.port_);

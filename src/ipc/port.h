@@ -85,6 +85,14 @@ class Port : public std::enable_shared_from_this<Port> {
   // death notifications. Idempotent.
   void MarkDead();
 
+  // A queued message may carry rights to this very port (e.g. its own
+  // receive right, or a self-addressed reply port). Held strongly they
+  // form a reference cycle that keeps an unreachable port alive forever,
+  // so Enqueue strips such rights to non-owning pointers and Dequeue
+  // restores ownership before the message leaves the port.
+  void StripSelfRights(Message* msg);
+  void ReownSelfRights(Message* msg);
+
   void SetPortSet(std::shared_ptr<PortSet> set);
 
   const uint64_t id_;

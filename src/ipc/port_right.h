@@ -72,6 +72,14 @@ class ReceiveRight {
   std::shared_ptr<Port> port() const { return port_; }
 
  private:
+  friend class Port;
+
+  // True when the pointer does not own the port: a queue-internal marker
+  // Port uses to break self-reference cycles (a message carrying its own
+  // destination's receive right). Never observable outside the port —
+  // Dequeue restores ownership before handing the message out.
+  bool non_owning() const { return port_ != nullptr && port_.use_count() == 0; }
+
   std::shared_ptr<Port> port_;
 };
 

@@ -180,6 +180,13 @@ void RecoveryManager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
     return;
   }
   for (VmOffset off = args.offset; off < args.offset + args.length; off += page_size_) {
+    auto def_it = segment->deferred.find(off);
+    if (def_it != segment->deferred.end()) {
+      // The freshest copy is the stashed deferred pageout, not the disk.
+      ProvideData(args.pager_request_port, off, std::vector<std::byte>(def_it->second),
+                  kVmProtNone);
+      continue;
+    }
     size_t page = static_cast<size_t>(off / page_size_);
     if (page >= segment->blocks.size() || segment->blocks[page] == UINT32_MAX) {
       DataUnavailable(args.pager_request_port, off, page_size_);
@@ -203,30 +210,60 @@ void RecoveryManager::OnDataWrite(uint64_t object_port_id, uint64_t cookie,
   if (segment == nullptr) {
     return;
   }
+  // Older deferred pageouts go first so retries stay in eviction order.
+  FlushDeferred(segment);
   const size_t pages = args.data.size() / page_size_;
   for (size_t p = 0; p < pages; ++p) {
     VmOffset off = args.offset + p * page_size_;
-    // THE WAL RULE (§8.3): before a recoverable page reaches permanent
-    // storage, every log record describing changes to it must be durable.
-    auto lsn_it = segment->page_lsn.find(TruncPage(off, page_size_));
-    if (lsn_it != segment->page_lsn.end() && lsn_it->second > log_.forced_lsn()) {
-      log_.Force();
-      wal_enforced_.fetch_add(1, std::memory_order_relaxed);
+    const std::byte* src = args.data.data() + p * page_size_;
+    if (TryWritePage(segment, off, src)) {
+      segment->deferred.erase(off);
+      pageouts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The kernel has already evicted this page, so this stash is the
+      // only remaining copy: keep it and retry on a later pageout/commit.
+      segment->deferred[off].assign(src, src + page_size_);
+      deferred_.fetch_add(1, std::memory_order_relaxed);
+      MACH_LOG(kWarn) << "camelot: pageout deferred at offset " << off;
     }
-    uint32_t block = EnsureBlock(segment, static_cast<size_t>(off / page_size_));
-    if (block == UINT32_MAX) {
-      MACH_LOG(kError) << "camelot: data disk full";
-      return;
-    }
-    if (!IsOk(data_disk_->WriteBlock(block, args.data.data() + p * page_size_))) {
-      // The redo log still covers this page (the WAL rule forced it
-      // above), so the update survives via Recover() even though the
-      // in-place write failed.
+  }
+}
+
+bool RecoveryManager::TryWritePage(Segment* segment, VmOffset off, const std::byte* src) {
+  // THE WAL RULE (§8.3): before a recoverable page reaches permanent
+  // storage, every log record describing changes to it must be durable.
+  auto lsn_it = segment->page_lsn.find(TruncPage(off, page_size_));
+  if (lsn_it != segment->page_lsn.end() && lsn_it->second > log_.forced_lsn()) {
+    if (log_.Force() < lsn_it->second) {
+      // The force failed (log-disk fault) and the page's records are still
+      // volatile: writing the page now would violate the WAL rule — a
+      // crash could lose a committed update.
       io_errors_.fetch_add(1, std::memory_order_relaxed);
-      MACH_LOG(kWarn) << "camelot: segment write failed for block " << block;
-      continue;
+      return false;
     }
-    pageouts_.fetch_add(1, std::memory_order_relaxed);
+    wal_enforced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint32_t block = EnsureBlock(segment, static_cast<size_t>(off / page_size_));
+  if (block == UINT32_MAX) {
+    MACH_LOG(kError) << "camelot: data disk full";
+    return false;
+  }
+  if (!IsOk(data_disk_->WriteBlock(block, src))) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    MACH_LOG(kWarn) << "camelot: segment write failed for block " << block;
+    return false;
+  }
+  return true;
+}
+
+void RecoveryManager::FlushDeferred(Segment* segment) {
+  for (auto it = segment->deferred.begin(); it != segment->deferred.end();) {
+    if (TryWritePage(segment, it->first, it->second.data())) {
+      pageouts_.fetch_add(1, std::memory_order_relaxed);
+      it = segment->deferred.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -279,6 +316,11 @@ void RecoveryManager::CommitTransaction(uint64_t tid) {
   // Commit forces the log: the transaction is durable from here on.
   log_.Force();
   active_tids_.erase(tid);
+  // A successful force unblocks any WAL-deferred pageouts (FlushDeferred
+  // re-checks the rule itself, so this is safe even if the force failed).
+  for (auto& [name, segment] : segments_) {
+    FlushDeferred(&segment);
+  }
 }
 
 void RecoveryManager::AbortTransaction(uint64_t tid) {
@@ -312,6 +354,11 @@ void RecoveryManager::SimulateCrash() {
   std::lock_guard<std::mutex> g(mu_);
   log_.SimulateCrash();
   active_tids_.clear();
+  // The deferred-pageout stash is volatile manager memory: a crash loses it
+  // (recovery reconstructs committed state from the durable log).
+  for (auto& [name, segment] : segments_) {
+    segment.deferred.clear();
+  }
 }
 
 void RecoveryManager::ApplyImage(uint64_t segment_id, VmOffset offset,

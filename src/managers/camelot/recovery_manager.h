@@ -68,6 +68,9 @@ class RecoveryManager : public DataManager {
   uint64_t wal_enforced_count() const { return wal_enforced_.load(std::memory_order_relaxed); }
   uint64_t pageout_count() const { return pageouts_.load(std::memory_order_relaxed); }
   uint64_t io_error_count() const { return io_errors_.load(std::memory_order_relaxed); }
+  // Pageouts deferred (page stashed in memory) because completing them
+  // would have violated the WAL rule or failed on the data disk.
+  uint64_t deferred_pageout_count() const { return deferred_.load(std::memory_order_relaxed); }
 
  protected:
   void OnDataRequest(uint64_t object_port_id, uint64_t cookie, PagerDataRequestArgs args) override;
@@ -81,10 +84,21 @@ class RecoveryManager : public DataManager {
     std::vector<uint32_t> blocks;  // Per page; UINT32_MAX = hole (zeros).
     // Highest LSN that touched each page (for the WAL check).
     std::unordered_map<VmOffset, uint64_t> page_lsn;
+    // Pageouts the manager could not complete — the WAL force or the data
+    // write failed — keyed by page offset. The kernel has already evicted
+    // these pages, so this stash is the only remaining copy: reads are
+    // served from it and later pageouts/commits retry the write. Volatile
+    // (lost on crash), like the log tail.
+    std::map<VmOffset, std::vector<std::byte>> deferred;
   };
 
   Segment* SegmentByCookie(uint64_t cookie);
   uint32_t EnsureBlock(Segment* segment, size_t page_index);
+  // One page's WAL check + in-place write. Returns true only when the page
+  // is on the data disk with its log records durable. Caller holds mu_.
+  bool TryWritePage(Segment* segment, VmOffset off, const std::byte* src);
+  // Retries every deferred pageout of `segment`. Caller holds mu_.
+  void FlushDeferred(Segment* segment);
   void ApplyImage(uint64_t segment_id, VmOffset offset, const std::vector<std::byte>& image);
 
   // The segment directory (names, ids, page->block maps) is persisted in
@@ -106,6 +120,7 @@ class RecoveryManager : public DataManager {
   std::atomic<uint64_t> wal_enforced_{0};
   std::atomic<uint64_t> pageouts_{0};
   std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint64_t> deferred_{0};
 };
 
 // Client-side failure-atomic transactions over mapped recoverable segments.

@@ -73,27 +73,29 @@ void SharedMemoryServer::InvalidateReaders(PageState& page, VmOffset offset, uin
 }
 
 void SharedMemoryServer::GrantRead(PageState& page, const SendRight& req, VmOffset offset) {
-  // Multiple readers are fine; the data goes out write-locked so a write
-  // attempt must come back through pager_data_unlock (§4.2).
-  ProvideData(req, offset, page.data, kVmProtWrite);
+  // Count before providing: ProvideData wakes the faulting thread, which
+  // may observe the statistics immediately.
+  ++read_grants_;
   if (page.reader_ids.insert(req.id()).second) {
     page.reader_ports.push_back(req);
   }
-  ++read_grants_;
+  // Multiple readers are fine; the data goes out write-locked so a write
+  // attempt must come back through pager_data_unlock (§4.2).
+  ProvideData(req, offset, page.data, kVmProtWrite);
 }
 
 void SharedMemoryServer::GrantWrite(Region* region, PageState& page, const SendRight& req,
                                     VmOffset offset, bool requester_has_copy) {
   InvalidateReaders(page, offset, req.id());
+  page.writer = req.id();
+  page.writer_port = req;
+  ++write_grants_;
   if (requester_has_copy) {
     // The kernel already holds the (read-locked) data: just drop the lock.
     LockData(req, offset, page_size_, kVmProtNone);
   } else {
     ProvideData(req, offset, page.data, kVmProtNone);
   }
-  page.writer = req.id();
-  page.writer_port = req;
-  ++write_grants_;
 }
 
 void SharedMemoryServer::ServePending(Region* region, VmOffset offset, PageState& page) {
@@ -178,10 +180,10 @@ void SharedMemoryServer::OnDataUnlock(uint64_t object_port_id, uint64_t cookie,
     // Reader upgrading to writer: invalidate the *other* readers, then
     // unlock the requester's copy in place (§4.2's final frame).
     InvalidateReaders(page, off, requester);
-    LockData(args.pager_request_port, off, page_size_, kVmProtNone);
     page.writer = requester;
     page.writer_port = args.pager_request_port;
     ++write_grants_;
+    LockData(args.pager_request_port, off, page_size_, kVmProtNone);
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <set>
@@ -45,11 +46,12 @@ class SharedMemoryServer : public DataManager {
   // Remote hosts should receive a NetLink proxy of this right.
   SendRight GetRegion(const std::string& name, VmSize size);
 
-  // Statistics for the coherence benchmarks.
-  uint64_t read_grants() const { return read_grants_; }
-  uint64_t write_grants() const { return write_grants_; }
-  uint64_t invalidations() const { return invalidations_; }
-  uint64_t recalls() const { return recalls_; }
+  // Statistics for the coherence benchmarks. Read from client threads
+  // while the server thread grants, hence atomic.
+  uint64_t read_grants() const { return read_grants_.load(std::memory_order_relaxed); }
+  uint64_t write_grants() const { return write_grants_.load(std::memory_order_relaxed); }
+  uint64_t invalidations() const { return invalidations_.load(std::memory_order_relaxed); }
+  uint64_t recalls() const { return recalls_.load(std::memory_order_relaxed); }
 
  protected:
   void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) override;
@@ -98,10 +100,10 @@ class SharedMemoryServer : public DataManager {
   std::map<std::string, Region> regions_;
   uint64_t next_cookie_ = 1;
 
-  uint64_t read_grants_ = 0;
-  uint64_t write_grants_ = 0;
-  uint64_t invalidations_ = 0;
-  uint64_t recalls_ = 0;
+  std::atomic<uint64_t> read_grants_{0};
+  std::atomic<uint64_t> write_grants_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> recalls_{0};
 };
 
 }  // namespace mach

@@ -151,30 +151,35 @@ void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Mes
     return;
   }
 
-  // The wire may deliver the message twice. Delivery is in-order per
-  // direction, so the duplicate's sequence number is never above the
-  // cumulative ack by the time it lands: the reliable receiver suppresses
-  // it, the unreliable receiver sees a fresh message.
-  dir.delivered_up_to = seq;
+  // The wire may deliver the message twice; clone it before the original
+  // is moved out for delivery.
   std::optional<Message> duplicate;
   if (faults_.injector != nullptr && faults_.injector->ShouldFail(kFaultDuplicate)) {
-    if (faults_.reliable && seq <= dir.delivered_up_to) {
-      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      duplicate = CloneMessage(msg);
-    }
+    duplicate = CloneMessage(msg);
   }
 
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
 
-  if (duplicate.has_value()) {
-    duplicated_.fetch_add(1, std::memory_order_relaxed);
-    Transmit(payload_bytes);  // The duplicate crossed the wire too.
-    MsgSend(target, std::move(duplicate).value(), std::chrono::milliseconds(2000));
+  KernReturn kr = MsgSend(target, std::move(msg), std::chrono::milliseconds(2000));
+  if (IsOk(kr)) {
+    // Receiver-side cumulative ack: advances only when a message is
+    // actually delivered.
+    dir.delivered_up_to = seq;
   }
 
-  KernReturn kr = MsgSend(target, std::move(msg), std::chrono::milliseconds(2000));
+  // The duplicate trails the original and has to survive the wire itself.
+  if (duplicate.has_value() && kr != KernReturn::kPortDead && Transmit(payload_bytes)) {
+    if (faults_.reliable && seq <= dir.delivered_up_to) {
+      // The cumulative ack already covers this sequence number: the
+      // reliable receiver suppresses the replay.
+      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+      MsgSend(target, std::move(duplicate).value(), std::chrono::milliseconds(2000));
+    }
+  }
+
   if (kr == KernReturn::kPortDead) {
     // Target died: kill the proxy so senders see port death too.
     std::lock_guard<std::mutex> g(dir.mu);

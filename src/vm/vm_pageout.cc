@@ -193,9 +193,16 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
 void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
   KernelLock lock(mu_);
   if (msg.id() == kMsgIdPortDeath) {
-    // Death notification for a watched memory-object port. It arrives on
-    // the dedicated notify port, which is not a request port, so handle it
-    // before the registry lookup. The payload is the dead port's id.
+    // Death notification for a watched memory-object port. Only the
+    // kernel's dedicated notify port is trusted: a kMsgIdPortDeath landing
+    // on an ordinary request port was sent by a manager, and honoring it
+    // would let an errant manager (the §6 threat model) forge the death of
+    // another object's pager.
+    if (request_port_id != death_notify_receive_.id()) {
+      MACH_LOG(kWarn) << "forged death notification on request port " << request_port_id;
+      return;
+    }
+    // The payload is the dead port's id.
     Result<uint64_t> dead_id = msg.TakeU64();
     if (dead_id.ok()) {
       auto dead_it = objects_by_pager_.find(dead_id.value());

@@ -109,10 +109,11 @@ class CamelotTest : public ::testing::Test {
     config.page_size = kPage;
     config.disk_latency = DiskLatencyModel{0, 0};
     kernel_ = std::make_unique<Kernel>(config);
-    data_disk_ = std::make_unique<SimDisk>(1024, kPage, &kernel_->clock(),
-                                           DiskLatencyModel{0, 0});
-    log_disk_ = std::make_unique<SimDisk>(2048, 512, &kernel_->clock(),
-                                          DiskLatencyModel{0, 0});
+    // The disks outlive the kernel (the crash tests destroy and recreate
+    // it), so they must not hold the kernel's clock. Latency is zero here
+    // anyway.
+    data_disk_ = std::make_unique<SimDisk>(1024, kPage, nullptr, DiskLatencyModel{0, 0});
+    log_disk_ = std::make_unique<SimDisk>(2048, 512, nullptr, DiskLatencyModel{0, 0});
     rm_ = std::make_unique<RecoveryManager>(data_disk_.get(), log_disk_.get(), kPage);
     rm_->Start();
     task_ = kernel_->CreateTask(nullptr, "camelot-client");
@@ -197,6 +198,38 @@ TEST_F(CamelotTest, WalRuleEnforcedOnPageout) {
   for (VmOffset p = 0; p < 128; ++p) {
     ASSERT_EQ(task_->ReadValue<uint64_t>(seg.base() + p * kPage).value(),
               0xC0DE000000000000ull + p);
+  }
+}
+
+TEST_F(CamelotTest, LogDiskFaultDefersPageoutInsteadOfViolatingWal) {
+  // When the log disk cannot force the WAL, dirty recoverable pages must
+  // NOT reach the data disk (that would let a crash lose a committed
+  // update). The manager stashes them, serves re-reads from the stash, and
+  // completes the writes once the log heals.
+  RecoverableSegment seg =
+      RecoverableSegment::Map(rm_.get(), task_.get(), "big", 128 * kPage).value();
+  FaultInjector inj(7);
+  inj.SetProbability(SimDisk::kFaultWrite, 1.0);
+  log_disk_->set_fault_injector(&inj);
+  Transaction txn(rm_.get());
+  for (VmOffset p = 0; p < 128; ++p) {
+    uint64_t v = 0xFEED000000000000ull + p;
+    ASSERT_EQ(txn.Write(seg, p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  // 128 dirty pages vs 96 frames forced evictions, all with an unforceable
+  // log: every one was deferred, none reached the data disk.
+  EXPECT_GT(rm_->deferred_pageout_count(), 0u);
+  EXPECT_EQ(rm_->pageout_count(), 0u);
+  EXPECT_GT(rm_->io_error_count(), 0u);
+  // Evicted pages are still readable (served from the deferred stash).
+  EXPECT_EQ(task_->ReadValue<uint64_t>(seg.base()).value(), 0xFEED000000000000ull);
+  // Heal the log; commit forces it and flushes the deferred pageouts.
+  log_disk_->set_fault_injector(nullptr);
+  ASSERT_EQ(txn.Commit(), KernReturn::kSuccess);
+  EXPECT_GT(rm_->pageout_count(), 0u);
+  for (VmOffset p = 0; p < 128; ++p) {
+    ASSERT_EQ(task_->ReadValue<uint64_t>(seg.base() + p * kPage).value(),
+              0xFEED000000000000ull + p);
   }
 }
 

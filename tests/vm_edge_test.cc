@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -244,6 +245,62 @@ TEST_F(VmEdgeTest, ManagerDeathResolvesParkedFaulterWithErrorFast) {
   EXPECT_GE(stats.manager_deaths, 1u);
   EXPECT_GE(stats.death_resolved_pages, 1u);
   pager.Stop();
+}
+
+// An errant manager (§6 threat model) that answers data requests but also
+// keeps the kernel's request port so the test can forge messages on it.
+class ErrantPager : public DataManager {
+ public:
+  ErrantPager() : DataManager("errant") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+  SendRight request_port() {
+    std::lock_guard<std::mutex> g(mu_);
+    return request_port_;
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      request_port_ = args.pager_request_port;
+    }
+    DataUnavailable(args.pager_request_port, args.offset, args.length);
+  }
+
+ private:
+  std::mutex mu_;
+  SendRight request_port_;
+};
+
+TEST_F(VmEdgeTest, ForgedDeathNotificationOnRequestPortIsIgnored) {
+  // A kMsgIdPortDeath arriving on an ordinary pager request port was sent
+  // by a manager, not the kernel: it must not sever the object it names.
+  SilentPager victim;
+  victim.Start();
+  SendRight victim_object = victim.NewObject();
+  ASSERT_TRUE(task_->VmAllocateWithPager(kPage, victim_object, 0).ok());
+  ASSERT_NE(kernel_->vm().ObjectForPager(victim_object), nullptr);
+
+  ErrantPager attacker;
+  attacker.Start();
+  SendRight attacker_object = attacker.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, attacker_object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);  // Captures the port.
+  SendRight request = attacker.request_port();
+  ASSERT_TRUE(request.valid());
+
+  // Forge a death notice naming the victim's memory-object port.
+  Message forged(kMsgIdPortDeath);
+  forged.PushU64(victim_object.id());
+  ASSERT_EQ(MsgSend(request, std::move(forged)), KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // Let the kernel dispatch.
+
+  // The victim is still bound to its (live) manager; no death was recorded.
+  EXPECT_NE(kernel_->vm().ObjectForPager(victim_object), nullptr);
+  EXPECT_EQ(kernel_->vm().Statistics().manager_deaths, 0u);
+  attacker.Stop();
+  victim.Stop();
 }
 
 TEST(VmManagerDeathTest, ZeroFillPolicyRehomesObjectOnDeath) {
