@@ -4,6 +4,8 @@
 #   ./ci.sh            # tier-1: configure, build, ctest
 #   ./ci.sh asan       # tier-1 under ASan+UBSan (-DMACH_SANITIZE=address)
 #   ./ci.sh all        # both, sequentially
+#   ./ci.sh bench [name...]  # run benchmark binaries, JSON into BENCH_<name>.json
+#                            # (all of bench/ by default; names drop the bench_ prefix)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,8 +35,32 @@ case "$mode" in
     "$0" tier1
     "$0" asan
     ;;
+  bench)
+    # Machine-readable perf lane: every google-benchmark binary emits JSON
+    # into BENCH_<name>.json at the repo root, so perf changes land as
+    # reviewable diffs alongside the code that caused them.
+    cmake -B build -S .
+    cmake --build build -j "$jobs"
+    shift || true
+    names="$*"
+    if [ -z "$names" ]; then
+      for b in build/bench/bench_*; do
+        [ -x "$b" ] || continue
+        names="$names ${b##*/bench_}"
+      done
+    fi
+    for name in $names; do
+      bin="build/bench/bench_${name}"
+      if [ ! -x "$bin" ]; then
+        echo "ci.sh bench: no such benchmark binary: $bin" >&2
+        exit 2
+      fi
+      echo "=== bench_${name} -> BENCH_${name}.json"
+      "$bin" --benchmark_format=json --benchmark_out_format=json > "BENCH_${name}.json"
+    done
+    ;;
   *)
-    echo "usage: $0 [tier1|asan|all]" >&2
+    echo "usage: $0 [tier1|asan|all|bench [name...]]" >&2
     exit 2
     ;;
 esac

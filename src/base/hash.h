@@ -1,0 +1,40 @@
+// Hashing helpers for kernel hash tables.
+//
+// The resident-page table (§5.3) and the default pager's backing-store map
+// are keyed by (object, page-aligned offset). Offsets are multiples of the
+// page size and object pointers share allocator alignment, so naive
+// shift-and-xor hashes leave most low bits constant and cluster whole
+// objects into a handful of buckets. SplitMix64 is a full-avalanche 64-bit
+// finalizer (Steele et al.): every input bit affects every output bit, so
+// structured keys spread uniformly.
+
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mach {
+
+// The SplitMix64 finalizer: a cheap bijective mixer with full avalanche.
+inline constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Mixes two 64-bit fields into one well-distributed hash. Each field is
+// avalanched before combining so that structure in either one (alignment,
+// small ranges, shared high bits) cannot survive into the bucket index.
+inline constexpr uint64_t HashCombine64(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ SplitMix64(b));
+}
+
+inline size_t HashPointerAndU64(const void* p, uint64_t v) {
+  return static_cast<size_t>(HashCombine64(reinterpret_cast<uintptr_t>(p), v));
+}
+
+}  // namespace mach
+
+#endif  // SRC_BASE_HASH_H_

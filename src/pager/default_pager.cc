@@ -132,6 +132,17 @@ std::optional<std::vector<std::byte>> DefaultPager::Unpark(uint64_t object_id, V
   return data;
 }
 
+void DefaultPager::Discard(uint64_t object_id) {
+  // Parked entries are keyed by the kernel's object id, not a port, so port
+  // death never reaches them; the kernel calls this at object termination
+  // (including shadow-chain collapse) to keep dead objects' parked data
+  // from accumulating.
+  std::lock_guard<std::mutex> g(store_mu_);
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    it = it->first.object_port_id == object_id ? parked_.erase(it) : std::next(it);
+  }
+}
+
 uint64_t DefaultPager::parked_count() const {
   std::lock_guard<std::mutex> g(store_mu_);
   return parked_.size();

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/hw/sim_disk.h"
 #include "src/pager/data_manager.h"
 #include "src/pager/parking.h"
@@ -39,6 +40,7 @@ class DefaultPager : public DataManager, public TrustedParkingStore {
   // --- TrustedParkingStore (§6.2.2) --------------------------------------
   void Park(uint64_t object_id, VmOffset offset, std::vector<std::byte> data) override;
   std::optional<std::vector<std::byte>> Unpark(uint64_t object_id, VmOffset offset) override;
+  void Discard(uint64_t object_id) override;
 
   // Statistics.
   uint64_t pagein_count() const { return pageins_.load(std::memory_order_relaxed); }
@@ -65,7 +67,10 @@ class DefaultPager : public DataManager, public TrustedParkingStore {
   };
   struct BackingKeyHash {
     size_t operator()(const BackingKey& k) const {
-      return std::hash<uint64_t>()(k.object_port_id) * 31 ^ std::hash<VmOffset>()(k.offset);
+      // Same clustering hazard as the kernel's resident-page table: both
+      // fields are structured (small ids, page-aligned offsets), so mix
+      // fully (see src/base/hash.h).
+      return static_cast<size_t>(HashCombine64(k.object_port_id, k.offset));
     }
   };
 

@@ -23,6 +23,10 @@ class TrustedParkingStore {
   virtual ~TrustedParkingStore() = default;
   virtual void Park(uint64_t object_id, VmOffset offset, std::vector<std::byte> data) = 0;
   virtual std::optional<std::vector<std::byte>> Unpark(uint64_t object_id, VmOffset offset) = 0;
+  // Drops every parked page of `object_id`. Called when the object is
+  // terminated (including shadow-chain collapse), whose parked data is
+  // unreachable afterwards; without this the store leaks dead objects' data.
+  virtual void Discard(uint64_t object_id) {}
 };
 
 }  // namespace mach

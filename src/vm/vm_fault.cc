@@ -104,6 +104,16 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
                                                        std::shared_ptr<VmObject> first_object,
                                                        VmOffset first_offset, VmProt fault_type) {
   assert(first_offset % page_size() == 0);
+  // Fast path: the top object already holds a settled page and no manager
+  // lock blocks the access — return it without computing the pager deadline
+  // or entering the chain walk. Shadow-chain collapse funnels long-lived
+  // fork survivors into this path by keeping their pages in the top object.
+  if (VmPage* page = PageLookup(first_object.get(), first_offset);
+      page != nullptr && !page->busy && !page->absent && !page->error &&
+      !page->unavailable && (fault_type & page->page_lock) == 0) {
+    ++stats_.fast_faults;
+    return PageResolution{page, false};
+  }
   // Deadline for data-manager interactions (§6.2.1 failure options).
   SteadyClock::time_point deadline = SteadyClock::time_point::max();
   if (config_.pager_timeout.has_value()) {
@@ -113,6 +123,7 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
   for (;;) {
     std::shared_ptr<VmObject> object = first_object;
     VmOffset offset = first_offset;
+    uint64_t depth = 1;
     bool rescan = false;
     while (!rescan) {
       VmPage* page = PageLookup(object.get(), offset);
@@ -172,6 +183,10 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           // Copy-on-write: push a private copy into the top object.
           Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
           if (!np.ok()) {
+            if (np.status() == KernReturn::kMemoryPresent) {
+              rescan = true;  // Another thread won the slot; use its page.
+              continue;
+            }
             return np.status();
           }
           // PageAlloc may have dropped the lock while reclaiming; the
@@ -201,6 +216,14 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           if (data.has_value()) {
             Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
             if (!np.ok()) {
+              if (np.status() == KernReturn::kMemoryPresent) {
+                // A page appeared at this slot while reclaiming; keep the
+                // unparked bytes safe and use the resident copy.
+                object->parked_offsets[offset] = true;
+                parking_->Park(object->id(), offset, std::move(*data));
+                rescan = true;
+                continue;
+              }
               return np.status();
             }
             VmSize n = std::min<VmSize>(data->size(), page_size());
@@ -216,6 +239,10 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
             Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
             if (!np.ok()) {
+              if (np.status() == KernReturn::kMemoryPresent) {
+                rescan = true;
+                continue;
+              }
               return np.status();
             }
             phys_->ZeroFrame(np.value()->frame);
@@ -228,6 +255,10 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
         // Cache miss: allocate a placeholder and issue pager_data_request.
         Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
         if (!np.ok()) {
+          if (np.status() == KernReturn::kMemoryPresent) {
+            rescan = true;
+            continue;
+          }
           return np.status();
         }
         VmPage* placeholder = np.value();
@@ -246,6 +277,10 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
             // Treat an unreachable manager per the timeout policy.
             Result<VmPage*> zp = PageAlloc(lock, object.get(), offset);
             if (!zp.ok()) {
+              if (zp.status() == KernReturn::kMemoryPresent) {
+                rescan = true;
+                continue;
+              }
               return zp.status();
             }
             phys_->ZeroFrame(zp.value()->frame);
@@ -286,12 +321,29 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
       if (object->shadow != nullptr) {
         offset += object->shadow_offset;
         object = object->shadow;
+        ++depth;
+        // Skip pageless intermediates without per-object hash probes: an
+        // object with no resident pages and no pager cannot resolve any
+        // offset itself.
+        while (object->resident_count == 0 && !object->pager.valid() &&
+               object->shadow != nullptr) {
+          offset += object->shadow_offset;
+          object = object->shadow;
+          ++depth;
+        }
+        if (depth > stats_.chain_depth_max) {
+          stats_.chain_depth_max = depth;
+        }
         continue;
       }
       // Nothing anywhere in the chain: zero-fill in the *top* object so the
       // page is private to this mapping chain.
       Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
       if (!np.ok()) {
+        if (np.status() == KernReturn::kMemoryPresent) {
+          rescan = true;
+          continue;
+        }
         return np.status();
       }
       phys_->ZeroFrame(np.value()->frame);
@@ -340,6 +392,16 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
     task.pmap->Enter(page_addr, page->frame, prot);
     PageActivate(page);
     ++stats_.faults;
+    // Opportunistic collapse, gated on checks that are O(1) per fault: a
+    // shadow whose sole remaining reference is our pointer (a dying fork
+    // chain), or a top object that now covers every one of its own pages
+    // (the last pending copy-on-write just completed).
+    if (object->shadow != nullptr &&
+        (object->shadow->map_refs == 1 ||
+         (!object->pager.valid() &&
+          uint64_t{object->resident_count} * page_size() >= object->size()))) {
+      TryCollapse(lock, object);
+    }
     return KernReturn::kSuccess;
   }
   return KernReturn::kFailure;

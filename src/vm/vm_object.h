@@ -16,9 +16,11 @@
 #ifndef SRC_VM_VM_OBJECT_H_
 #define SRC_VM_VM_OBJECT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/base/vm_types.h"
@@ -64,6 +66,25 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
   // copied from `shadow` at (offset + shadow_offset).
   std::shared_ptr<VmObject> shadow;
   VmOffset shadow_offset = 0;
+
+  // Back-pointers: every object whose `shadow` points at this one. Collapse
+  // (vm_object_collapse in Mach) needs to find the sole surviving child when
+  // map_refs drops to 1; a vector keeps that lookup O(children) without a
+  // registry scan. Maintained at every `shadow` assignment.
+  std::vector<VmObject*> shadow_children;
+
+  void AddShadowChild(VmObject* child) { shadow_children.push_back(child); }
+  void RemoveShadowChild(VmObject* child) {
+    shadow_children.erase(
+        std::remove(shadow_children.begin(), shadow_children.end(), child),
+        shadow_children.end());
+  }
+
+  // Offsets this (internal) object has successfully pushed to the default
+  // pager via pager_data_write. Collapse must treat these as data the shadow
+  // still holds even though no page is resident; without the set, splicing a
+  // paged-out shadow would silently lose its pages.
+  std::unordered_set<VmOffset> paged_offsets;
 
   // Offsets that the kernel parked with the default pager because this
   // (external) object's manager failed to accept a pager_data_write in time

@@ -79,6 +79,17 @@ struct VmStatistics {
                                 // the death-notification fast path (§6.2.1).
   uint64_t death_resolved_pages = 0;  // In-flight placeholder pages resolved
                                       // (zero-filled or errored) on death.
+  uint64_t shadow_collapses = 0;  // Intermediate shadow objects spliced out
+                                  // of a chain (Mach's vm_object_collapse).
+  uint64_t shadow_bypasses = 0;   // Whole chains released because the top
+                                  // object fully covers its window.
+  uint64_t pages_migrated = 0;    // Pages re-homed into the survivor during
+                                  // a collapse.
+  uint64_t collapse_denied = 0;   // Collapse opportunities declined (busy
+                                  // pages, uncovered pager-held data, or
+                                  // injected suppression).
+  uint64_t chain_depth_max = 0;   // Deepest shadow chain any fault walked.
+  uint64_t fast_faults = 0;       // ResolvePage top-object fast-path hits.
 };
 
 }  // namespace mach

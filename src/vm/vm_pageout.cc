@@ -171,6 +171,9 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
   KernReturn kr = MsgSend(object->pager, EncodePagerDataWrite(args), kPoll);
   if (IsOk(kr)) {
     ++stats_.pageouts;
+    // The pager now holds this offset: chain collapse must account for it
+    // even though no page is resident.
+    object->paged_offsets.insert(page->offset);
     PageFree(page);
     return true;
   }
@@ -372,6 +375,7 @@ void VmSystem::HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
       if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
         ++stats_.pageouts;
+        object->paged_offsets.insert(page->offset);
       } else if (config_.errant_manager_protection && parking_ != nullptr) {
         parking_->Park(object->id(), page->offset, std::move(args.data));
         object->parked_offsets[page->offset] = true;
@@ -405,6 +409,7 @@ void VmSystem::HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       page->dirty = false;
       phys_->ClearModify(page->frame);
       ++stats_.pageouts;
+      object->paged_offsets.insert(page->offset);
     }
     // On failure the page simply stays dirty; pageout retries later.
   }
@@ -469,6 +474,10 @@ void VmSystem::HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> obje
     object->name_receive.Destroy();
     object->internal = true;
     object->pager_initialized = false;
+    // Whatever the dead manager held is gone; a later re-homing with the
+    // default pager must not inherit phantom coverage. (Parked offsets stay:
+    // the parking store keys by the stable object id and still has the data.)
+    object->paged_offsets.clear();
   }
   // Under kError the registries keep the dead pager right: resident error
   // pages answer kMemoryError, and future faults on non-resident pages hit

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 #include "src/pager/protocol.h"
 
@@ -92,6 +93,14 @@ Result<VmPage*> VmSystem::PageAlloc(KernelLock& lock, VmObject* object, VmOffset
       return KernReturn::kResourceShortage;
     }
   }
+  // Reclaim (and the free-frame wait) can drop the kernel lock: another
+  // faulter — or a chain collapse migrating pages — may have installed a
+  // page at this (object, offset) meanwhile. Emplacing over it would leave
+  // two VmPages claiming one hash slot; make the caller rescan instead.
+  if (page_hash_.find(PageKey{object, offset}) != page_hash_.end()) {
+    phys_->FreeFrame(*frame);
+    return KernReturn::kMemoryPresent;
+  }
   auto* page = new VmPage();
   page->object = object;
   page->offset = offset;
@@ -175,6 +184,7 @@ void VmSystem::MakeShadow(MapEntry* entry) {
   std::shared_ptr<VmObject> shadow = CreateInternalObject(entry->size());
   shadow->shadow = entry->object;
   shadow->shadow_offset = entry->offset;
+  shadow->shadow->AddShadowChild(shadow.get());
   // The backing object's reference moves from the entry to the shadow
   // pointer: net reference count unchanged.
   entry->object = shadow;
@@ -189,6 +199,12 @@ void VmSystem::ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object)
   }
   assert(object->map_refs > 0);
   if (--object->map_refs > 0) {
+    // A dropped reference can leave a child's shadow pointer as the only
+    // one remaining — the collapse opportunity. Map removal, task death and
+    // map-copy consumption (DrainDeferredReleases) all funnel through here.
+    if (object->map_refs == 1 && object->shadow_children.size() == 1) {
+      TryCollapse(lock, object->shadow_children.front()->shared_from_this());
+    }
     return;
   }
   // No address-map references remain (§3.4.1 termination / caching).
@@ -241,10 +257,16 @@ void VmSystem::TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>
   object->name_send = SendRight();
   object->request_receive.Destroy();
   object->name_receive.Destroy();
+  // Any data parked with the default pager under this object's id is
+  // unreachable from now on; reclaim the store's blocks.
+  if (parking_ != nullptr) {
+    parking_->Discard(object->id());
+  }
   // Drop the shadow reference.
   if (object->shadow != nullptr) {
     std::shared_ptr<VmObject> shadow = std::move(object->shadow);
     object->shadow = nullptr;
+    shadow->RemoveShadowChild(object.get());
     ObjectRelease(lock, std::move(shadow));
   }
 }
@@ -274,12 +296,207 @@ void VmSystem::WriteProtectResident(VmObject* object, VmOffset offset, VmSize si
   }
 }
 
+// --- shadow-chain collapse (Mach's vm_object_collapse / bypass) -------------
+
+namespace {
+// Bound on the per-collapse coverage scan. Objects larger than this (in
+// pages) skip the bypass check rather than stall the kernel lock; splice —
+// which needs no full scan — still applies.
+constexpr VmSize kCollapseScanCap = 4096;
+
+// Pages in transit (pagein, pageout, pending unlock, death-resolution) make
+// residency unstable: a faulter may hold raw pointers into this object
+// across a lock drop, planning to resume here rather than rescan from the
+// top. Collapse must not touch such an object.
+bool HasUnstablePage(const VmObject* object) {
+  for (const VmPage* page : object->pages) {
+    if (page->busy || page->absent || page->unavailable || page->error ||
+        page->unlock_pending) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool VmSystem::ObjectCoversOffset(const VmObject* object, VmOffset offset) const {
+  // Raw probe — coverage checks should not skew the lookup/hit statistics.
+  if (page_hash_.count(PageKey{object, offset}) != 0) {
+    return true;
+  }
+  // Parked (§6.2.2) and pager-held copies count only while the pager
+  // association is intact — the fault path consults both under the same
+  // condition, and coverage must mirror exactly what a fault could read.
+  return object->pager.valid() && (object->parked_offsets.count(offset) != 0 ||
+                                   object->paged_offsets.count(offset) != 0);
+}
+
+bool VmSystem::FullyCoversSelf(const VmObject* object) const {
+  const VmSize ps = page_size();
+  if (!object->pager.valid()) {
+    // Residency is the only possible coverage; offsets are distinct, so the
+    // count is exact.
+    return uint64_t{object->resident_count} * ps >= object->size();
+  }
+  if (object->size() / ps > kCollapseScanCap) {
+    return false;
+  }
+  for (VmOffset off = 0; off < object->size(); off += ps) {
+    if (!ObjectCoversOffset(object, off)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
+  if (!config_.shadow_collapse) {
+    return;
+  }
+  const VmSize ps = page_size();
+  // Splice loop: absorb immediate shadows whose only reference is our
+  // shadow pointer. Runs entirely under the kernel lock — page migration is
+  // hash-table surgery on frames that stay put, so no copies and no blocking.
+  while (object->alive && object->shadow != nullptr) {
+    VmObject* s = object->shadow.get();
+    if (s->map_refs != 1 || s->shadow_children.size() != 1 || !s->alive) {
+      break;  // Someone else still reads through s.
+    }
+    // Mach never collapses pager-created objects: an external manager's
+    // holdings can't be enumerated, and its dirty pages must flow back to
+    // it at termination (which a bypass release still does), not be stolen
+    // into the child.
+    if (!s->internal && s->pager.valid()) {
+      break;
+    }
+    if (HasUnstablePage(object.get()) || HasUnstablePage(s)) {
+      ++stats_.collapse_denied;
+      return;  // In-transit pages; retry on a later opportunity.
+    }
+    const VmOffset window_lo = object->shadow_offset;
+    const VmOffset window_hi = window_lo + object->size();
+    // Data s holds only on backing store (default pager / parking) cannot
+    // be migrated without a blocking read-back; deny unless the child
+    // covers those offsets (or a newer resident copy exists to migrate).
+    bool backing_only_data = false;
+    auto covered_or_resident = [&](VmOffset so) {
+      return so < window_lo || so >= window_hi ||
+             page_hash_.count(PageKey{s, so}) != 0 ||
+             ObjectCoversOffset(object.get(), so - window_lo);
+    };
+    if (s->pager.valid()) {
+      for (VmOffset so : s->paged_offsets) {
+        if (!covered_or_resident(so)) {
+          backing_only_data = true;
+          break;
+        }
+      }
+      for (const auto& [so, parked] : s->parked_offsets) {
+        (void)parked;
+        if (!covered_or_resident(so)) {
+          backing_only_data = true;
+          break;
+        }
+      }
+    }
+    if (backing_only_data) {
+      ++stats_.collapse_denied;
+      return;
+    }
+    if (config_.fault_injector != nullptr &&
+        config_.fault_injector->ShouldFail(kFaultCollapse)) {
+      ++stats_.collapse_denied;
+      return;  // Injected suppression (chaos coverage of long chains).
+    }
+    // Migrate: every page of s the child would still read through the
+    // window moves into the child; pages the child already covers (its copy
+    // supersedes the shadow's) and pages outside the window die with s.
+    std::vector<VmPage*> source;
+    for (VmPage* page : s->pages) {
+      source.push_back(page);
+    }
+    for (VmPage* page : source) {
+      if (page->offset < window_lo || page->offset >= window_hi) {
+        PageFree(page);
+        continue;
+      }
+      const VmOffset co = page->offset - window_lo;
+      if (ObjectCoversOffset(object.get(), co)) {
+        PageFree(page);
+        continue;
+      }
+      // Any surviving hardware mappings of this frame are read-only
+      // (from_backing resolutions never map a shadow's page writable), but
+      // drop write access defensively before the identity change.
+      Pmap::PageProtect(phys_, page->frame, kVmProtRead | kVmProtExecute);
+      PageRename(page, object.get(), co);
+      // The survivor's resident copy is now the only one — s's backing
+      // store dies with it — so the page must not be dropped clean.
+      page->dirty = true;
+      ++stats_.pages_migrated;
+    }
+    // Splice s out: the child inherits s's shadow reference (net reference
+    // count on the grandparent unchanged), and s's last reference — our
+    // shadow pointer — is gone.
+    std::shared_ptr<VmObject> doomed = std::move(object->shadow);
+    doomed->RemoveShadowChild(object.get());
+    object->shadow = std::move(doomed->shadow);
+    object->shadow_offset += doomed->shadow_offset;
+    doomed->shadow_offset = 0;
+    if (object->shadow != nullptr) {
+      object->shadow->RemoveShadowChild(doomed.get());
+      object->shadow->AddShadowChild(object.get());
+    }
+    doomed->map_refs = 0;
+    ++stats_.shadow_collapses;
+    TerminateObject(lock, doomed);
+  }
+  // Bypass: if the child alone covers every page it can fault on, nothing
+  // below it is reachable any more — release the whole remaining chain.
+  if (object->alive && object->shadow != nullptr && !HasUnstablePage(object.get()) &&
+      FullyCoversSelf(object.get())) {
+    if (config_.fault_injector != nullptr &&
+        config_.fault_injector->ShouldFail(kFaultCollapse)) {
+      ++stats_.collapse_denied;
+      return;
+    }
+    std::shared_ptr<VmObject> chain = std::move(object->shadow);
+    object->shadow_offset = 0;
+    chain->RemoveShadowChild(object.get());
+    ++stats_.shadow_bypasses;
+    ObjectRelease(lock, std::move(chain));
+  }
+}
+
+size_t VmSystem::ShadowChainLength(TaskVm& task, VmOffset addr) {
+  KernelLock lock(mu_);
+  const VmOffset page_addr = TruncPage(addr, page_size());
+  MapEntry* top = task.map->Lookup(page_addr);
+  if (top == nullptr) {
+    return 0;
+  }
+  const MapEntry* holder = top;
+  if (top->is_share) {
+    holder = top->share_map->Lookup(top->offset + (page_addr - top->start));
+    if (holder == nullptr) {
+      return 0;
+    }
+  }
+  size_t depth = 0;
+  for (const VmObject* o = holder->object.get(); o != nullptr; o = o->shadow.get()) {
+    ++depth;
+  }
+  return depth;
+}
+
 void VmSystem::DrainDeferredReleases(KernelLock& lock) {
   std::vector<std::shared_ptr<VmObject>> pending;
   {
     std::lock_guard<std::mutex> g(deferred_mu_);
     pending.swap(deferred_releases_);
   }
+  // ObjectRelease spots collapse opportunities, so map-copy consumption
+  // (out-of-line message teardown) compacts chains just like map removal.
   for (auto& object : pending) {
     ObjectRelease(lock, std::move(object));
   }

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/kern_return.h"
 #include "src/base/sync.h"
 #include "src/base/vm_types.h"
@@ -48,6 +49,7 @@
 
 namespace mach {
 
+class FaultInjector;
 class VmMapCopy;
 
 // Per-task VM context: the task's address map plus its physical map.
@@ -87,7 +89,23 @@ class VmSystem {
 
     // Background daemon scan interval.
     std::chrono::milliseconds pageout_interval{25};
+
+    // Shadow-chain collapse (Mach's vm_object_collapse). When an
+    // intermediate shadow object's only reference is the single child
+    // shadowing it, the child absorbs its pages and splices it out of the
+    // chain. Off = chains grow without bound (the pre-collapse behaviour,
+    // kept for the ablation bench).
+    bool shadow_collapse = true;
+
+    // Optional fault injection: the kFaultCollapse point randomly
+    // suppresses collapse opportunities so chaos soaks cover both collapsed
+    // and uncollapsed chains. Not owned.
+    FaultInjector* fault_injector = nullptr;
   };
+
+  // FaultInjector point name: when it fires, one collapse opportunity is
+  // declined (counted in VmStatistics::collapse_denied).
+  static constexpr const char* kFaultCollapse = "vm.collapse";
 
   explicit VmSystem(PhysicalMemory* phys) : VmSystem(phys, Config{}) {}
   VmSystem(PhysicalMemory* phys, Config config);
@@ -197,6 +215,11 @@ class VmSystem {
   // Looks up the VmObject for a pager port (tests / kernel internals).
   std::shared_ptr<VmObject> ObjectForPager(const SendRight& pager) const;
 
+  // Length of the shadow chain under the object mapped at `addr` (1 = no
+  // shadow ancestors, 0 = no entry). Tests and benchmarks use this to show
+  // collapse keeps chains bounded.
+  size_t ShadowChainLength(TaskVm& task, VmOffset addr);
+
  private:
   friend class VmMapCopy;
 
@@ -209,7 +232,10 @@ class VmSystem {
   };
   struct PageKeyHash {
     size_t operator()(const PageKey& k) const {
-      return std::hash<const void*>()(k.object) * 31 ^ std::hash<VmOffset>()(k.offset);
+      // Object pointers share allocator alignment and offsets are page
+      // multiples; a full-avalanche mix keeps (object, offset) keys from
+      // clustering into a few buckets (see src/base/hash.h).
+      return HashPointerAndU64(k.object, k.offset);
     }
   };
 
@@ -264,6 +290,27 @@ class VmSystem {
   // Ensures an internal object has a default-pager association
   // (pager_create). Called from the pageout path, under the kernel lock.
   bool EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+
+  // --- shadow-chain collapse (Mach's vm_object_collapse / bypass) --------
+
+  // Attempts to shorten `object`'s shadow chain, repeatedly:
+  //  * splice: if the immediate shadow's only reference is `object`'s shadow
+  //    pointer, migrate its still-needed pages into `object` and splice it
+  //    out of the chain;
+  //  * bypass: if `object` itself covers every offset it could fault on, drop
+  //    the whole remaining chain.
+  // Runs entirely under the kernel lock (no blocking operations); declines —
+  // counting collapse_denied — whenever a busy page or unaccounted
+  // pager-held data makes the splice unsafe.
+  void TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+
+  // Whether `object` holds data for `offset` without consulting its shadow:
+  // a resident page, a default-pager copy (paged_offsets), or a §6.2.2
+  // parked copy.
+  bool ObjectCoversOffset(const VmObject* object, VmOffset offset) const;
+
+  // Whether `object` covers every page of [0, size()) by itself.
+  bool FullyCoversSelf(const VmObject* object) const;
 
   // --- pageout ------------------------------------------------------------
 

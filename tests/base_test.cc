@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+#include <unordered_set>
+#include <vector>
 
 #include "src/base/fault_injector.h"
+#include "src/base/hash.h"
 #include "src/base/intrusive_list.h"
 #include "src/base/kern_return.h"
 #include "src/base/sim_clock.h"
@@ -293,6 +297,44 @@ TEST(FaultInjectorTest, ReportListsConfiguredPoints) {
   std::vector<std::string> report = inj.Report();
   ASSERT_EQ(report.size(), 1u);
   EXPECT_EQ(report[0], "a:1/2");
+}
+
+TEST(HashTest, SplitMix64IsBijectiveOnSamples) {
+  // Distinct inputs must give distinct outputs (SplitMix64 is a bijection);
+  // spot-check across structured and random-ish inputs.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(SplitMix64(i * 4096)).second) << i;
+  }
+}
+
+TEST(HashTest, PageKeyPatternSpreadsAcrossBuckets) {
+  // The resident-page table's key shape: heap-like object addresses (shared
+  // alignment, small deltas) crossed with page-aligned offsets. The old
+  // `ptr_hash * 31 ^ offset_hash` collapsed these onto a few buckets; the
+  // mixed hash must spread them near-uniformly.
+  constexpr int kObjects = 64;
+  constexpr int kPagesPerObject = 1024;
+  constexpr uint64_t kBuckets = 4096;  // Power of two: only low bits select.
+  std::vector<uint32_t> bucket(kBuckets, 0);
+  for (int o = 0; o < kObjects; ++o) {
+    const uint64_t addr = 0x7f3a00000000ull + uint64_t{o} * 176;  // Alloc-like.
+    for (int p = 0; p < kPagesPerObject; ++p) {
+      uint64_t h = HashCombine64(addr, uint64_t{p} * 4096);
+      ++bucket[h & (kBuckets - 1)];
+    }
+  }
+  const double mean = double(kObjects) * kPagesPerObject / kBuckets;  // 16.
+  uint32_t max_load = 0;
+  uint32_t empties = 0;
+  for (uint32_t load : bucket) {
+    max_load = std::max(max_load, load);
+    empties += load == 0;
+  }
+  // Poisson(16): P(load > 48) is ~1e-10 per bucket; empties are similarly
+  // vanishing. Generous slack keeps this deterministic check robust.
+  EXPECT_LT(max_load, mean * 3.0) << "hash clusters structured page keys";
+  EXPECT_LT(empties, kBuckets / 20) << "hash leaves buckets unreachable";
 }
 
 }  // namespace

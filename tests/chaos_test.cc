@@ -121,6 +121,9 @@ class ChaosSoak {
     faults_.SetProbability(NetLink::kFaultDrop, 0.15);
     faults_.SetProbability(NetLink::kFaultDuplicate, 0.05);
     faults_.SetProbability(NetLink::kFaultDelay, 0.2);
+    // Suppress a random 30% of shadow-chain collapse opportunities: denial
+    // must be purely a performance event, never a correctness one.
+    faults_.SetProbability(VmSystem::kFaultCollapse, 0.3);
 
     Kernel::Config config;
     config.name = "chaos-a";
@@ -147,6 +150,7 @@ class ChaosSoak {
 
   void Run() {
     PagingUnderDiskFaults();
+    ForkChurnUnderCollapseFaults();
     RpcOverLossyLink();
     PartitionAndHeal();
     ManagerDeathMidFault();
@@ -157,6 +161,8 @@ class ChaosSoak {
     EXPECT_GT(faults_.Injected(SimDisk::kFaultRead) + faults_.Injected(SimDisk::kFaultWrite), 0u)
         << "disk faults never fired";
     EXPECT_GT(faults_.Injected(NetLink::kFaultDrop), 0u) << "link drops never fired";
+    EXPECT_GT(faults_.Evaluations(VmSystem::kFaultCollapse), 0u)
+        << "no collapse opportunity ever reached the injector";
   }
 
  private:
@@ -184,6 +190,37 @@ class ChaosSoak {
     // The workload must have survived as a whole: zero-fill substitution is
     // the exception, not the rule.
     EXPECT_LT(zeroed, pages / 2);
+  }
+
+  // Fork/exit churn over an inherited region while collapse attempts are
+  // randomly suppressed and the backing disk throws. A denied collapse must
+  // leave the chain walkable; a granted one must migrate pages correctly —
+  // the survivor's view never depends on which way the coin landed.
+  void ForkChurnUnderCollapseFaults() {
+    std::shared_ptr<Task> task = host_a_->CreateTask(nullptr, "churn0");
+    const VmSize pages = 8;
+    VmOffset base = task->VmAllocate(pages * kPage).value();
+    std::vector<uint64_t> model(pages);
+    for (VmOffset p = 0; p < pages; ++p) {
+      model[p] = Stamp(seed_, 2000 + p);
+      ASSERT_EQ(task->Write(base + p * kPage, &model[p], sizeof(uint64_t)),
+                KernReturn::kSuccess);
+    }
+    for (int g = 1; g <= 24; ++g) {
+      std::shared_ptr<Task> child = host_a_->CreateTask(task, "churn");
+      VmOffset p = g % pages;
+      model[p] = Stamp(seed_, 3000 + g);
+      ASSERT_EQ(child->Write(base + p * kPage, &model[p], sizeof(uint64_t)),
+                KernReturn::kSuccess);
+      task = child;  // The parent dies: a collapse opportunity, maybe denied.
+    }
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(task->Read(base + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+      // An injected backing fault may zero-fill an evicted page; collapse —
+      // granted or denied — must never tear or mis-migrate one.
+      EXPECT_TRUE(out == model[p] || out == 0) << "churn page " << p;
+    }
   }
 
   // A request/reply workload across the faulty link. Reliable mode must

@@ -284,5 +284,178 @@ TEST_P(PagerStoreTest, RandomWritesSurviveEvictionChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PagerStoreTest, ::testing::Values(7u, 777u, 77777u));
 
+// --- invariant: shadow-chain collapse is invisible to task-level semantics -------
+//
+// A random fork/write/death workload over a COW-inherited region, checked
+// against an eager-copy oracle: every live generation owns a flat
+// std::vector<uint8_t> that is deep-copied at fork time, so any divergence
+// means collapse migrated a page to the wrong place, freed one it shouldn't
+// have, or left a chain pointing at stale data.
+
+class CollapseWorkloadTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CollapseWorkloadTest, ForkWriteDeathMatchesEagerCopyOracle) {
+  Kernel::Config config;
+  config.frames = 512;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  constexpr VmSize kBytes = 8 * 4096;
+
+  struct Gen {
+    std::shared_ptr<Task> task;
+    std::vector<uint8_t> model;  // Eager-copy oracle of the whole region.
+  };
+  std::vector<Gen> gens;
+  gens.push_back({kernel.CreateTask(nullptr, "gen0"), std::vector<uint8_t>(kBytes, 0)});
+  VmOffset base = gens[0].task->VmAllocate(kBytes).value();
+
+  std::mt19937 rng(GetParam());
+  for (int step = 0; step < 400; ++step) {
+    switch (rng() % 4) {
+      case 0: {  // Fork a random live generation (bounded population).
+        if (gens.size() >= 12) {
+          break;
+        }
+        Gen& parent = gens[rng() % gens.size()];
+        gens.push_back({kernel.CreateTask(parent.task), parent.model});
+        break;
+      }
+      case 1: {  // Random byte-range write, mirrored into the oracle.
+        Gen& g = gens[rng() % gens.size()];
+        VmOffset off = rng() % (kBytes - 64);
+        VmSize len = 1 + rng() % 64;
+        std::vector<uint8_t> chunk(len);
+        for (auto& b : chunk) {
+          b = static_cast<uint8_t>(rng());
+        }
+        ASSERT_EQ(g.task->Write(base + off, chunk.data(), len), KernReturn::kSuccess);
+        std::memcpy(g.model.data() + off, chunk.data(), len);
+        break;
+      }
+      case 2: {  // Kill a random generation; its death may trigger collapse.
+        if (gens.size() <= 1) {
+          break;
+        }
+        gens.erase(gens.begin() + rng() % gens.size());
+        break;
+      }
+      default: {  // Spot-check a random window of a random survivor.
+        Gen& g = gens[rng() % gens.size()];
+        VmOffset off = rng() % (kBytes - 64);
+        std::vector<uint8_t> out(64);
+        ASSERT_EQ(g.task->Read(base + off, out.data(), out.size()), KernReturn::kSuccess);
+        ASSERT_EQ(std::memcmp(out.data(), g.model.data() + off, out.size()), 0)
+            << "divergence at step " << step;
+        break;
+      }
+    }
+  }
+
+  // Full byte-for-byte sweep of every survivor against its oracle.
+  for (size_t i = 0; i < gens.size(); ++i) {
+    std::vector<uint8_t> out(kBytes);
+    ASSERT_EQ(gens[i].task->Read(base, out.data(), kBytes), KernReturn::kSuccess);
+    ASSERT_EQ(std::memcmp(out.data(), gens[i].model.data(), kBytes), 0)
+        << "survivor " << i;
+  }
+
+  // Reduce to one survivor: every remaining death hands the kernel a collapse
+  // opportunity, and the last generation must still match its oracle with a
+  // short chain (no multi-child shadows can remain once its siblings die).
+  while (gens.size() > 1) {
+    gens.erase(gens.begin());
+  }
+  std::vector<uint8_t> out(kBytes);
+  ASSERT_EQ(gens[0].task->Read(base, out.data(), kBytes), KernReturn::kSuccess);
+  EXPECT_EQ(std::memcmp(out.data(), gens[0].model.data(), kBytes), 0);
+  VmStatistics st = kernel.vm().Statistics();
+  EXPECT_GT(st.shadow_collapses + st.shadow_bypasses, 0u);
+  for (VmOffset p = 0; p < kBytes; p += 4096) {
+    EXPECT_LE(kernel.vm().ShadowChainLength(gens[0].task->vm_context(), base + p), 2u)
+        << "page " << p / 4096;
+  }
+  gens.clear();
+}
+
+TEST_P(CollapseWorkloadTest, NoResidentPageLeakAfterChainDeath) {
+  Kernel::Config config;
+  config.frames = 1024;
+  config.page_size = 4096;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  const VmStatistics before = kernel.vm().Statistics();
+  {
+    std::mt19937 rng(GetParam());
+    std::vector<std::shared_ptr<Task>> chain;
+    chain.push_back(kernel.CreateTask(nullptr, "gen0"));
+    VmOffset base = chain[0]->VmAllocate(16 * 4096).value();
+    for (VmOffset p = 0; p < 16; ++p) {
+      ASSERT_EQ(chain[0]->WriteValue<uint64_t>(base + p * 4096, p), KernReturn::kSuccess);
+    }
+    for (int g = 1; g <= 10; ++g) {
+      chain.push_back(kernel.CreateTask(chain.back()));
+      ASSERT_EQ(chain.back()->WriteValue<uint64_t>(base + (rng() % 16) * 4096, 1000 + g),
+                KernReturn::kSuccess);
+      if (rng() % 2 == 0 && chain.size() > 2) {
+        // Kill a random intermediate generation mid-build.
+        chain.erase(chain.begin() + 1 + rng() % (chain.size() - 2));
+      }
+    }
+    chain.clear();  // Everyone dies; every page must come back.
+  }
+  const VmStatistics after = kernel.vm().Statistics();
+  EXPECT_EQ(after.active_count + after.inactive_count,
+            before.active_count + before.inactive_count);
+  EXPECT_EQ(after.free_count, before.free_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseWorkloadTest,
+                         ::testing::Values(3u, 1234u, 98765u, 0xC0FFEEu));
+
+// The bench workload's shape as a correctness check: a deep chain of dying
+// parents must collapse to O(1) length while preserving every generation's
+// final view, and disabling the flag must reproduce the deep chain (ablation).
+TEST(CollapseChainTest, DeepChainOfDeadParentsCollapsesToConstantDepth) {
+  for (bool collapse : {false, true}) {
+    Kernel::Config config;
+    config.frames = 2048;
+    config.page_size = 4096;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.vm.shadow_collapse = collapse;
+    Kernel kernel(config);
+    constexpr int kDepth = 16;
+    constexpr VmOffset kPages = 8;
+    auto task = kernel.CreateTask(nullptr, "gen0");
+    VmOffset base = task->VmAllocate(kPages * 4096).value();
+    std::vector<uint64_t> model(kPages);
+    for (VmOffset p = 0; p < kPages; ++p) {
+      model[p] = p + 1;
+      ASSERT_EQ(task->WriteValue<uint64_t>(base + p * 4096, model[p]), KernReturn::kSuccess);
+    }
+    for (int g = 1; g <= kDepth; ++g) {
+      auto child = kernel.CreateTask(task);
+      VmOffset p = 1 + g % (kPages - 1);
+      model[p] = 1000 + g;
+      ASSERT_EQ(child->WriteValue<uint64_t>(base + p * 4096, model[p]), KernReturn::kSuccess);
+      task = child;  // Parent dies.
+    }
+    for (VmOffset p = 0; p < kPages; ++p) {
+      EXPECT_EQ(task->ReadValue<uint64_t>(base + p * 4096).value(), model[p])
+          << "page " << p << " collapse=" << collapse;
+    }
+    VmStatistics st = kernel.vm().Statistics();
+    size_t len = kernel.vm().ShadowChainLength(task->vm_context(), base);
+    if (collapse) {
+      EXPECT_LE(len, 2u);
+      EXPECT_GT(st.shadow_collapses + st.shadow_bypasses, 0u);
+    } else {
+      EXPECT_GE(len, static_cast<size_t>(kDepth));
+      EXPECT_EQ(st.shadow_collapses + st.shadow_bypasses, 0u);
+    }
+    task.reset();
+  }
+}
+
 }  // namespace
 }  // namespace mach

@@ -10,9 +10,11 @@
 #include <random>
 #include <vector>
 
+#include "src/base/fault_injector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
 #include "src/vm/address_map.h"
+#include "src/vm/vm_system.h"
 
 namespace mach {
 namespace {
@@ -563,6 +565,109 @@ TEST_F(PageoutTest, StatisticsShowPagingActivity) {
   VmStatistics st = task_->VmStats();
   EXPECT_GT(st.pageouts, 0u);
   EXPECT_GT(st.pageins, 0u);
+}
+
+// --- shadow-chain collapse ----------------------------------------------------
+
+class ShadowCollapseTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Kernel> MakeKernel(bool collapse, FaultInjector* inj = nullptr) {
+    Kernel::Config config;
+    config.frames = 512;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.vm.shadow_collapse = collapse;
+    config.fault_injector = inj;
+    return std::make_unique<Kernel>(config);
+  }
+
+  // Forks `depth` generations, each writing one page then orphaning its
+  // parent, and returns the survivor.
+  std::shared_ptr<Task> BuildDyingChain(Kernel& kernel, int depth, VmOffset* base) {
+    auto task = kernel.CreateTask(nullptr, "gen0");
+    *base = task->VmAllocate(4 * kPage).value();
+    for (VmOffset p = 0; p < 4; ++p) {
+      EXPECT_EQ(task->WriteValue<uint64_t>(*base + p * kPage, p + 1), KernReturn::kSuccess);
+    }
+    for (int g = 1; g <= depth; ++g) {
+      auto child = kernel.CreateTask(task);
+      EXPECT_EQ(child->WriteValue<uint64_t>(*base + (1 + g % 3) * kPage, 1000 + g),
+                KernReturn::kSuccess);
+      task = child;  // Parent dies here.
+    }
+    return task;
+  }
+};
+
+TEST_F(ShadowCollapseTest, DeadParentPagesMigrateIntoSurvivingChild) {
+  auto kernel = MakeKernel(true);
+  VmOffset base = 0;
+  auto gen0 = kernel->CreateTask(nullptr, "gen0");
+  base = gen0->VmAllocate(2 * kPage).value();
+  ASSERT_EQ(gen0->WriteValue<uint64_t>(base, 11), KernReturn::kSuccess);
+  ASSERT_EQ(gen0->WriteValue<uint64_t>(base + kPage, 22), KernReturn::kSuccess);
+  auto gen1 = kernel->CreateTask(gen0);
+  ASSERT_EQ(gen1->WriteValue<uint64_t>(base + kPage, 33), KernReturn::kSuccess);
+
+  gen0.reset();  // Death drops the bottom object to a sole shadow reference.
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_GE(st.shadow_collapses, 1u);
+  // Page 0 existed only in the dead parent: it must have been migrated, not
+  // copied, and the child's private page 1 must have shadowed the original.
+  EXPECT_GE(st.pages_migrated, 1u);
+  EXPECT_EQ(gen1->ReadValue<uint64_t>(base).value(), 11u);
+  EXPECT_EQ(gen1->ReadValue<uint64_t>(base + kPage).value(), 33u);
+  EXPECT_EQ(kernel->vm().ShadowChainLength(gen1->vm_context(), base), 1u);
+}
+
+TEST_F(ShadowCollapseTest, FullyCoveringShadowBypassesItsChainEvenWhileParentLives) {
+  auto kernel = MakeKernel(true);
+  auto parent = kernel->CreateTask(nullptr, "parent");
+  VmOffset base = parent->VmAllocate(2 * kPage).value();
+  ASSERT_EQ(parent->WriteValue<uint64_t>(base, 1), KernReturn::kSuccess);
+  ASSERT_EQ(parent->WriteValue<uint64_t>(base + kPage, 2), KernReturn::kSuccess);
+  auto child = kernel->CreateTask(parent);
+  // The child overwrites every page, so its shadow fully covers itself and
+  // no longer needs the chain below — even though the parent is still alive.
+  ASSERT_EQ(child->WriteValue<uint64_t>(base, 10), KernReturn::kSuccess);
+  ASSERT_EQ(child->WriteValue<uint64_t>(base + kPage, 20), KernReturn::kSuccess);
+
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_GE(st.shadow_bypasses, 1u);
+  EXPECT_EQ(kernel->vm().ShadowChainLength(child->vm_context(), base), 1u);
+  // Both views stay intact: bypass only drops a reference, never pages.
+  EXPECT_EQ(parent->ReadValue<uint64_t>(base).value(), 1u);
+  EXPECT_EQ(parent->ReadValue<uint64_t>(base + kPage).value(), 2u);
+  EXPECT_EQ(child->ReadValue<uint64_t>(base).value(), 10u);
+  EXPECT_EQ(child->ReadValue<uint64_t>(base + kPage).value(), 20u);
+}
+
+TEST_F(ShadowCollapseTest, DisablingTheFlagPreservesDeepChains) {
+  auto kernel = MakeKernel(false);
+  VmOffset base = 0;
+  auto survivor = BuildDyingChain(*kernel, 8, &base);
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_EQ(st.shadow_collapses, 0u);
+  EXPECT_EQ(st.shadow_bypasses, 0u);
+  EXPECT_GE(kernel->vm().ShadowChainLength(survivor->vm_context(), base), 8u);
+  EXPECT_EQ(survivor->ReadValue<uint64_t>(base).value(), 1u);
+}
+
+TEST_F(ShadowCollapseTest, InjectedCollapseFaultDeniesSafely) {
+  FaultInjector inj(42);
+  inj.SetProbability(VmSystem::kFaultCollapse, 1.0);
+  auto kernel = MakeKernel(true, &inj);
+  VmOffset base = 0;
+  auto survivor = BuildDyingChain(*kernel, 8, &base);
+  // Every collapse attempt was suppressed: the chain survives deep, the
+  // denial counter records the suppressions, and no data is disturbed.
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_EQ(st.shadow_collapses, 0u);
+  EXPECT_EQ(st.shadow_bypasses, 0u);
+  EXPECT_GT(st.collapse_denied, 0u);
+  EXPECT_GT(inj.Injected(VmSystem::kFaultCollapse), 0u);
+  EXPECT_GE(kernel->vm().ShadowChainLength(survivor->vm_context(), base), 8u);
+  EXPECT_EQ(survivor->ReadValue<uint64_t>(base).value(), 1u);
 }
 
 }  // namespace
