@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification plus an optional sanitizer pass.
 #
-#   ./ci.sh            # tier-1: configure, build, ctest
+#   ./ci.sh            # tier-1: configure, build, ctest, plus the IPC
+#                      # port/right suites re-run under ASan with leak
+#                      # detection (cycle reclamation must be leak-clean)
 #   ./ci.sh asan       # tier-1 under ASan+UBSan (-DMACH_SANITIZE=address)
 #   ./ci.sh all        # both, sequentially
 #   ./ci.sh bench [name...]  # run benchmark binaries, JSON into BENCH_<name>.json
@@ -19,10 +21,22 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+# The port-GC and no-senders machinery is only proven correct if reclaiming
+# queue cycles frees every byte: run the IPC suites leak-checked even in the
+# fast lane.
+ipc_leak_lane() {
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+  export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+  cmake -B build-asan -S . -DMACH_SANITIZE=address
+  cmake --build build-asan -j "$jobs" --target ipc_test ipc_property_test
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -R '^(ipc_test|ipc_property_test)$'
+}
+
 mode=${1:-tier1}
 case "$mode" in
   tier1)
     run_suite build
+    ipc_leak_lane
     ;;
   asan)
     # Chaos and soak tests allocate aggressively; keep ASan strict but let

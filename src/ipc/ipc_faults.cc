@@ -1,0 +1,126 @@
+#include "src/ipc/ipc_faults.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/base/fault_injector.h"
+#include "src/base/log.h"
+#include "src/ipc/message.h"
+#include "src/ipc/port.h"
+
+namespace mach {
+
+namespace {
+
+std::atomic<FaultInjector*> g_ipc_injector{nullptr};
+
+struct PendingNotification {
+  SendRight to;
+  Message msg;
+};
+
+std::mutex& PendingMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<PendingNotification>& PendingList() {
+  static std::vector<PendingNotification>* list = new std::vector<PendingNotification>();
+  return *list;
+}
+
+const std::string& PointName(const char* point) {
+  static const std::string* enqueue = new std::string(kIpcFaultEnqueue);
+  static const std::string* transfer = new std::string(kIpcFaultRightTransfer);
+  static const std::string* notify = new std::string(kIpcFaultNotify);
+  if (point == kIpcFaultEnqueue) return *enqueue;
+  if (point == kIpcFaultRightTransfer) return *transfer;
+  return *notify;
+}
+
+bool ShouldFail(const char* point) {
+  FaultInjector* injector = g_ipc_injector.load(std::memory_order_acquire);
+  return injector != nullptr && injector->ShouldFail(PointName(point));
+}
+
+}  // namespace
+
+void SetIpcFaultInjector(FaultInjector* injector) {
+  g_ipc_injector.store(injector, std::memory_order_release);
+  if (injector == nullptr) {
+    IpcDrainDelayedNotifications();
+  }
+}
+
+FaultInjector* GetIpcFaultInjector() {
+  return g_ipc_injector.load(std::memory_order_acquire);
+}
+
+size_t IpcDrainDelayedNotifications() {
+  std::vector<PendingNotification> pending;
+  {
+    std::lock_guard<std::mutex> g(PendingMu());
+    pending.swap(PendingList());
+  }
+  size_t delivered = 0;
+  for (PendingNotification& p : pending) {
+    // Delayed delivery stays best-effort, exactly like the inline path —
+    // and deliberately bypasses ipc.notify so a drain always terminates.
+    if (p.to) {
+      MsgSend(p.to, std::move(p.msg), kPoll);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+size_t IpcPendingDelayedNotificationCount() {
+  std::lock_guard<std::mutex> g(PendingMu());
+  return PendingList().size();
+}
+
+bool IpcFaultShouldOverflowEnqueue() { return ShouldFail(kIpcFaultEnqueue); }
+
+void IpcFaultMutateRights(Message* msg) {
+  if (g_ipc_injector.load(std::memory_order_acquire) == nullptr) {
+    return;
+  }
+  std::vector<SendRight> duplicated;
+  for (MsgItem& item : msg->items()) {
+    if (auto* port_item = std::get_if<PortItem>(&item)) {
+      if (port_item->right.valid() && ShouldFail(kIpcFaultRightTransfer)) {
+        // Duplicate in transit: an extra counted copy appended past the
+        // items the receiver's decoder expects.
+        MACH_LOG(kDebug) << "ipc.right_transfer duplicated send right to port "
+                         << port_item->right.id();
+        duplicated.push_back(port_item->right);
+      }
+    } else if (auto* recv_item = std::get_if<ReceiveItem>(&item)) {
+      if (recv_item->right.valid() && ShouldFail(kIpcFaultRightTransfer)) {
+        // Drop in transit: the one receive right is gone, so the port dies.
+        MACH_LOG(kDebug) << "ipc.right_transfer dropped receive right to port "
+                         << recv_item->right.id();
+        recv_item->right = ReceiveRight();
+      }
+    }
+  }
+  for (SendRight& r : duplicated) {
+    msg->PushPort(std::move(r));
+  }
+}
+
+bool IpcFaultMaybeDeferNotification(SendRight& to, Message& msg) {
+  if (!ShouldFail(kIpcFaultNotify)) {
+    return false;
+  }
+  MACH_LOG(kDebug) << "ipc.notify deferred notification 0x" << std::hex << msg.id() << std::dec
+                   << " to port " << to.id();
+  std::lock_guard<std::mutex> g(PendingMu());
+  PendingList().push_back(PendingNotification{std::move(to), std::move(msg)});
+  return true;
+}
+
+}  // namespace mach

@@ -1,0 +1,71 @@
+// Fault injection for the IPC layer (§6: a kernel hosting untrusted
+// managers must survive hostile message traffic; §7: notifications ride the
+// same queues as data and can be lost or delayed).
+//
+// Unlike disks and network links, ports are ambient — they are not owned by
+// one kernel instance — so the IPC layer consults one process-wide injector
+// installed with SetIpcFaultInjector. Points:
+//
+//   ipc.enqueue        msg_send observes a spuriously full queue and fails
+//                      with kPortFull; any rights carried by the message are
+//                      destroyed through the normal right-destruction path
+//                      (firing death / no-senders notifications).
+//   ipc.right_transfer consulted once per port right carried by a message as
+//                      it is enqueued. A firing send right is *duplicated*
+//                      (an extra counted copy is appended to the message); a
+//                      firing receive right is *dropped* in transit (the
+//                      carried right is destroyed, killing its port).
+//   ipc.notify         a death or no-senders notification is not delivered
+//                      inline but deferred to a pending list; it stays
+//                      invisible until IpcDrainDelayedNotifications() (or
+//                      disarming the injector) delivers it.
+//
+// All decisions come from FaultInjector's (seed, point, hit-index) contract,
+// so adversarial schedules are replayable.
+
+#ifndef SRC_IPC_IPC_FAULTS_H_
+#define SRC_IPC_IPC_FAULTS_H_
+
+#include <cstddef>
+
+namespace mach {
+
+class FaultInjector;
+class Message;
+class SendRight;
+
+inline constexpr const char* kIpcFaultEnqueue = "ipc.enqueue";
+inline constexpr const char* kIpcFaultRightTransfer = "ipc.right_transfer";
+inline constexpr const char* kIpcFaultNotify = "ipc.notify";
+
+// Installs (or, with nullptr, disarms) the injector consulted by the IPC hot
+// paths. Disarming first delivers any notifications deferred by ipc.notify,
+// so no notification is ever silently lost across an arm/disarm cycle.
+// The injector must outlive its installation.
+void SetIpcFaultInjector(FaultInjector* injector);
+FaultInjector* GetIpcFaultInjector();
+
+// Delivers (best-effort, non-blocking) every notification deferred by an
+// armed ipc.notify point. Returns the number delivered.
+size_t IpcDrainDelayedNotifications();
+// Number of notifications currently held back by ipc.notify.
+size_t IpcPendingDelayedNotificationCount();
+
+// --- hooks used by the Port implementation (not for general use) ---------
+
+// True when ipc.enqueue fires: the caller should fail the send with
+// kPortFull as if the queue were at its backlog.
+bool IpcFaultShouldOverflowEnqueue();
+
+// Applies ipc.right_transfer to every right carried by `msg` (see above).
+// Must be called while holding no port locks: dropping a receive right
+// cascades into that port's death.
+void IpcFaultMutateRights(Message* msg);
+
+// If ipc.notify fires, takes ownership of (to, msg) onto the pending list
+// and returns true; the caller must then skip inline delivery.
+bool IpcFaultMaybeDeferNotification(SendRight& to, Message& msg);
+
+}  // namespace mach
+
+#endif  // SRC_IPC_IPC_FAULTS_H_

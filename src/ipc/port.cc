@@ -2,29 +2,56 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
+#include <variant>
 
 #include "src/base/log.h"
+#include "src/ipc/ipc_faults.h"
+#include "src/ipc/port_gc.h"
 
 namespace mach {
 
 namespace {
 std::atomic<uint64_t> g_next_port_id{1};
+
+// All death / no-senders notifications funnel through here so an armed
+// ipc.notify point can hold them back. Delivery is best-effort and
+// non-blocking either way, like real Mach notifications.
+void DeliverNotification(SendRight to, Message msg) {
+  if (!to) {
+    return;
+  }
+  if (IpcFaultMaybeDeferNotification(to, msg)) {
+    return;
+  }
+  MsgSend(to, std::move(msg), kPoll);
+}
 }  // namespace
 
 // PortFactory exists so PortAllocate can reach Port's private constructor
 // through std::shared_ptr without making the constructor public.
 struct PortFactory {
   static std::shared_ptr<Port> Make(std::string label) {
-    return std::shared_ptr<Port>(new Port(std::move(label)));
+    auto port = std::shared_ptr<Port>(new Port(std::move(label)));
+    PortGc::Instance().Register(port.get(), port);
+    return port;
   }
 };
 
 Port::Port(std::string label)
     : id_(g_next_port_id.fetch_add(1, std::memory_order_relaxed)), label_(std::move(label)) {}
 
-Port::~Port() = default;
+Port::~Port() { PortGc::Instance().Unregister(this); }
 
 KernReturn Port::Enqueue(Message&& msg, Timeout timeout) {
+  if (IpcFaultShouldOverflowEnqueue()) {
+    // Simulated queue overflow. The caller's message — rights and all — is
+    // destroyed through the ordinary path, exactly like a genuine kPortFull.
+    return KernReturn::kPortFull;
+  }
+  // Before taking mu_: dropping a carried receive right cascades into that
+  // port's MarkDead, which may be this very port.
+  IpcFaultMutateRights(&msg);
   std::shared_ptr<PortSet> set_to_notify;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -36,7 +63,6 @@ KernReturn Port::Enqueue(Message&& msg, Timeout timeout) {
     if (!ok) {
       return queue_.size() >= backlog_ ? KernReturn::kPortFull : KernReturn::kTimedOut;
     }
-    StripSelfRights(&msg);
     queue_.push_back(std::move(msg));
     recv_cv_.notify_one();
     set_to_notify = set_.lock();
@@ -54,7 +80,6 @@ Result<Message> Port::Dequeue(Timeout timeout) {
     Message msg = std::move(queue_.front());
     queue_.pop_front();
     send_cv_.notify_one();
-    ReownSelfRights(&msg);
     return msg;
   }
   if (dead_) {
@@ -72,55 +97,9 @@ Result<Message> Port::TryDequeue() {
     Message msg = std::move(queue_.front());
     queue_.pop_front();
     send_cv_.notify_one();
-    ReownSelfRights(&msg);
     return msg;
   }
   return dead_ ? KernReturn::kPortDead : KernReturn::kNoMessage;
-}
-
-void Port::StripSelfRights(Message* msg) {
-  // Non-owning alias: get() == this but no control block.
-  std::shared_ptr<Port> alias(std::shared_ptr<Port>(), this);
-  if (msg->reply_port().port().get() == this) {
-    msg->set_reply_port(SendRight(alias));
-  }
-  for (MsgItem& item : msg->items()) {
-    if (auto* port_item = std::get_if<PortItem>(&item)) {
-      if (port_item->right.port().get() == this) {
-        port_item->right = SendRight(alias);
-      }
-    } else if (auto* recv_item = std::get_if<ReceiveItem>(&item)) {
-      if (recv_item->right.port_.get() == this) {
-        // Direct rebind: plain assignment must not MarkDead the port the
-        // way destroying the right would.
-        recv_item->right.port_ = alias;
-      }
-    }
-  }
-}
-
-void Port::ReownSelfRights(Message* msg) {
-  std::shared_ptr<Port> self;  // Materialized lazily: most messages carry no self-rights.
-  auto owned = [&] {
-    if (self == nullptr) {
-      self = shared_from_this();
-    }
-    return self;
-  };
-  if (msg->reply_port().port().get() == this && msg->reply_port().port().use_count() == 0) {
-    msg->set_reply_port(SendRight(owned()));
-  }
-  for (MsgItem& item : msg->items()) {
-    if (auto* port_item = std::get_if<PortItem>(&item)) {
-      if (port_item->right.port().get() == this && port_item->right.port().use_count() == 0) {
-        port_item->right = SendRight(owned());
-      }
-    } else if (auto* recv_item = std::get_if<ReceiveItem>(&item)) {
-      if (recv_item->right.non_owning() && recv_item->right.port_.get() == this) {
-        recv_item->right.port_ = owned();
-      }
-    }
-  }
 }
 
 PortStatus Port::Status() const {
@@ -128,6 +107,7 @@ PortStatus Port::Status() const {
   PortStatus st;
   st.num_msgs = queue_.size();
   st.backlog = backlog_;
+  st.send_rights = send_refs_.load(std::memory_order_acquire);
   st.dead = dead_;
   st.enabled = !set_.expired();
   return st;
@@ -150,13 +130,36 @@ void Port::RequestDeathNotification(SendRight notify_to) {
     if (dead_) {
       already_dead = true;
     } else {
-      death_watchers_.push_back(notify_to);
+      death_watchers_.push_back(std::move(notify_to));
+      return;
     }
   }
   if (already_dead && notify_to) {
     Message msg(kMsgIdPortDeath);
     msg.PushU64(id_);
-    MsgSend(notify_to, std::move(msg), kPoll);
+    DeliverNotification(std::move(notify_to), std::move(msg));
+  }
+}
+
+void Port::RequestNoSendersNotification(SendRight notify_to) {
+  bool fire_now = false;
+  SendRight replaced;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (dead_) {
+      replaced = std::move(notify_to);  // Death already superseded no-senders.
+    } else if (send_refs_.load(std::memory_order_acquire) == 0) {
+      fire_now = true;
+      replaced = std::move(no_senders_notify_);
+    } else {
+      replaced = std::exchange(no_senders_notify_, std::move(notify_to));
+    }
+  }
+  // `replaced` dies here, outside mu_: destroying a right re-enters its port.
+  if (fire_now && notify_to) {
+    Message msg(kMsgIdNoSenders);
+    msg.PushU64(id_);
+    DeliverNotification(std::move(notify_to), std::move(msg));
   }
 }
 
@@ -165,9 +168,62 @@ bool Port::dead() const {
   return dead_;
 }
 
+void Port::AddSendRef() { send_refs_.fetch_add(1, std::memory_order_acq_rel); }
+
+void Port::ReleaseSendRef() {
+  if (send_refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  // The count hit zero. Re-check under the lock — MakeSendRight may have
+  // resurrected it concurrently; delivery is therefore at-least-once, and
+  // receivers treat a stale notification as advisory.
+  SendRight notify;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!dead_ && send_refs_.load(std::memory_order_acquire) == 0) {
+      notify = std::move(no_senders_notify_);
+    }
+  }
+  // Zero-send transitions are when in-queue cycles become collectable.
+  PortGc::Instance().NoteZeroSenders();
+  if (notify) {
+    Message msg(kMsgIdNoSenders);
+    msg.PushU64(id_);
+    DeliverNotification(std::move(notify), std::move(msg));
+  }
+}
+
+void Port::ForEachGcRef(const std::function<void(const Port*)>& fn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto visit_send = [&fn](const SendRight& r) {
+    if (r.port() != nullptr) {
+      fn(r.port().get());
+    }
+  };
+  for (const Message& m : queue_) {
+    visit_send(m.reply_port());
+    for (const MsgItem& item : m.items()) {
+      if (const auto* port_item = std::get_if<PortItem>(&item)) {
+        visit_send(port_item->right);
+      } else if (const auto* recv_item = std::get_if<ReceiveItem>(&item)) {
+        if (recv_item->right.port() != nullptr) {
+          fn(recv_item->right.port().get());
+        }
+      }
+      // OolItem is opaque to IPC; any port reachable through one counts as
+      // an external root, which only ever errs toward retention.
+    }
+  }
+  for (const SendRight& w : death_watchers_) {
+    visit_send(w);
+  }
+  visit_send(no_senders_notify_);
+}
+
 void Port::MarkDead() {
   std::deque<Message> drained;
   std::vector<SendRight> watchers;
+  SendRight no_senders;
   {
     std::lock_guard<std::mutex> g(mu_);
     if (dead_) {
@@ -176,22 +232,23 @@ void Port::MarkDead() {
     dead_ = true;
     drained.swap(queue_);
     watchers.swap(death_watchers_);
+    no_senders = std::move(no_senders_notify_);
     recv_cv_.notify_all();
     send_cv_.notify_all();
   }
   // Destroy drained messages and fire notifications *outside* our lock:
   // message destruction may cascade into other ports' MarkDead, and a
-  // queued message could even hold this port's own rights.
+  // queued message could even hold this port's own rights. Queued rights die
+  // through their ordinary destructors, so *their* death / no-senders
+  // notifications fire normally.
   drained.clear();
   for (SendRight& w : watchers) {
-    if (!w) {
-      continue;
-    }
     Message msg(kMsgIdPortDeath);
     msg.PushU64(id_);
     // Best-effort: a full or dead notify port drops the notification.
-    MsgSend(w, std::move(msg), kPoll);
+    DeliverNotification(std::move(w), std::move(msg));
   }
+  // `no_senders` is discarded unfired: death supersedes no-senders.
   MACH_LOG(kDebug) << "port " << id_ << " (" << label_ << ") died";
 }
 
@@ -308,7 +365,9 @@ void PortSet::Notify() {
 
 PortPair PortAllocate(std::string label) {
   std::shared_ptr<Port> port = PortFactory::Make(std::move(label));
-  return PortPair{ReceiveRight(port), SendRight(port)};
+  PortPair pair{ReceiveRight(port), SendRight(port)};
+  PortGc::Instance().MaybeCollectOnAllocate();
+  return pair;
 }
 
 KernReturn MsgSend(const SendRight& dest, Message&& msg, Timeout timeout) {
@@ -338,21 +397,63 @@ Result<Message> MsgRpc(const SendRight& dest, Message&& request, Timeout send_ti
 
 // --- rights ------------------------------------------------------------
 
+SendRight::SendRight(std::shared_ptr<Port> port) : port_(std::move(port)) {
+  if (port_ != nullptr) {
+    port_->AddSendRef();
+  }
+}
+
+SendRight::SendRight(const SendRight& o) : port_(o.port_) {
+  if (port_ != nullptr) {
+    port_->AddSendRef();
+  }
+}
+
+SendRight& SendRight::operator=(const SendRight& o) {
+  if (this != &o) {
+    // Acquire before releasing so a self-port assignment never dips to zero.
+    std::shared_ptr<Port> old = std::move(port_);
+    port_ = o.port_;
+    if (port_ != nullptr) {
+      port_->AddSendRef();
+    }
+    if (old != nullptr) {
+      old->ReleaseSendRef();
+    }
+  }
+  return *this;
+}
+
+SendRight& SendRight::operator=(SendRight&& o) noexcept {
+  if (this != &o) {
+    std::shared_ptr<Port> old = std::move(port_);
+    port_ = std::move(o.port_);
+    if (old != nullptr) {
+      old->ReleaseSendRef();
+    }
+  }
+  return *this;
+}
+
+SendRight::~SendRight() {
+  if (port_ != nullptr) {
+    port_->ReleaseSendRef();
+  }
+}
+
 uint64_t SendRight::id() const { return port_ ? port_->id() : 0; }
 std::string SendRight::label() const { return port_ ? port_->label() : std::string(); }
 bool SendRight::IsDead() const { return port_ == nullptr || port_->dead(); }
 
 ReceiveRight::~ReceiveRight() {
-  // A non-owning right is a queue-internal cycle-breaker; it dies when its
-  // port's own queue is torn down and must not re-enter MarkDead.
-  if (port_ != nullptr && !non_owning()) {
+  if (port_ != nullptr) {
     port_->MarkDead();
   }
 }
 
 ReceiveRight& ReceiveRight::operator=(ReceiveRight&& o) noexcept {
   if (this != &o) {
-    if (port_ != nullptr && !non_owning()) {
+    if (port_ != nullptr) {
       port_->MarkDead();
     }
     port_ = std::move(o.port_);

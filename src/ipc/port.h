@@ -3,17 +3,27 @@
 // grouped into a PortSet (the "default group of ports" that port_enable /
 // port_disable manage) and received from as a group.
 //
+// Every port counts its live send rights — including copies riding inside
+// queued messages — and fires a one-shot kMsgIdNoSenders notification when
+// the count reaches zero (RequestNoSendersNotification). Rights that only
+// reference each other across port queues are reclaimed by PortGc
+// (port_gc.h). Enqueue/notification paths consult the process-wide IPC fault
+// injector (ipc_faults.h) when one is armed.
+//
 // Lock order: PortSet::mu_ > Port::mu_. A port never calls back into the
 // kernel layer; kernels may therefore hold their own locks while using
 // ports... except that blocking while holding a kernel lock is forbidden —
-// the kernel releases its lock around waits.
+// the kernel releases its lock around waits. Rights are never destroyed
+// while their own port's mu_ is held (destruction re-enters the port).
 
 #ifndef SRC_IPC_PORT_H_
 #define SRC_IPC_PORT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,10 +37,16 @@
 namespace mach {
 
 class PortSet;
+class PortGc;
 
 // Message id delivered by a death notification (see
 // RequestDeathNotification). Body: one u64 item = the dead port's id.
 inline constexpr MsgId kMsgIdPortDeath = 0xDEAD0001;
+
+// Message id delivered by a no-senders notification (see
+// RequestNoSendersNotification). Body: one u64 item = the senderless port's
+// id. The port itself is still alive — its receiver decides what to do.
+inline constexpr MsgId kMsgIdNoSenders = 0xDEAD0002;
 
 // Default queue backlog (Mach's PORT_BACKLOG_DEFAULT).
 inline constexpr size_t kDefaultBacklog = 32;
@@ -39,6 +55,7 @@ inline constexpr size_t kDefaultBacklog = 32;
 struct PortStatus {
   size_t num_msgs = 0;
   size_t backlog = 0;
+  size_t send_rights = 0;
   bool dead = false;
   bool enabled = false;  // Member of a port set.
 };
@@ -72,11 +89,25 @@ class Port : public std::enable_shared_from_this<Port> {
   // port is destroyed.
   void RequestDeathNotification(SendRight notify_to);
 
+  // Registers `notify_to` to receive a one-shot kMsgIdNoSenders message
+  // when the port's send-right count drops to zero (fires immediately if it
+  // already is zero). A later MakeSendRight re-arms nothing by itself; the
+  // receiver re-registers if it wants another notification. Replaces any
+  // previously registered notify right. Port death cancels the
+  // registration: death notifications supersede no-senders.
+  void RequestNoSendersNotification(SendRight notify_to);
+
+  // Current number of live send rights naming this port (counted across
+  // tasks and in-queue messages alike).
+  uint64_t send_right_count() const { return send_refs_.load(std::memory_order_acquire); }
+
   bool dead() const;
 
  private:
+  friend class SendRight;
   friend class ReceiveRight;
   friend class PortSet;
+  friend class PortGc;
   friend struct PortFactory;
 
   explicit Port(std::string label);
@@ -85,18 +116,22 @@ class Port : public std::enable_shared_from_this<Port> {
   // death notifications. Idempotent.
   void MarkDead();
 
-  // A queued message may carry rights to this very port (e.g. its own
-  // receive right, or a self-addressed reply port). Held strongly they
-  // form a reference cycle that keeps an unreachable port alive forever,
-  // so Enqueue strips such rights to non-owning pointers and Dequeue
-  // restores ownership before the message leaves the port.
-  void StripSelfRights(Message* msg);
-  void ReownSelfRights(Message* msg);
+  // Send-right accounting (called by SendRight's special members).
+  void AddSendRef();
+  void ReleaseSendRef();
+
+  // Enumerates every port this port holds a reference to internally: rights
+  // inside queued messages, queued reply ports, death watchers, and the
+  // no-senders notify right. Used by PortGc's mark phase. Holds mu_ while
+  // `fn` runs; `fn` must not touch any port.
+  void ForEachGcRef(const std::function<void(const Port*)>& fn) const;
 
   void SetPortSet(std::shared_ptr<PortSet> set);
 
   const uint64_t id_;
   const std::string label_;
+
+  std::atomic<uint64_t> send_refs_{0};
 
   mutable std::mutex mu_;
   std::condition_variable recv_cv_;
@@ -106,6 +141,7 @@ class Port : public std::enable_shared_from_this<Port> {
   bool dead_ = false;
   std::weak_ptr<PortSet> set_;
   std::vector<SendRight> death_watchers_;
+  SendRight no_senders_notify_;
 };
 
 // A group of enabled ports receivable as one (§3.2 "default group of ports

@@ -1,0 +1,189 @@
+#include "src/ipc/port_gc.h"
+
+#include <deque>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/ipc/port.h"
+
+namespace mach {
+
+namespace {
+// Collect at most once per this many allocations on the opportunistic path.
+constexpr uint64_t kAllocCollectInterval = 128;
+}  // namespace
+
+PortGc& PortGc::Instance() {
+  // Intentionally never destroyed: ports may outlive static destruction
+  // order, and a reachable-at-exit singleton is invisible to LeakSanitizer.
+  static PortGc* instance = new PortGc();
+  return *instance;
+}
+
+void PortGc::Register(Port* port, std::weak_ptr<Port> weak) {
+  std::lock_guard<std::mutex> g(mu_);
+  ports_.emplace(port, std::move(weak));
+}
+
+void PortGc::Unregister(Port* port) {
+  std::lock_guard<std::mutex> g(mu_);
+  ports_.erase(port);
+}
+
+size_t PortGc::live_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [raw, weak] : ports_) {
+    std::shared_ptr<Port> p = weak.lock();
+    if (p != nullptr && !p->dead()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t PortGc::Collect() {
+  std::lock_guard<std::mutex> collector(collect_mu_);
+  return CollectLocked();
+}
+
+void PortGc::MaybeCollectOnAllocate() {
+  uint64_t n = allocs_since_collect_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < kAllocCollectInterval || !dirty_.load(std::memory_order_relaxed) ||
+      !auto_collect_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (!collect_mu_.try_lock()) {
+    return;  // Another collector is already running.
+  }
+  CollectLocked();
+  collect_mu_.unlock();
+}
+
+size_t PortGc::CollectLocked() {
+  dirty_.store(false, std::memory_order_relaxed);
+  allocs_since_collect_.store(0, std::memory_order_relaxed);
+
+  // 1. Snapshot every live, not-yet-dead port. The snapshot's shared_ptrs
+  // pin the ports for the duration of the pass (each contributes exactly one
+  // reference, accounted for below).
+  std::vector<std::shared_ptr<Port>> snap;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    snap.reserve(ports_.size());
+    for (const auto& [raw, weak] : ports_) {
+      std::shared_ptr<Port> p = weak.lock();
+      if (p != nullptr && !p->dead()) {
+        snap.push_back(std::move(p));
+      }
+    }
+  }
+  const size_t n = snap.size();
+  if (n == 0) {
+    return 0;
+  }
+  std::unordered_map<const Port*, size_t> index;
+  index.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    index.emplace(snap[i].get(), i);
+  }
+
+  // 2. Scan port-internal references: edges[i] lists the snapshot ports that
+  // port i's queue/watchers/notify right point at.
+  std::vector<std::vector<size_t>> edges(n);
+  std::vector<size_t> internal(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    snap[i]->ForEachGcRef([&](const Port* target) {
+      auto it = index.find(target);
+      if (it == index.end()) {
+        return;  // Reference to a port outside the snapshot (e.g. born after it).
+      }
+      edges[i].push_back(it->second);
+      ++internal[it->second];
+    });
+  }
+
+  // 3. Roots: any reference beyond (snapshot + internal) must be held by a
+  // task, a kernel table, a port set, or an opaque OOL region — all
+  // reachable from the outside. Mark everything roots can reach.
+  std::vector<char> marked(n, 0);
+  std::deque<size_t> work;
+  for (size_t i = 0; i < n; ++i) {
+    long external = static_cast<long>(snap[i].use_count()) - 1 - static_cast<long>(internal[i]);
+    if (external > 0) {
+      marked[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    size_t i = work.front();
+    work.pop_front();
+    for (size_t t : edges[i]) {
+      if (!marked[t]) {
+        marked[t] = 1;
+        work.push_back(t);
+      }
+    }
+  }
+
+  // 4. Verify candidates to fixpoint. A right may have been dequeued (or a
+  // new one minted) between the scan above and now; such an escape shows up
+  // as a count not explained by snapshot + in-candidate references. Dropping
+  // the escaped port also stops explaining the ports *it* references, so the
+  // whole subgraph it roots falls out over subsequent iterations.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    if (!marked[i]) {
+      candidates.push_back(i);
+    }
+  }
+  bool changed = true;
+  while (changed && !candidates.empty()) {
+    changed = false;
+    std::unordered_map<const Port*, size_t> cand_index;
+    for (size_t i : candidates) {
+      cand_index.emplace(snap[i].get(), i);
+    }
+    std::unordered_map<size_t, long> incoming;
+    for (size_t i : candidates) {
+      incoming[i] = 0;
+    }
+    for (size_t i : candidates) {
+      snap[i]->ForEachGcRef([&](const Port* target) {
+        auto it = cand_index.find(target);
+        if (it != cand_index.end()) {
+          ++incoming[it->second];
+        }
+      });
+    }
+    std::vector<size_t> still_unreachable;
+    for (size_t i : candidates) {
+      if (static_cast<long>(snap[i].use_count()) == 1 + incoming[i] && !snap[i]->dead()) {
+        still_unreachable.push_back(i);
+      } else {
+        changed = true;
+      }
+    }
+    candidates.swap(still_unreachable);
+  }
+
+  // 5. Sweep. MarkDead destroys queued rights through the normal path, so
+  // death notifications to live watchers still fire; cascaded MarkDead of a
+  // fellow candidate is idempotent. Dropping the snapshot then frees them.
+  for (size_t i : candidates) {
+    MACH_LOG(kDebug) << "port gc reclaiming unreachable port " << snap[i]->id() << " ("
+                     << snap[i]->label() << ")";
+    snap[i]->MarkDead();
+  }
+  size_t reclaimed = candidates.size();
+  total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  if (reclaimed > 0) {
+    MACH_LOG(kInfo) << "port gc reclaimed " << reclaimed << " unreachable port(s) of " << n;
+  }
+  return reclaimed;
+}
+
+size_t PortGcCollect() { return PortGc::Instance().Collect(); }
+size_t PortGcLivePortCount() { return PortGc::Instance().live_count(); }
+
+}  // namespace mach

@@ -1,0 +1,99 @@
+// Port garbage collection (no-senders' structural twin).
+//
+// Send-right counting (Port::RequestNoSendersNotification) tells a *manager*
+// when its object port lost all senders, but it cannot reclaim rights that
+// only reference each other: two ports each holding the other's receive
+// right inside a queued message form a cycle no task can ever receive from
+// again. The 1987 paper predates Mach's answer (no-senders notifications,
+// NORMA's port GC); we implement both.
+//
+// PortGc keeps a registry of every live port (weak, so registration does not
+// itself keep ports alive) and Collect() runs a mark-and-sweep:
+//
+//   1. snapshot every live port,
+//   2. count, per port, the references attributable to *other snapshot
+//      ports* (rights inside queued messages, reply ports, death watchers,
+//      the no-senders notify right),
+//   3. any reference not so attributable is an external root (a task-held
+//      right, a kernel table, a port set, an OOL-captured VM object); mark
+//      everything reachable from roots,
+//   4. verify unmarked candidates against a races-escape check: a candidate
+//      is only collected if its reference count is exactly explained by the
+//      snapshot plus in-candidate references, to fixpoint (a right dequeued
+//      mid-scan makes its holder visibly over-referenced and the whole
+//      subgraph it roots is kept),
+//   5. MarkDead the survivors — queued rights are destroyed through the
+//      ordinary destruction path, so death notifications still fire.
+//
+// The check in (4) is sound because acquiring a reference to a port that is
+// *truly* unreachable would itself require a reference to some candidate:
+// any escape is visible as an unexplained count somewhere in the set.
+
+#ifndef SRC_IPC_PORT_GC_H_
+#define SRC_IPC_PORT_GC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mach {
+
+class Port;
+
+class PortGc {
+ public:
+  // Process-wide instance (ports are ambient, not per-kernel).
+  static PortGc& Instance();
+
+  PortGc(const PortGc&) = delete;
+  PortGc& operator=(const PortGc&) = delete;
+
+  // Runs a full mark-and-sweep pass; returns the number of ports reclaimed.
+  size_t Collect();
+
+  // Registered ports that are alive and not (yet) dead. Tests use this as a
+  // leak baseline across a workload.
+  size_t live_count() const;
+
+  // Cumulative ports reclaimed by Collect over the process lifetime.
+  uint64_t total_reclaimed() const { return total_reclaimed_.load(std::memory_order_relaxed); }
+
+  // --- hooks used by the port layer itself (not for general use) --------
+
+  void Register(Port* port, std::weak_ptr<Port> weak);
+  void Unregister(Port* port);
+
+  // Opportunistic trigger from PortAllocate: collects only when some send
+  // count recently hit zero (cycles become collectable at such transitions)
+  // and enough allocations have passed to amortize the sweep.
+  void MaybeCollectOnAllocate();
+  void NoteZeroSenders() { dirty_.store(true, std::memory_order_relaxed); }
+
+  // Enables/disables the opportunistic MaybeCollectOnAllocate trigger.
+  // Explicit Collect() calls are unaffected. Oracle-style tests disable it
+  // so collection points are deterministic; it is on by default.
+  void SetAutoCollect(bool enabled) { auto_collect_.store(enabled, std::memory_order_relaxed); }
+
+ private:
+  PortGc() = default;
+
+  size_t CollectLocked();
+
+  mutable std::mutex mu_;  // registry
+  std::mutex collect_mu_;  // serializes collectors; never taken under mu_
+  std::unordered_map<Port*, std::weak_ptr<Port>> ports_;
+  std::atomic<bool> dirty_{false};
+  std::atomic<bool> auto_collect_{true};
+  std::atomic<uint64_t> allocs_since_collect_{0};
+  std::atomic<uint64_t> total_reclaimed_{0};
+};
+
+// Convenience wrappers for tests and teardown paths.
+size_t PortGcCollect();
+size_t PortGcLivePortCount();
+
+}  // namespace mach
+
+#endif  // SRC_IPC_PORT_GC_H_

@@ -1,7 +1,11 @@
 // Port rights (§3.2): access to a port is granted by holding a capability.
 // A port may have any number of senders but only one receiver.
 //
-//  * SendRight    — copyable capability to enqueue messages.
+//  * SendRight    — copyable capability to enqueue messages. Every live
+//                   SendRight instance (including copies riding inside
+//                   queued messages) is counted by the port; when the count
+//                   drops to zero the port fires a registered no-senders
+//                   notification (see Port::RequestNoSendersNotification).
 //  * ReceiveRight — move-only capability to dequeue; destroying the receive
 //                   right destroys the port ("port death"), failing pending
 //                   and future sends with kPortDead and firing registered
@@ -25,7 +29,13 @@ class Port;
 class SendRight {
  public:
   SendRight() = default;
-  explicit SendRight(std::shared_ptr<Port> port) : port_(std::move(port)) {}
+  // Mints a new send reference against the port's count.
+  explicit SendRight(std::shared_ptr<Port> port);
+  SendRight(const SendRight& o);
+  SendRight(SendRight&& o) noexcept = default;  // Steals o's reference.
+  SendRight& operator=(const SendRight& o);
+  SendRight& operator=(SendRight&& o) noexcept;
+  ~SendRight();
 
   bool valid() const { return port_ != nullptr; }
   explicit operator bool() const { return valid(); }
@@ -73,12 +83,6 @@ class ReceiveRight {
 
  private:
   friend class Port;
-
-  // True when the pointer does not own the port: a queue-internal marker
-  // Port uses to break self-reference cycles (a message carrying its own
-  // destination's receive right). Never observable outside the port —
-  // Dequeue restores ownership before handing the message out.
-  bool non_owning() const { return port_ != nullptr && port_.use_count() == 0; }
 
   std::shared_ptr<Port> port_;
 };

@@ -39,6 +39,9 @@ SendRight DataManager::CreateMemoryObject(uint64_t cookie, const std::string& la
   // Generous backlog: the kernel's pageout path uses non-blocking sends and
   // diverts to the default pager when a manager's queue is full (§6.2.2).
   pair.receive.port()->SetBacklog(256);
+  // Learn when the last client/kernel send right disappears; `send` below
+  // keeps the count above zero, so this can't fire before we return.
+  pair.receive.port()->RequestNoSendersNotification(notify_send_);
   SendRight send = pair.send;
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -52,8 +55,12 @@ SendRight DataManager::CreateMemoryObject(uint64_t cookie, const std::string& la
 }
 
 void DataManager::DestroyMemoryObject(const SendRight& memory_object) {
+  ReleaseMemoryObject(memory_object.id());
+}
+
+void DataManager::ReleaseMemoryObject(uint64_t object_port_id) {
   std::lock_guard<std::mutex> g(mu_);
-  auto it = objects_.find(memory_object.id());
+  auto it = objects_.find(object_port_id);
   if (it == objects_.end()) {
     return;
   }
@@ -69,6 +76,11 @@ SendRight DataManager::AllocateServicePort(const std::string& label) {
   set_->Add(pair.receive);
   service_ports_.push_back(std::move(pair.receive));
   return send;
+}
+
+size_t DataManager::memory_object_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return objects_.size();
 }
 
 bool DataManager::LookupCookie(uint64_t object_port_id, uint64_t* cookie_out) const {
@@ -137,6 +149,10 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
           std::lock_guard<std::mutex> g(mu_);
           ObjectState st;
           st.receive = std::move(args.value().new_memory_object);
+          // The kernel kept a send right when it created the object, so the
+          // count is nonzero here; when the kernel terminates the object
+          // the manager hears about it and can reclaim backing storage.
+          st.receive.port()->RequestNoSendersNotification(notify_send_);
           set_->Add(st.receive);
           objects_.emplace(adopted_id, std::move(st));
         }
@@ -148,9 +164,29 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
       break;
     }
     case kMsgIdPortDeath: {
+      // Trust the dedicated notify port only: any client holding a send
+      // right to an object port could forge this message id (§6).
+      if (port_id != notify_receive_.id()) {
+        MACH_LOG(kWarn) << name_ << ": ignoring forged death notification on port " << port_id;
+        break;
+      }
       Result<uint64_t> dead = msg.TakeU64();
       if (dead.ok()) {
         OnPortDeath(dead.value());
+      }
+      break;
+    }
+    case kMsgIdNoSenders: {
+      if (port_id != notify_receive_.id()) {
+        MACH_LOG(kWarn) << name_ << ": ignoring forged no-senders notification on port "
+                        << port_id;
+        break;
+      }
+      Result<uint64_t> senderless = msg.TakeU64();
+      if (senderless.ok()) {
+        uint64_t object_cookie = 0;
+        LookupCookie(senderless.value(), &object_cookie);
+        OnNoSenders(senderless.value(), object_cookie);
       }
       break;
     }

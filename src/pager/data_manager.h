@@ -62,6 +62,10 @@ class DataManager {
   // Manager-side cookie lookup (by memory object port id).
   bool LookupCookie(uint64_t object_port_id, uint64_t* cookie_out) const;
 
+  // Number of memory objects (created + adopted) whose receive rights this
+  // manager currently holds. Observability hook for reclamation tests.
+  size_t memory_object_count() const;
+
   // --- Table 3-6 helpers (manager -> kernel, all asynchronous) ----------
 
   static KernReturn ProvideData(const SendRight& request_port, VmOffset offset,
@@ -90,9 +94,21 @@ class DataManager {
   // A port the kernel held died — for a pager request port this means all
   // references to the object are gone and shutdown may proceed (§3.4.1).
   virtual void OnPortDeath(uint64_t port_id) {}
+  // The last send right to one of this manager's memory object ports died:
+  // no kernel or client can ever page against the object again. Delivery is
+  // at-least-once and advisory (a new send right may have been minted
+  // since); a manager that wants the object gone calls
+  // ReleaseMemoryObject(). Default: keep the object (a manager may hand out
+  // fresh rights later, e.g. a file pager re-mapping a cached file).
+  virtual void OnNoSenders(uint64_t object_port_id, uint64_t cookie) {}
   // Called on the service thread after each message (or receive timeout);
   // managers use it for deadline/maintenance work.
   virtual void OnIdle() {}
+
+  // Drops the manager's receive right for `object_port_id` (the port dies;
+  // remaining senders observe kPortDead). The usual response to OnNoSenders
+  // for objects nobody will map again.
+  void ReleaseMemoryObject(uint64_t object_port_id);
 
  private:
   struct ObjectState {
@@ -107,7 +123,10 @@ class DataManager {
   mutable std::mutex mu_;
   std::shared_ptr<PortSet> set_ = PortSet::Create();
   std::unordered_map<uint64_t, ObjectState> objects_;  // by port id
-  ReceiveRight notify_receive_;  // Death notifications arrive here.
+  // Death and no-senders notifications arrive here — and only here: both
+  // are trusted solely when they arrive on this port, since any sender
+  // could forge the same message ids on an object port (§6).
+  ReceiveRight notify_receive_;
   SendRight notify_send_;
   std::vector<ReceiveRight> service_ports_;
   std::thread thread_;

@@ -116,6 +116,27 @@ void DefaultPager::OnPortDeath(uint64_t port_id) {
   MACH_LOG(kDebug) << "default pager released storage for object " << object_port_id;
 }
 
+void DefaultPager::OnNoSenders(uint64_t object_port_id, uint64_t cookie) {
+  // The kernel dropped its last send right (object termination, §3.4.1): no
+  // pager_data_write can ever arrive for this object again, so both its
+  // backing blocks and the adopted object port itself are garbage. Without
+  // this, every kernel-created memory object leaks a port and its storage
+  // for the life of the default pager.
+  {
+    std::lock_guard<std::mutex> g(store_mu_);
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      if (it->first.object_port_id == object_port_id) {
+        disk_->FreeBlock(it->second);
+        it = blocks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ReleaseMemoryObject(object_port_id);
+  MACH_LOG(kDebug) << "default pager reclaimed senderless object " << object_port_id;
+}
+
 void DefaultPager::Park(uint64_t object_id, VmOffset offset, std::vector<std::byte> data) {
   std::lock_guard<std::mutex> g(store_mu_);
   parked_[BackingKey{object_id, offset}] = std::move(data);

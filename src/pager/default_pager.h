@@ -56,6 +56,7 @@ class DefaultPager : public DataManager, public TrustedParkingStore {
   void OnDataRequest(uint64_t object_port_id, uint64_t cookie, PagerDataRequestArgs args) override;
   void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) override;
   void OnPortDeath(uint64_t port_id) override;
+  void OnNoSenders(uint64_t object_port_id, uint64_t cookie) override;
 
  private:
   struct BackingKey {

@@ -215,6 +215,16 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
     }
     return;
   }
+  if (msg.id() == kMsgIdNoSenders) {
+    // The kernel never registers for no-senders on the ports it watches (it
+    // holds its own send rights to them, which would keep the count up), so
+    // any no-senders message on a request port is a manager forging the
+    // notification protocol — same §6 threat as a forged death above.
+    if (request_port_id != death_notify_receive_.id()) {
+      MACH_LOG(kWarn) << "forged no-senders notification on request port " << request_port_id;
+    }
+    return;
+  }
   auto it = objects_by_request_.find(request_port_id);
   if (it == objects_by_request_.end()) {
     MACH_LOG(kDebug) << "pager message for unknown request port " << request_port_id;

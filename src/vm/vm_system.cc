@@ -244,7 +244,11 @@ void VmSystem::TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>
   });
   // Deallocate the kernel's rights to the three ports; the data manager
   // receives death notifications for the request and name ports and can
-  // perform its shutdown (§3.4.1).
+  // perform its shutdown (§3.4.1). Order matters: dropping the pager send
+  // right *first* makes the manager's no-senders notification for the
+  // object port precede the request-port death on the manager's notify
+  // queue — managers reclaim backing storage on no-senders and treat the
+  // subsequent death as confirmation, never the reverse.
   if (object->pager.valid()) {
     objects_by_pager_.erase(object->pager.id());
   }

@@ -20,10 +20,15 @@
 #include <thread>
 #include <vector>
 
+#include <random>
+
 #include "src/base/fault_injector.h"
 #include "src/hw/sim_disk.h"
+#include "src/ipc/ipc_faults.h"
+#include "src/ipc/port_gc.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
+#include "src/managers/camelot/recovery_manager.h"
 #include "src/managers/migrate/migration_manager.h"
 #include "src/net/net_link.h"
 #include "src/pager/data_manager.h"
@@ -111,7 +116,7 @@ uint64_t Stamp(uint64_t seed, VmOffset page) {
 
 class ChaosSoak {
  public:
-  explicit ChaosSoak(uint64_t seed) : seed_(seed), faults_(seed) {
+  explicit ChaosSoak(uint64_t seed) : seed_(seed), faults_(seed), ipc_faults_(seed ^ 0x19C0'FA17) {
     // Fault plan: transient backing-disk errors plus a lossy, jittery,
     // duplicating link. Rates are high enough to fire constantly but low
     // enough that the reliable link's retransmit budget (6 attempts)
@@ -149,13 +154,19 @@ class ChaosSoak {
   }
 
   void Run() {
+    // Runs first, while the hosts are idle: its leak check compares the
+    // process-wide live-port count before and after the churn.
+    PortChurnUnderIpcFaults();
     PagingUnderDiskFaults();
     ForkChurnUnderCollapseFaults();
     RpcOverLossyLink();
     PartitionAndHeal();
     ManagerDeathMidFault();
     MigrationOverLossyLink();
+    MidMigrationHostCrash();
+    CamelotCrashPointsUnderDataDiskFaults();
     NoLeaksAfterTeardown();
+    SetIpcFaultInjector(nullptr);  // Belt and braces: never leak the arm.
 
     // The faults were real: every layer saw injections.
     EXPECT_GT(faults_.Injected(SimDisk::kFaultRead) + faults_.Injected(SimDisk::kFaultWrite), 0u)
@@ -163,6 +174,10 @@ class ChaosSoak {
     EXPECT_GT(faults_.Injected(NetLink::kFaultDrop), 0u) << "link drops never fired";
     EXPECT_GT(faults_.Evaluations(VmSystem::kFaultCollapse), 0u)
         << "no collapse opportunity ever reached the injector";
+    EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultEnqueue), 0u) << "ipc.enqueue never consulted";
+    EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultRightTransfer), 0u)
+        << "ipc.right_transfer never consulted";
+    EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultNotify), 0u) << "ipc.notify never consulted";
   }
 
  private:
@@ -324,6 +339,231 @@ class ChaosSoak {
     manager.Stop();
   }
 
+  // Seeded port churn — allocations, rights moving through messages, kills —
+  // with every ipc.* point armed: sends fail spuriously, in-transit rights
+  // get duplicated or dropped, notifications arrive late. Whatever the
+  // schedule does, disarming plus one GC pass must return the process to its
+  // starting live-port count.
+  void PortChurnUnderIpcFaults() {
+    PortGcCollect();
+    const size_t baseline = PortGcLivePortCount();
+    ipc_faults_.SetProbability(kIpcFaultEnqueue, 0.05);
+    ipc_faults_.SetProbability(kIpcFaultRightTransfer, 0.05);
+    ipc_faults_.SetProbability(kIpcFaultNotify, 0.3);
+    SetIpcFaultInjector(&ipc_faults_);
+
+    std::mt19937_64 rng(seed_ * 31 + 7);
+    PortPair notify = PortAllocate("chaos-ipc-notify");
+    notify.receive.port()->SetBacklog(1024);
+    std::vector<SendRight> rights;
+    std::vector<ReceiveRight> receives;
+    for (int op = 0; op < 400; ++op) {
+      switch (rng() % 6) {
+        case 0: {
+          if (receives.size() >= 32) break;
+          PortPair pair = PortAllocate("chaos-churn");
+          pair.receive.port()->RequestNoSendersNotification(notify.send);
+          rights.push_back(std::move(pair.send));
+          receives.push_back(std::move(pair.receive));
+          break;
+        }
+        case 1: {
+          if (rights.empty()) break;
+          rights.push_back(rights[rng() % rights.size()]);
+          break;
+        }
+        case 2: {
+          if (rights.empty()) break;
+          size_t i = rng() % rights.size();
+          rights[i] = std::move(rights.back());
+          rights.pop_back();
+          break;
+        }
+        case 3: {  // Send a message carrying 0-2 rights.
+          if (rights.empty()) break;
+          SendRight dest = rights[rng() % rights.size()];
+          Message msg(0x99);
+          for (size_t c = rng() % 3; c > 0 && !rights.empty(); --c) {
+            size_t i = rng() % rights.size();
+            msg.PushPort(std::move(rights[i]));
+            rights[i] = std::move(rights.back());
+            rights.pop_back();
+          }
+          MsgSend(dest, std::move(msg), kPoll);
+          break;
+        }
+        case 4: {  // Receive from a random port, re-homing carried rights.
+          if (receives.empty()) break;
+          Result<Message> got = MsgReceive(receives[rng() % receives.size()], kPoll);
+          if (!got.ok()) break;
+          Message msg = std::move(got).value();
+          while (!msg.AtEnd()) {
+            Result<SendRight> r = msg.TakePort();
+            if (!r.ok()) break;
+            if (r.value().valid()) {
+              rights.push_back(std::move(r).value());
+            }
+          }
+          break;
+        }
+        case 5: {  // Port death with whatever is still queued.
+          if (receives.empty()) break;
+          size_t i = rng() % receives.size();
+          receives[i] = std::move(receives.back());
+          receives.pop_back();
+          break;
+        }
+      }
+      if (op % 50 == 49) {
+        IpcDrainDelayedNotifications();
+      }
+    }
+    rights.clear();
+    receives.clear();
+    SetIpcFaultInjector(nullptr);  // Drains every deferred notification.
+    EXPECT_EQ(IpcPendingDelayedNotificationCount(), 0u);
+    notify = PortPair();
+    PortGcCollect();
+    EXPECT_EQ(PortGcLivePortCount(), baseline) << "ports leaked through the ipc fault schedule";
+  }
+
+  // Crash the source host's side of a live copy-on-reference migration: the
+  // migration manager and source task die with residual dependencies
+  // outstanding, and — with ipc.notify fully armed — the death notices that
+  // resolve the orphaned faults sit on the deferred list until pumped. The
+  // migrated task's remaining reads must still complete quickly (death fast
+  // path + zero fill on host B), never hang, never tear.
+  void MidMigrationHostCrash() {
+    ipc_faults_.SetProbability(kIpcFaultEnqueue, 0.0);
+    ipc_faults_.SetProbability(kIpcFaultRightTransfer, 0.0);
+    ipc_faults_.SetProbability(kIpcFaultNotify, 1.0);
+    SetIpcFaultInjector(&ipc_faults_);
+
+    std::shared_ptr<Task> source = host_a_->CreateTask(nullptr, "crash-migrant");
+    const VmSize pages = 8;
+    VmOffset base = source->VmAllocate(pages * kPage).value();
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t stamp = Stamp(seed_, 4000 + p);
+      ASSERT_EQ(source->Write(base + p * kPage, &stamp, sizeof(stamp)), KernReturn::kSuccess);
+    }
+    auto manager = std::make_unique<MigrationManager>();
+    manager->Start();
+    MigrationManager::Options options;
+    options.strategy = MigrationManager::Strategy::kCopyOnReference;
+    options.export_port = [&](SendRight object) { return link_->ProxyForB(std::move(object)); };
+    Result<std::shared_ptr<Task>> migrated = manager->Migrate(source, host_b_.get(), options);
+    ASSERT_TRUE(migrated.ok());
+    for (VmOffset p = 0; p < 4; ++p) {  // Resident before the crash.
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(migrated.value()->Read(base + p * kPage, &out, sizeof(out)),
+                KernReturn::kSuccess);
+      EXPECT_TRUE(out == Stamp(seed_, 4000 + p) || out == 0) << "page " << p;
+    }
+
+    manager.reset();  // The "host crash": exporter objects die mid-stream.
+    source.reset();
+
+    std::atomic<bool> done{false};
+    std::thread pump([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        IpcDrainDelayedNotifications();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    auto start = std::chrono::steady_clock::now();
+    for (VmOffset p = 4; p < pages; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(migrated.value()->Read(base + p * kPage, &out, sizeof(out)),
+                KernReturn::kSuccess);
+      // The source is gone: either the page made it across earlier or B
+      // zero-fills. 0xDEAD would mean a torn/unresolved read.
+      EXPECT_TRUE(out == Stamp(seed_, 4000 + p) || out == 0) << "page " << p;
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    done.store(true, std::memory_order_release);
+    pump.join();
+    EXPECT_LT(elapsed.count(), 4000) << "orphaned faults burned the pager timeout";
+    migrated.value().reset();
+    SetIpcFaultInjector(nullptr);
+    EXPECT_GT(ipc_faults_.Injected(kIpcFaultNotify), 0u);
+  }
+
+  // A Camelot transaction stream on the faulty host with injected write
+  // faults on the DATA disk (the log disk stays clean, so commit durability
+  // is well-defined) and delayed IPC notifications, crashed at a seeded
+  // point. Recovery on clean hardware must yield exactly the committed
+  // effects: losers rolled back, winners present.
+  void CamelotCrashPointsUnderDataDiskFaults() {
+    FaultInjector disk_faults(seed_ ^ 0xCA3E107);
+    disk_faults.SetProbability(SimDisk::kFaultWrite, 0.15);
+    SimDisk data_disk(512, kPage, nullptr, DiskLatencyModel{0, 0}, &disk_faults);
+    SimDisk log_disk(4096, 512, nullptr, DiskLatencyModel{0, 0});
+    auto rm = std::make_unique<RecoveryManager>(&data_disk, &log_disk, kPage);
+    rm->Start();
+
+    ipc_faults_.SetProbability(kIpcFaultNotify, 0.5);
+    SetIpcFaultInjector(&ipc_faults_);
+
+    // 96 pages against host A's 48 frames: ballast writes force evictions,
+    // so the injected data-disk faults hit real pageout traffic (deferred
+    // stash + retry), not just the recovery path.
+    std::shared_ptr<Task> client = host_a_->CreateTask(nullptr, "camelot-chaos");
+    const VmSize seg_pages = 96;
+    RecoverableSegment seg =
+        RecoverableSegment::Map(rm.get(), client.get(), "chaos-seg", seg_pages * kPage).value();
+
+    std::mt19937_64 rng(seed_ * 131 + 17);
+    std::vector<uint64_t> committed(8, 0);
+    int crash_after = static_cast<int>(rng() % 6);
+    for (int t = 0; t <= crash_after; ++t) {
+      Transaction txn(rm.get());
+      std::vector<std::pair<size_t, uint64_t>> writes;
+      for (int w = 0; w < 3; ++w) {
+        size_t slot = rng() % 8;
+        uint64_t value = rng();
+        writes.emplace_back(slot, value);
+        ASSERT_EQ(txn.Write(seg, slot * 64, &value, sizeof(value)), KernReturn::kSuccess);
+      }
+      if (rng() % 2 == 0) {
+        ASSERT_EQ(txn.Commit(), KernReturn::kSuccess);
+        for (auto& [slot, value] : writes) {
+          committed[slot] = value;
+        }
+      } else {
+        ASSERT_EQ(txn.Abort(), KernReturn::kSuccess);
+      }
+      // Non-transactional ballast across the whole segment, churning the
+      // frame pool so dirty recoverable pages page out mid-stream.
+      for (VmOffset p = 1; p < seg_pages; p += 3) {
+        uint64_t v = Stamp(seed_, 5000 + p);
+        ASSERT_EQ(client->Write(seg.base() + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+      }
+      IpcDrainDelayedNotifications();
+    }
+    EXPECT_GT(disk_faults.Evaluations(SimDisk::kFaultWrite), 0u)
+        << "no pageout ever reached the faulty data disk";
+
+    rm->SimulateCrash();  // Volatile log tail and deferred stash vanish.
+    data_disk.set_fault_injector(nullptr);  // Recovery runs on clean hardware.
+    rm->Recover();
+    client->VmDeallocate(seg.base(), seg.size());
+    client.reset();
+    SetIpcFaultInjector(nullptr);  // Drains the teardown's deferred notices.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rm->Recover();  // Idempotent; re-applies after any late writebacks.
+
+    std::shared_ptr<Task> checker = host_a_->CreateTask(nullptr, "camelot-checker");
+    RecoverableSegment check =
+        RecoverableSegment::Map(rm.get(), checker.get(), "chaos-seg", seg_pages * kPage).value();
+    for (size_t slot = 0; slot < 8; ++slot) {
+      uint64_t v = checker->ReadValue<uint64_t>(check.base() + slot * 64).value_or(~0ull);
+      EXPECT_EQ(v, committed[slot]) << "slot " << slot;
+    }
+    checker.reset();
+    rm->Stop();
+  }
+
   // With every task gone, the faulty host's frames drain back to the free
   // pool (no stuck busy pages, no leaked placeholder frames).
   void NoLeaksAfterTeardown() {
@@ -341,6 +581,7 @@ class ChaosSoak {
 
   const uint64_t seed_;
   FaultInjector faults_;
+  FaultInjector ipc_faults_;
   SimClock net_clock_;
   std::unique_ptr<Kernel> host_a_;
   std::unique_ptr<Kernel> host_b_;

@@ -1,5 +1,7 @@
 // Unit tests for the IPC layer: ports, rights, messages, port sets, RPC,
-// timeouts, backlog, and port death — the operations of Tables 3-1 and 3-2.
+// timeouts, backlog, port death, no-senders notifications, port GC, and the
+// ipc.* fault points — the operations of Tables 3-1 and 3-2 plus the
+// notification machinery layered on them.
 
 #include <gtest/gtest.h>
 
@@ -7,14 +9,25 @@
 #include <chrono>
 #include <thread>
 
+#include "src/base/fault_injector.h"
+#include "src/ipc/ipc_faults.h"
 #include "src/ipc/message.h"
 #include "src/ipc/port.h"
+#include "src/ipc/port_gc.h"
 #include "src/ipc/port_right.h"
 
 namespace mach {
 namespace {
 
 using std::chrono::milliseconds;
+
+// Arms the process-wide IPC injector for one test body and guarantees
+// disarm (which also drains deferred notifications) on every exit path.
+class IpcFaultGuard {
+ public:
+  explicit IpcFaultGuard(FaultInjector* injector) { SetIpcFaultInjector(injector); }
+  ~IpcFaultGuard() { SetIpcFaultInjector(nullptr); }
+};
 
 TEST(MessageTest, RoundTripTypedItems) {
   Message msg(7);
@@ -215,18 +228,21 @@ TEST(PortDeathTest, NotificationOnAlreadyDeadPortFiresImmediately) {
   EXPECT_EQ(msg.value().TakeU64().value(), id);
 }
 
-TEST(PortDeathTest, MessageHoldingOwnPortRightsDoesNotDeadlock) {
+TEST(PortDeathTest, MessageHoldingOwnPortRightsIsReclaimedByGc) {
   // A queued message that carries the receive right of the port it is
-  // queued on must not deadlock port destruction.
+  // queued on forms a self-cycle no task can ever break: the port owns
+  // itself. PortGc must reclaim it without deadlocking.
+  size_t baseline = PortGcLivePortCount();
   PortPair p = PortAllocate("self");
   Message msg(1);
   SendRight send = p.send;
   msg.PushReceive(std::move(p.receive));
-  // Enqueue via the send right; the port now owns its own receive right.
   ASSERT_EQ(MsgSend(send, std::move(msg)), KernReturn::kSuccess);
-  // Dropping our last reference triggers destruction through the queue.
+  // Dropping our send rights leaves the queue-held cycle as the only ref.
   send = SendRight();
-  SUCCEED();
+  p.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 1u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline);
 }
 
 TEST(RpcTest, EchoServer) {
@@ -388,6 +404,361 @@ TEST(StressTest, ManySendersOneReceiver) {
     t.join();
   }
   EXPECT_EQ(received, kSenders * kPerSender);
+}
+
+// --- no-senders notifications -------------------------------------------
+
+TEST(NoSendersTest, StatusCountsSendRights) {
+  PortPair p = PortAllocate("counted");
+  EXPECT_EQ(p.receive.port()->send_right_count(), 1u);
+  SendRight extra = p.send;
+  EXPECT_EQ(p.receive.port()->Status().send_rights, 2u);
+  extra = SendRight();
+  EXPECT_EQ(p.receive.port()->send_right_count(), 1u);
+}
+
+TEST(NoSendersTest, FiresWhenLastSendRightDies) {
+  PortPair notify = PortAllocate("notify");
+  PortPair p = PortAllocate("watched");
+  uint64_t id = p.send.id();
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  EXPECT_EQ(MsgReceive(notify.receive, kPoll).status(), KernReturn::kNoMessage);
+  p.send = SendRight();
+  Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().id(), kMsgIdNoSenders);
+  EXPECT_EQ(msg.value().TakeU64().value(), id);
+  // The port itself stays alive — only its senders are gone.
+  EXPECT_FALSE(p.receive.port()->dead());
+}
+
+TEST(NoSendersTest, CountsRightsInsideQueuedMessages) {
+  PortPair notify = PortAllocate("notify");
+  PortPair carrier = PortAllocate("carrier");
+  PortPair p = PortAllocate("watched");
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  Message msg(1);
+  msg.PushPort(p.send);  // A counted copy rides in carrier's queue.
+  ASSERT_EQ(MsgSend(carrier.send, std::move(msg)), KernReturn::kSuccess);
+  p.send = SendRight();
+  // The in-queue copy still holds the count above zero.
+  EXPECT_EQ(p.receive.port()->send_right_count(), 1u);
+  EXPECT_EQ(MsgReceive(notify.receive, kPoll).status(), KernReturn::kNoMessage);
+  // Receiving and dropping the carried copy is the last-sender transition.
+  {
+    Result<Message> got = MsgReceive(carrier.receive, milliseconds(1000));
+    ASSERT_TRUE(got.ok());
+  }  // The received message (and the right it carries) dies here.
+  Result<Message> fired = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(fired.ok());
+  EXPECT_EQ(fired.value().id(), kMsgIdNoSenders);
+}
+
+TEST(NoSendersTest, RegisterWithZeroSendersFiresImmediately) {
+  PortPair notify = PortAllocate("notify");
+  PortPair p = PortAllocate("watched");
+  p.send = SendRight();
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().id(), kMsgIdNoSenders);
+}
+
+TEST(NoSendersTest, ReRegisterAfterFireDeliversAgain) {
+  PortPair notify = PortAllocate("notify");
+  PortPair p = PortAllocate("watched");
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  p.send = SendRight();
+  ASSERT_TRUE(MsgReceive(notify.receive, milliseconds(1000)).ok());
+  // Resurrect the count, re-arm, and kill the senders again.
+  SendRight revived = p.receive.MakeSendRight();
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  EXPECT_EQ(MsgReceive(notify.receive, kPoll).status(), KernReturn::kNoMessage);
+  revived = SendRight();
+  Result<Message> again = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().id(), kMsgIdNoSenders);
+}
+
+TEST(NoSendersTest, PortDeathSupersedesNoSenders) {
+  PortPair notify = PortAllocate("notify");
+  PortPair p = PortAllocate("watched");
+  p.receive.port()->RequestNoSendersNotification(notify.send);
+  p.receive.Destroy();  // Dies while a send right still exists.
+  p.send = SendRight();
+  // No no-senders notification: the registration died with the port.
+  EXPECT_EQ(MsgReceive(notify.receive, milliseconds(50)).status(), KernReturn::kTimedOut);
+}
+
+// --- port garbage collection --------------------------------------------
+
+TEST(PortGcTest, CrossPortCycleReclaimed) {
+  // The ROADMAP leak: two ports each queueing the other's receive right.
+  // Neither can ever be received from again, and neither dies on its own.
+  size_t baseline = PortGcLivePortCount();
+  PortPair a = PortAllocate("cycle-a");
+  PortPair b = PortAllocate("cycle-b");
+  Message ma(1);
+  ma.PushReceive(std::move(b.receive));
+  ASSERT_EQ(MsgSend(a.send, std::move(ma), kPoll), KernReturn::kSuccess);
+  Message mb(2);
+  mb.PushReceive(std::move(a.receive));
+  ASSERT_EQ(MsgSend(b.send, std::move(mb), kPoll), KernReturn::kSuccess);
+  a.send = SendRight();
+  b.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 2u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline);
+}
+
+TEST(PortGcTest, ThreePortRingReclaimed) {
+  size_t baseline = PortGcLivePortCount();
+  PortPair a = PortAllocate("ring-a");
+  PortPair b = PortAllocate("ring-b");
+  PortPair c = PortAllocate("ring-c");
+  Message ma(1);
+  ma.PushReceive(std::move(b.receive));
+  ASSERT_EQ(MsgSend(a.send, std::move(ma), kPoll), KernReturn::kSuccess);
+  Message mb(2);
+  mb.PushReceive(std::move(c.receive));
+  ASSERT_EQ(MsgSend(b.send, std::move(mb), kPoll), KernReturn::kSuccess);
+  Message mc(3);
+  mc.PushReceive(std::move(a.receive));
+  ASSERT_EQ(MsgSend(c.send, std::move(mc), kPoll), KernReturn::kSuccess);
+  a.send = SendRight();
+  b.send = SendRight();
+  c.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 3u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline);
+}
+
+TEST(PortGcTest, ExternallyReferencedCycleIsKept) {
+  size_t baseline = PortGcLivePortCount();
+  PortPair a = PortAllocate("held-a");
+  PortPair b = PortAllocate("held-b");
+  Message ma(1);
+  ma.PushReceive(std::move(b.receive));
+  ASSERT_EQ(MsgSend(a.send, std::move(ma), kPoll), KernReturn::kSuccess);
+  Message mb(2);
+  mb.PushReceive(std::move(a.receive));
+  ASSERT_EQ(MsgSend(b.send, std::move(mb), kPoll), KernReturn::kSuccess);
+  b.send = SendRight();
+  // a.send is still task-held, so the whole structure stays reachable.
+  EXPECT_EQ(PortGcCollect(), 0u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline + 2);
+  EXPECT_FALSE(a.send.IsDead());
+  // Dropping the root makes the cycle collectable.
+  a.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 2u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline);
+}
+
+TEST(PortGcTest, DeathNotificationsFireForReclaimedPorts) {
+  PortPair notify = PortAllocate("notify");
+  PortPair a = PortAllocate("gc-a");
+  PortPair b = PortAllocate("gc-b");
+  uint64_t a_id = a.send.id();
+  uint64_t b_id = b.send.id();
+  a.receive.port()->RequestDeathNotification(notify.send);
+  b.receive.port()->RequestDeathNotification(notify.send);
+  Message ma(1);
+  ma.PushReceive(std::move(b.receive));
+  ASSERT_EQ(MsgSend(a.send, std::move(ma), kPoll), KernReturn::kSuccess);
+  Message mb(2);
+  mb.PushReceive(std::move(a.receive));
+  ASSERT_EQ(MsgSend(b.send, std::move(mb), kPoll), KernReturn::kSuccess);
+  a.send = SendRight();
+  b.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 2u);
+  // GC destroys through the ordinary path, so watchers still hear about it.
+  std::vector<uint64_t> dead;
+  for (int i = 0; i < 2; ++i) {
+    Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg.value().id(), kMsgIdPortDeath);
+    dead.push_back(msg.value().TakeU64().value());
+  }
+  EXPECT_TRUE((dead[0] == a_id && dead[1] == b_id) || (dead[0] == b_id && dead[1] == a_id));
+}
+
+TEST(PortGcTest, ReplyPortCycleReclaimed) {
+  // The cycle can also ride the reply-port slot, not just explicit items.
+  size_t baseline = PortGcLivePortCount();
+  PortPair a = PortAllocate("reply-a");
+  PortPair b = PortAllocate("reply-b");
+  Message ma(1);
+  ma.set_reply_port(b.send);
+  ASSERT_EQ(MsgSend(a.send, std::move(ma), kPoll), KernReturn::kSuccess);
+  Message mb(2);
+  mb.PushReceive(std::move(a.receive));
+  mb.PushReceive(std::move(b.receive));
+  ASSERT_EQ(MsgSend(b.send, std::move(mb), kPoll), KernReturn::kSuccess);
+  a.send = SendRight();
+  b.send = SendRight();
+  EXPECT_EQ(PortGcCollect(), 2u);
+  EXPECT_EQ(PortGcLivePortCount(), baseline);
+}
+
+// --- rights carried by undeliverable messages (the "GC path" fix) --------
+
+TEST(DeadPortRightsTest, FailedSendToDeadPortDestroysCarriedRights) {
+  PortPair notify = PortAllocate("notify");
+  PortPair dest = PortAllocate("dest");
+  dest.receive.Destroy();
+  PortPair inner = PortAllocate("inner");
+  uint64_t inner_id = inner.send.id();
+  inner.receive.port()->RequestDeathNotification(notify.send);
+  PortPair witness = PortAllocate("witness");
+  witness.receive.port()->RequestNoSendersNotification(notify.send);
+  {
+    Message msg(1);
+    msg.PushReceive(std::move(inner.receive));  // Last receive right.
+    msg.PushPort(witness.send);
+    witness.send = SendRight();  // Queue copy is now the only send right.
+    EXPECT_EQ(MsgSend(dest.send, std::move(msg)), KernReturn::kPortDead);
+  }  // The undeliverable message dies here, rights and all.
+  // inner's receive right died (death notification) and witness's last send
+  // right died (no-senders); item destruction order is unspecified, so
+  // accept both orders.
+  bool saw_death = false, saw_no_senders = false;
+  for (int i = 0; i < 2; ++i) {
+    Result<Message> msg = MsgReceive(notify.receive, milliseconds(1000));
+    ASSERT_TRUE(msg.ok());
+    if (msg.value().id() == kMsgIdPortDeath) {
+      EXPECT_EQ(msg.value().TakeU64().value(), inner_id);
+      saw_death = true;
+    } else {
+      EXPECT_EQ(msg.value().id(), kMsgIdNoSenders);
+      EXPECT_EQ(msg.value().TakeU64().value(), witness.receive.id());
+      saw_no_senders = true;
+    }
+  }
+  EXPECT_TRUE(saw_death);
+  EXPECT_TRUE(saw_no_senders);
+}
+
+TEST(DeadPortRightsTest, QueuedRightsDestroyedOnPortDeath) {
+  // Rights already *in* a queue when the port dies must be destroyed through
+  // the same path (death notifications fire), not dropped on the floor.
+  PortPair notify = PortAllocate("notify");
+  PortPair holder = PortAllocate("holder");
+  PortPair inner = PortAllocate("inner");
+  uint64_t inner_id = inner.send.id();
+  inner.receive.port()->RequestDeathNotification(notify.send);
+  Message msg(1);
+  msg.PushReceive(std::move(inner.receive));
+  ASSERT_EQ(MsgSend(holder.send, std::move(msg), kPoll), KernReturn::kSuccess);
+  holder.receive.Destroy();  // Drains the queue, killing inner with it.
+  Result<Message> death = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(death.ok());
+  EXPECT_EQ(death.value().id(), kMsgIdPortDeath);
+  EXPECT_EQ(death.value().TakeU64().value(), inner_id);
+  EXPECT_TRUE(inner.send.IsDead());
+}
+
+TEST(DeadPortRightsTest, FullQueueSendFailureDestroysCarriedRights) {
+  PortPair notify = PortAllocate("notify");
+  PortPair dest = PortAllocate("dest");
+  ASSERT_EQ(dest.receive.port()->SetBacklog(1), KernReturn::kSuccess);
+  ASSERT_EQ(MsgSend(dest.send, Message(0), kPoll), KernReturn::kSuccess);
+  PortPair witness = PortAllocate("witness");
+  witness.receive.port()->RequestNoSendersNotification(notify.send);
+  {
+    Message msg(1);
+    msg.PushPort(witness.send);
+    witness.send = SendRight();
+    EXPECT_EQ(MsgSend(dest.send, std::move(msg), kPoll), KernReturn::kPortFull);
+  }
+  Result<Message> ns = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(ns.ok());
+  EXPECT_EQ(ns.value().id(), kMsgIdNoSenders);
+}
+
+// --- ipc.* fault points --------------------------------------------------
+
+TEST(IpcFaultTest, EnqueueOverflowInjected) {
+  FaultInjector fi(7);
+  fi.SetSchedule(kIpcFaultEnqueue, {0});
+  IpcFaultGuard guard(&fi);
+  PortPair p = PortAllocate("target");
+  EXPECT_EQ(MsgSend(p.send, Message(1), kPoll), KernReturn::kPortFull);
+  EXPECT_EQ(MsgSend(p.send, Message(2), kPoll), KernReturn::kSuccess);
+  EXPECT_EQ(fi.Injected(kIpcFaultEnqueue), 1u);
+}
+
+TEST(IpcFaultTest, RightTransferDuplicatesSendRight) {
+  FaultInjector fi(7);
+  fi.SetSchedule(kIpcFaultRightTransfer, {0});
+  IpcFaultGuard guard(&fi);
+  PortPair carrier = PortAllocate("carrier");
+  PortPair w = PortAllocate("dup-target");
+  ASSERT_EQ(w.receive.port()->send_right_count(), 1u);
+  Message msg(1);
+  msg.PushPort(w.send);
+  ASSERT_EQ(MsgSend(carrier.send, std::move(msg), kPoll), KernReturn::kSuccess);
+  // Original copy + injected duplicate both ride the queue.
+  EXPECT_EQ(w.receive.port()->send_right_count(), 3u);
+  Result<Message> got = MsgReceive(carrier.receive, milliseconds(1000));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().item_count(), 2u);
+}
+
+TEST(IpcFaultTest, RightTransferDropsReceiveRight) {
+  FaultInjector fi(7);
+  fi.SetSchedule(kIpcFaultRightTransfer, {0});
+  IpcFaultGuard guard(&fi);
+  PortPair notify = PortAllocate("notify");
+  PortPair carrier = PortAllocate("carrier");
+  PortPair inner = PortAllocate("dropped");
+  inner.receive.port()->RequestDeathNotification(notify.send);
+  Message msg(1);
+  msg.PushReceive(std::move(inner.receive));
+  ASSERT_EQ(MsgSend(carrier.send, std::move(msg), kPoll), KernReturn::kSuccess);
+  // The right was dropped in transit: its port died...
+  EXPECT_TRUE(inner.send.IsDead());
+  Result<Message> death = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(death.ok());
+  EXPECT_EQ(death.value().id(), kMsgIdPortDeath);
+  // ...and the receiver sees an invalid right where one was promised.
+  Result<Message> got = MsgReceive(carrier.receive, milliseconds(1000));
+  ASSERT_TRUE(got.ok());
+  Result<ReceiveRight> r = got.value().TakeReceive();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().valid());
+}
+
+TEST(IpcFaultTest, NotifyDeferredUntilDrained) {
+  FaultInjector fi(7);
+  fi.SetSchedule(kIpcFaultNotify, {0});
+  IpcFaultGuard guard(&fi);
+  PortPair notify = PortAllocate("notify");
+  {
+    PortPair watched = PortAllocate("watched");
+    watched.receive.port()->RequestDeathNotification(notify.send);
+  }
+  // The death notification was held back by ipc.notify.
+  EXPECT_EQ(MsgReceive(notify.receive, kPoll).status(), KernReturn::kNoMessage);
+  EXPECT_EQ(IpcPendingDelayedNotificationCount(), 1u);
+  EXPECT_EQ(IpcDrainDelayedNotifications(), 1u);
+  Result<Message> death = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(death.ok());
+  EXPECT_EQ(death.value().id(), kMsgIdPortDeath);
+}
+
+TEST(IpcFaultTest, DisarmingInjectorDrainsPendingNotifications) {
+  FaultInjector fi(7);
+  fi.SetSchedule(kIpcFaultNotify, {0});
+  PortPair notify = PortAllocate("notify");
+  {
+    IpcFaultGuard guard(&fi);
+    PortPair watched = PortAllocate("watched");
+    watched.receive.port()->RequestNoSendersNotification(notify.send);
+    watched.send = SendRight();
+    EXPECT_EQ(IpcPendingDelayedNotificationCount(), 1u);
+  }  // Disarm drains: nothing is silently lost.
+  EXPECT_EQ(IpcPendingDelayedNotificationCount(), 0u);
+  Result<Message> ns = MsgReceive(notify.receive, milliseconds(1000));
+  ASSERT_TRUE(ns.ok());
+  EXPECT_EQ(ns.value().id(), kMsgIdNoSenders);
 }
 
 }  // namespace

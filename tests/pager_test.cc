@@ -50,6 +50,11 @@ class TestPager : public DataManager {
   int write_count() const { return write_count_.load(); }
   int unlock_count() const { return unlock_count_.load(); }
   int death_count() const { return death_count_.load(); }
+  int no_senders_count() const { return no_senders_count_.load(); }
+  uint64_t last_no_senders_cookie() const { return last_no_senders_cookie_.load(); }
+  // Sequence stamps for ordering assertions (0 = never happened).
+  int no_senders_seq() const { return no_senders_seq_.load(); }
+  int death_seq() const { return death_seq_.load(); }
 
   std::vector<SendRight> request_ports() const {
     std::lock_guard<std::mutex> g(mu_);
@@ -81,6 +86,16 @@ class TestPager : public DataManager {
   bool WaitForDeaths(int n) {
     auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
     while (death_count() < n) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+  bool WaitForNoSenders(int n) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (no_senders_count() < n) {
       if (std::chrono::steady_clock::now() > deadline) {
         return false;
       }
@@ -141,7 +156,16 @@ class TestPager : public DataManager {
     }
   }
 
-  void OnPortDeath(uint64_t port_id) override { death_count_.fetch_add(1); }
+  void OnPortDeath(uint64_t port_id) override {
+    death_count_.fetch_add(1);
+    death_seq_.store(seq_.fetch_add(1) + 1);
+  }
+
+  void OnNoSenders(uint64_t object_port_id, uint64_t cookie) override {
+    no_senders_count_.fetch_add(1);
+    last_no_senders_cookie_.store(cookie);
+    no_senders_seq_.store(seq_.fetch_add(1) + 1);
+  }
 
  private:
   mutable std::mutex mu_;
@@ -155,6 +179,11 @@ class TestPager : public DataManager {
   std::atomic<int> write_count_{0};
   std::atomic<int> unlock_count_{0};
   std::atomic<int> death_count_{0};
+  std::atomic<int> no_senders_count_{0};
+  std::atomic<uint64_t> last_no_senders_cookie_{0};
+  std::atomic<int> seq_{0};
+  std::atomic<int> no_senders_seq_{0};
+  std::atomic<int> death_seq_{0};
 };
 
 class ExternalPagerTest : public ::testing::Test {
@@ -396,6 +425,38 @@ TEST_F(ExternalPagerTest, ObjectTerminationNotifiesManager) {
   EXPECT_TRUE(pager_.WaitForDeaths(1));
 }
 
+TEST_F(ExternalPagerTest, DroppingLastSendRightFiresNoSendersUpcall) {
+  // The manager holds only the receive right; the test's send right is the
+  // sole sender. Dropping it must surface as an OnNoSenders upcall carrying
+  // the object's cookie, via the trusted notify port.
+  SendRight object = pager_.NewObject();
+  uint64_t cookie = 0;
+  ASSERT_TRUE(pager_.LookupCookie(object.id(), &cookie));
+  object = SendRight();
+  EXPECT_TRUE(pager_.WaitForNoSenders(1));
+  EXPECT_EQ(pager_.last_no_senders_cookie(), cookie);
+  // Advisory by default: the object is still live in the manager.
+  EXPECT_EQ(pager_.memory_object_count(), 1u);
+}
+
+TEST_F(ExternalPagerTest, ObjectTerminationFiresNoSendersBeforeRequestPortDeath) {
+  // Once the client also drops its send right, kernel object termination is
+  // the moment the object becomes senderless. The kernel drops its pager
+  // send right before destroying the request port, so the manager hears
+  // no-senders (reclaim storage) before port death (confirmation).
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  object = SendRight();  // The kernel now holds the only send right.
+  EXPECT_EQ(pager_.no_senders_count(), 0);
+  ASSERT_EQ(task_->VmDeallocate(addr, kPage), KernReturn::kSuccess);
+  EXPECT_TRUE(pager_.WaitForNoSenders(1));
+  EXPECT_TRUE(pager_.WaitForDeaths(1));
+  EXPECT_GT(pager_.no_senders_seq(), 0);
+  EXPECT_LT(pager_.no_senders_seq(), pager_.death_seq());
+}
+
 TEST_F(ExternalPagerTest, PagerCacheRetainsObjectAcrossMappings) {
   SendRight object = pager_.NewObject();
   VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
@@ -489,6 +550,46 @@ TEST_F(ZeroFillPolicyTest, SilentManagerZeroFillsUnderPolicy) {
   EXPECT_EQ(out, 0u);
   task.reset();
   pager.Stop();
+}
+
+class DefaultPagerReclaimTest : public ::testing::Test {};
+
+TEST_F(DefaultPagerReclaimTest, TerminatedAnonymousObjectsAreReclaimed) {
+  // Anonymous memory is handed to the default pager via pager_create on its
+  // first dirty pageout. When the region is deallocated and the kernel
+  // terminates the object, the no-senders notification lets the default
+  // pager drop the adopted port and its backing blocks — without it, every
+  // kernel-created object leaks in the default pager forever.
+  Kernel::Config config;
+  config.frames = 16;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  size_t baseline = kernel.default_pager().memory_object_count();
+
+  constexpr VmSize kPages = 32;
+  VmOffset addr = task->VmAllocate(kPages * kPage).value();
+  for (VmOffset p = 0; p < kPages; ++p) {
+    uint64_t v = 0xABCD000000000000ull + p;
+    ASSERT_EQ(task->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  // Dirtying 2x physical memory forced pageouts, so the default pager
+  // adopted at least one kernel-created object.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (kernel.default_pager().memory_object_count() <= baseline &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(kernel.default_pager().memory_object_count(), baseline);
+
+  ASSERT_EQ(task->VmDeallocate(addr, kPages * kPage), KernReturn::kSuccess);
+  task.reset();
+  while (kernel.default_pager().memory_object_count() > baseline &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(kernel.default_pager().memory_object_count(), baseline);
 }
 
 class ErrantManagerTest : public ::testing::Test {};
