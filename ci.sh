@@ -5,7 +5,8 @@
 #                      # port/right suites re-run under ASan with leak
 #                      # detection (cycle reclamation must be leak-clean)
 #   ./ci.sh asan       # tier-1 under ASan+UBSan (-DMACH_SANITIZE=address)
-#   ./ci.sh all        # both, sequentially
+#   ./ci.sh tsan       # VM/IPC concurrency suites under ThreadSanitizer
+#   ./ci.sh all        # all of the above, sequentially
 #   ./ci.sh bench [name...]  # run benchmark binaries, JSON into BENCH_<name>.json
 #                            # (all of bench/ by default; names drop the bench_ prefix)
 set -euo pipefail
@@ -45,9 +46,22 @@ case "$mode" in
     export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
     run_suite build-asan -DMACH_SANITIZE=address
     ;;
+  tsan)
+    # Data-race lane for the VM lock hierarchy: the suites that fault,
+    # reclaim, and message concurrently run under ThreadSanitizer. Kept to
+    # the concurrency-heavy binaries — TSan is ~10x, and the full suite
+    # runs in the other lanes.
+    export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}
+    tsan_suites='^(vm_test|vm_concurrent_test|property_test|ipc_property_test)$'
+    cmake -B build-tsan -S . -DMACH_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target \
+      vm_test vm_concurrent_test property_test ipc_property_test
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R "$tsan_suites"
+    ;;
   all)
     "$0" tier1
     "$0" asan
+    "$0" tsan
     ;;
   bench)
     # Machine-readable perf lane: every google-benchmark binary emits JSON
@@ -74,7 +88,7 @@ case "$mode" in
     done
     ;;
   *)
-    echo "usage: $0 [tier1|asan|all|bench [name...]]" >&2
+    echo "usage: $0 [tier1|asan|tsan|all|bench [name...]]" >&2
     exit 2
     ;;
 esac

@@ -35,6 +35,24 @@ bool WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock, Ti
   return cv.wait_for(lock, *timeout, std::forward<Pred>(pred));
 }
 
+// Temporarily releases a held unique_lock for the duration of a scope — the
+// inverse of lock_guard. Used where a potentially blocking call (a message
+// send, a recursive fault) must not be made while holding a fine-grained
+// lock; the destructor reacquires before control returns to code that
+// assumes the lock is held. State guarded by the lock must be revalidated
+// after the scope ends.
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(std::unique_lock<std::mutex>& lock) : lock_(lock) { lock_.unlock(); }
+  ~ScopedUnlock() { lock_.lock(); }
+
+  ScopedUnlock(const ScopedUnlock&) = delete;
+  ScopedUnlock& operator=(const ScopedUnlock&) = delete;
+
+ private:
+  std::unique_lock<std::mutex>& lock_;
+};
+
 // A one-shot (resettable) event, used in tests and by service loops for
 // startup handshakes.
 class Event {

@@ -20,12 +20,16 @@ PhysicalMemory::PhysicalMemory(uint32_t frame_count, VmSize page_size)
 }
 
 std::optional<uint32_t> PhysicalMemory::AllocFrame() {
-  std::lock_guard<std::mutex> g(bus_mu_);
-  if (free_list_.empty()) {
-    return std::nullopt;
+  uint32_t frame;
+  {
+    std::lock_guard<std::mutex> g(free_mu_);
+    if (free_list_.empty()) {
+      return std::nullopt;
+    }
+    frame = free_list_.back();
+    free_list_.pop_back();
   }
-  uint32_t frame = free_list_.back();
-  free_list_.pop_back();
+  std::lock_guard<std::mutex> fg(frames_[frame].mu);
   frames_[frame].referenced = false;
   frames_[frame].modified = false;
   assert(frames_[frame].pv.empty());
@@ -33,27 +37,30 @@ std::optional<uint32_t> PhysicalMemory::AllocFrame() {
 }
 
 void PhysicalMemory::FreeFrame(uint32_t frame) {
-  std::lock_guard<std::mutex> g(bus_mu_);
   assert(frame < frame_count_);
-  assert(frames_[frame].pv.empty());
+  {
+    std::lock_guard<std::mutex> fg(frames_[frame].mu);
+    assert(frames_[frame].pv.empty());
+  }
+  std::lock_guard<std::mutex> g(free_mu_);
   free_list_.push_back(frame);
 }
 
 uint32_t PhysicalMemory::free_frames() const {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(free_mu_);
   return static_cast<uint32_t>(free_list_.size());
 }
 
 void PhysicalMemory::ReadFrame(uint32_t frame, VmOffset offset, void* dst, VmSize len) {
   assert(frame < frame_count_ && offset + len <= page_size_);
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   std::memcpy(dst, data_.data() + static_cast<size_t>(frame) * page_size_ + offset, len);
   frames_[frame].referenced = true;
 }
 
 void PhysicalMemory::WriteFrame(uint32_t frame, VmOffset offset, const void* src, VmSize len) {
   assert(frame < frame_count_ && offset + len <= page_size_);
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   std::memcpy(data_.data() + static_cast<size_t>(frame) * page_size_ + offset, src, len);
   frames_[frame].referenced = true;
   frames_[frame].modified = true;
@@ -61,54 +68,60 @@ void PhysicalMemory::WriteFrame(uint32_t frame, VmOffset offset, const void* src
 
 void PhysicalMemory::ZeroFrame(uint32_t frame) {
   assert(frame < frame_count_);
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   std::memset(data_.data() + static_cast<size_t>(frame) * page_size_, 0, page_size_);
 }
 
 void PhysicalMemory::CopyFrame(uint32_t src_frame, uint32_t dst_frame) {
   assert(src_frame < frame_count_ && dst_frame < frame_count_);
-  std::lock_guard<std::mutex> g(bus_mu_);
+  assert(src_frame != dst_frame);
+  // The only place two frame locks are held together: take them in index
+  // order so concurrent copies cannot deadlock.
+  Frame& first = frames_[std::min(src_frame, dst_frame)];
+  Frame& second = frames_[std::max(src_frame, dst_frame)];
+  std::lock_guard<std::mutex> g1(first.mu);
+  std::lock_guard<std::mutex> g2(second.mu);
   std::memcpy(data_.data() + static_cast<size_t>(dst_frame) * page_size_,
               data_.data() + static_cast<size_t>(src_frame) * page_size_, page_size_);
 }
 
 bool PhysicalMemory::IsReferenced(uint32_t frame) const {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   return frames_[frame].referenced;
 }
 
 bool PhysicalMemory::IsModified(uint32_t frame) const {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   return frames_[frame].modified;
 }
 
 void PhysicalMemory::ClearReference(uint32_t frame) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   frames_[frame].referenced = false;
 }
 
 void PhysicalMemory::ClearModify(uint32_t frame) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   frames_[frame].modified = false;
 }
 
 void PhysicalMemory::SetReference(uint32_t frame) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   frames_[frame].referenced = true;
 }
 
 void PhysicalMemory::SetModify(uint32_t frame) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   frames_[frame].modified = true;
 }
 
 void PhysicalMemory::PvAdd(uint32_t frame, Pmap* pmap, VmOffset vaddr) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   frames_[frame].pv.push_back(PvEntry{pmap, vaddr});
 }
 
 void PhysicalMemory::PvRemove(uint32_t frame, Pmap* pmap, VmOffset vaddr) {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   auto& pv = frames_[frame].pv;
   auto it = std::find_if(pv.begin(), pv.end(), [&](const PvEntry& e) {
     return e.pmap == pmap && e.vaddr == vaddr;
@@ -119,7 +132,7 @@ void PhysicalMemory::PvRemove(uint32_t frame, Pmap* pmap, VmOffset vaddr) {
 }
 
 std::vector<PvEntry> PhysicalMemory::PvList(uint32_t frame) const {
-  std::lock_guard<std::mutex> g(bus_mu_);
+  std::lock_guard<std::mutex> g(frames_[frame].mu);
   return frames_[frame].pv;
 }
 

@@ -4,13 +4,19 @@
 // maintains so it can find every mapping of a physical page).
 //
 // All access to frame contents goes through this class so that the hardware
-// bits are maintained exactly as an MMU would maintain them. A single "bus"
-// mutex serialises frame data access, pv-list updates, and pmap table
-// updates; this stands in for the memory-bus/TLB atomicity of real hardware.
+// bits are maintained exactly as an MMU would maintain them. Each frame has
+// its own lock serialising that frame's data, bits, and pv list — the
+// per-cache-line atomicity real memory hardware gives — so accesses to
+// distinct frames proceed in parallel on a multiprocessor. The free list has
+// a separate lock. Frame locks nest inside Pmap::mu_ (a pmap may access a
+// frame while holding its table lock, never the reverse) and two frame locks
+// are only ever held together by CopyFrame, which acquires them in frame-
+// index order.
 
 #ifndef SRC_HW_PHYSICAL_MEMORY_H_
 #define SRC_HW_PHYSICAL_MEMORY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -49,8 +55,8 @@ class PhysicalMemory {
   void FreeFrame(uint32_t frame);
   uint32_t free_frames() const;
 
-  // Frame content access (performs the copy under the bus lock and maintains
-  // hardware bits the way a CPU access through a TLB entry would).
+  // Frame content access (performs the copy under the frame's lock and
+  // maintains hardware bits the way a CPU access through a TLB entry would).
   void ReadFrame(uint32_t frame, VmOffset offset, void* dst, VmSize len);
   void WriteFrame(uint32_t frame, VmOffset offset, const void* src, VmSize len);
   void ZeroFrame(uint32_t frame);
@@ -69,11 +75,9 @@ class PhysicalMemory {
   void PvRemove(uint32_t frame, Pmap* pmap, VmOffset vaddr);
   std::vector<PvEntry> PvList(uint32_t frame) const;
 
-  // The bus lock, shared with Pmap so that translation + access is atomic.
-  std::mutex& bus_mutex() const { return bus_mu_; }
-
  private:
   struct Frame {
+    mutable std::mutex mu;
     bool referenced = false;
     bool modified = false;
     std::vector<PvEntry> pv;
@@ -84,7 +88,7 @@ class PhysicalMemory {
   std::vector<std::byte> data_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_list_;
-  mutable std::mutex bus_mu_;
+  mutable std::mutex free_mu_;
 };
 
 }  // namespace mach

@@ -59,8 +59,9 @@ class Pmap {
 
   // pmap_page_protect: lowers the protection of *every* mapping of `frame`,
   // in all pmaps, to at most `prot`. Used for copy-on-write write-protection
-  // and for pageout (prot == none). Must be called with the owning kernel's
-  // lock held so no new mappings race in.
+  // and for pageout (prot == none). Callers serialise against racing new
+  // mappings with the owning VmObject's lock (faults only install a frame
+  // while it is pinned, and pinned frames are re-checked at unpin).
   static void PageProtect(PhysicalMemory* phys, uint32_t frame, VmProt prot);
 
   // Simulated CPU access: copies `len` bytes between `buf` and the virtual

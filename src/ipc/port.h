@@ -11,10 +11,12 @@
 // injector (ipc_faults.h) when one is armed.
 //
 // Lock order: PortSet::mu_ > Port::mu_. A port never calls back into the
-// kernel layer; kernels may therefore hold their own locks while using
-// ports... except that blocking while holding a kernel lock is forbidden —
-// the kernel releases its lock around waits. Rights are never destroyed
-// while their own port's mu_ is held (destruction re-enters the port).
+// kernel layer, so port locks sit at the bottom of the VM lock order
+// (tier 7 in vm_system.h): kernels may hold map/object/queue locks while
+// using ports, but blocking receives while holding any VM lock are
+// forbidden — the VM layer drops its locks around waits. Rights are never
+// destroyed while their own port's mu_ is held (destruction re-enters the
+// port).
 
 #ifndef SRC_IPC_PORT_H_
 #define SRC_IPC_PORT_H_

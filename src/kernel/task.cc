@@ -60,6 +60,10 @@ std::vector<RegionInfo> Task::VmRegions() { return kernel_->vm().Regions(vm_); }
 
 VmStatistics Task::VmStats() { return kernel_->vm().Statistics(); }
 
+// User loads/stores are safe from any number of threads of any task:
+// UserAccess takes the task's map lock shared on the fault path, so
+// accesses to disjoint regions proceed in parallel (vm_system.h lock
+// order, tier 1).
 KernReturn Task::Read(VmOffset addr, void* buf, VmSize len) {
   return kernel_->vm().UserAccess(vm_, addr, buf, len, /*is_write=*/false);
 }

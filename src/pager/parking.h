@@ -4,7 +4,8 @@
 // this way, the kernel is protected from starvation by errant data
 // managers." Implemented by the default pager; consumed by VmSystem.
 //
-// Calls must not block on the kernel lock (they are made while it is held).
+// Calls must not block or re-enter VmSystem (they are made while VM object
+// locks are held — tier 3 of the lock order in vm_system.h).
 
 #ifndef SRC_PAGER_PARKING_H_
 #define SRC_PAGER_PARKING_H_

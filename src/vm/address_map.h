@@ -9,8 +9,14 @@
 // attributes (protection, inheritance) stay in the top-level entry;
 // operations on the memory itself are reflected in the sharing map.
 //
-// All methods assume the owning kernel's lock is held; AddressMap does no
-// locking of its own. It also performs no object reference accounting or
+// Locking: each map carries a reader-writer lock (`lock()`), the outermost
+// tier of the VM lock order. Fault-path lookups take it shared so faults in
+// disjoint regions of one map never contend; structural mutation and entry
+// field writes (needs_copy, object installation) take it exclusive. All
+// methods assume the caller holds the lock in the appropriate mode — the
+// map does no locking of its own. A top-level map's lock may be held while
+// taking a sharing map's lock, never the reverse; ForkMap orders parent
+// before child. The map also performs no object reference accounting or
 // pmap maintenance — VmSystem drives those from the entries these methods
 // return, keeping policy out of the container.
 
@@ -19,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/base/kern_return.h"
@@ -65,6 +72,9 @@ class AddressMap {
   VmOffset max_address() const { return max_; }
   VmSize page_size() const { return page_size_; }
 
+  // The map lock (see the header comment for the sharing discipline).
+  std::shared_mutex& lock() const { return mu_; }
+
   // Returns the entry containing `addr`, or nullptr.
   MapEntry* Lookup(VmOffset addr);
   const MapEntry* Lookup(VmOffset addr) const;
@@ -104,6 +114,7 @@ class AddressMap {
   // exactly at `addr` (no-op if already on a boundary).
   void ClipAt(VmOffset addr);
 
+  mutable std::shared_mutex mu_;
   VmOffset min_;
   VmOffset max_;
   VmSize page_size_;

@@ -1,6 +1,13 @@
 // The fault handler (§5.5): validity and protection, page lookup through
 // the shadow chain, copy-on-write, data-manager interaction
 // (pager_data_request / pager_data_unlock) and hardware validation.
+//
+// Concurrency shape (see the lock-order comment in vm_system.h): a fault
+// resolves its map entry under the map lock(s) taken *shared*, walks the
+// shadow chain under per-object locks taken hand over hand (child before
+// parent), and installs the frame into the pmap under the map shared lock
+// while holding only a pin on the page. Waits for busy pages block on the
+// owning object's condition variable — targeted wakeups, not a global poll.
 
 #include <cassert>
 #include <chrono>
@@ -16,9 +23,10 @@ namespace {
 using SteadyClock = std::chrono::steady_clock;
 }  // namespace
 
-Result<VmSystem::ResolvedEntry> VmSystem::ResolveEntry(TaskVm& task, VmOffset addr,
-                                                       VmProt access) {
-  ResolvedEntry out;
+// --- entry resolution -------------------------------------------------------
+
+Result<VmSystem::EntryRef> VmSystem::LookupEntry(TaskVm& task, VmOffset addr, VmProt access) {
+  EntryRef out;
   out.top = task.map->Lookup(addr);
   if (out.top == nullptr) {
     return KernReturn::kInvalidAddress;
@@ -29,6 +37,7 @@ Result<VmSystem::ResolvedEntry> VmSystem::ResolveEntry(TaskVm& task, VmOffset ad
   VmOffset local;
   if (out.top->is_share) {
     VmOffset share_addr = out.top->offset + (addr - out.top->start);
+    out.share_lock = std::shared_lock<std::shared_mutex>(out.top->share_map->lock());
     out.holder = out.top->share_map->Lookup(share_addr);
     if (out.holder == nullptr) {
       return KernReturn::kInvalidAddress;
@@ -38,26 +47,108 @@ Result<VmSystem::ResolvedEntry> VmSystem::ResolveEntry(TaskVm& task, VmOffset ad
     out.holder = out.top;
     local = addr - out.top->start;
   }
-  if (out.holder->object == nullptr) {
-    // Zero-filled-on-demand region: create the backing object lazily.
-    out.holder->object = CreateInternalObject(out.holder->size());
-    ObjectRef(out.holder->object);
-  }
-  if (out.holder->needs_copy && (access & kVmProtWrite) != 0) {
-    // Copy-on-write: shadow before the first write (§5.5).
-    MakeShadow(out.holder);
+  if (out.holder->object == nullptr ||
+      (out.holder->needs_copy && (access & kVmProtWrite) != 0)) {
+    // Lazy zero-fill object creation or a copy-on-write shadow push is
+    // needed; both mutate the entry, so the caller must run PrepareEntry
+    // under exclusive locks and retry.
+    out.needs_prepare = true;
   }
   out.object_offset = out.holder->offset + local;
   return out;
 }
 
-bool VmSystem::WaitForPage(KernelLock& lock) {
-  // Short slice; callers loop against their own deadline.
-  page_cv_.wait_for(lock, std::chrono::milliseconds(20));
-  return true;
+KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
+  std::unique_lock<std::shared_mutex> map_lock(task.map->lock());
+  MapEntry* top = task.map->Lookup(addr);
+  if (top == nullptr) {
+    return KernReturn::kInvalidAddress;
+  }
+  if ((access & ~top->protection) != 0) {
+    return KernReturn::kProtectionFailure;
+  }
+  MapEntry* holder = top;
+  std::unique_lock<std::shared_mutex> share_lock;
+  if (top->is_share) {
+    VmOffset share_addr = top->offset + (addr - top->start);
+    share_lock = std::unique_lock<std::shared_mutex>(top->share_map->lock());
+    holder = top->share_map->Lookup(share_addr);
+    if (holder == nullptr) {
+      return KernReturn::kInvalidAddress;
+    }
+  }
+  if (holder->object == nullptr) {
+    // Zero-filled-on-demand region: create the backing object lazily.
+    holder->object = CreateInternalObject(holder->size());
+    ObjectRef(holder->object);
+  }
+  if (holder->needs_copy && (access & kVmProtWrite) != 0) {
+    // Copy-on-write: shadow before the first write (§5.5). The chain lock
+    // guards the shadow_children back-pointer update.
+    ChainLock chain(chain_mu_);
+    MakeShadow(chain, holder);
+  }
+  return KernReturn::kSuccess;
 }
 
-KernReturn VmSystem::RequestDataFromPager(KernelLock& lock,
+// --- pins -------------------------------------------------------------------
+
+VmSystem::PagePin VmSystem::MakePinLocked(ObjectLock& olk, std::shared_ptr<VmObject> owner,
+                                          VmPage* page, bool from_backing) {
+  (void)olk;
+  ++page->pin_count;
+  PagePin pin;
+  pin.owner = std::move(owner);
+  pin.page = page;
+  pin.from_backing = from_backing;
+  pin.page_lock = page->page_lock;
+  return pin;
+}
+
+void VmSystem::UnpinPage(PagePin& pin) {
+  if (pin.page == nullptr) {
+    return;
+  }
+  ObjectLock olk(pin.owner->mu);
+  VmPage* page = pin.page;
+  assert(page->pin_count > 0);
+  --page->pin_count;
+  if (page->pin_count == 0 && !pin.owner->alive) {
+    // The object died while we held the pin; the page was orphaned
+    // (TerminateObject skips pinned pages) and we are the last holder.
+    PageFreeLocked(olk, page);
+  } else if (page->page_lock != pin.page_lock) {
+    // A manager lock raced with our pmap install: the frame may now be
+    // mapped with more access than the lock allows. Re-clamp every mapping.
+    Pmap::PageProtect(phys_, page->frame, kVmProtAll & ~page->page_lock);
+  }
+  pin.page = nullptr;
+  pin.owner->cv.notify_all();
+  pin.owner.reset();
+}
+
+void VmSystem::UnpinRaw(const std::shared_ptr<VmObject>& owner, VmPage* page) {
+  ObjectLock olk(owner->mu);
+  assert(page->pin_count > 0);
+  --page->pin_count;
+  if (page->pin_count == 0 && !owner->alive) {
+    PageFreeLocked(olk, page);
+  }
+  owner->cv.notify_all();
+}
+
+// --- pager interaction ------------------------------------------------------
+
+bool VmSystem::WaitForPage(ObjectLock& olk, VmObject* object,
+                           SteadyClock::time_point deadline) {
+  // Bounded slice so a lost race (the notifying thread fired before we
+  // blocked) costs one slice, not the whole fault budget.
+  SteadyClock::time_point slice = SteadyClock::now() + std::chrono::milliseconds(100);
+  object->cv.wait_until(olk, std::min(slice, deadline));
+  return SteadyClock::now() < deadline;
+}
+
+KernReturn VmSystem::RequestDataFromPager(ObjectLock& olk,
                                           const std::shared_ptr<VmObject>& object,
                                           VmOffset offset, VmProt access) {
   PagerDataRequestArgs args;
@@ -73,20 +164,18 @@ KernReturn VmSystem::RequestDataFromPager(KernelLock& lock,
   if (config_.pager_timeout.has_value() && *config_.pager_timeout < *send_timeout) {
     send_timeout = config_.pager_timeout;
   }
-  lock.unlock();
-  KernReturn kr = MsgSend(pager, std::move(msg), send_timeout);
-  lock.lock();
-  return kr;
+  ScopedUnlock unlock(olk);
+  return MsgSend(pager, std::move(msg), send_timeout);
 }
 
-KernReturn VmSystem::RequestUnlockFromPager(KernelLock& lock,
+KernReturn VmSystem::RequestUnlockFromPager(ObjectLock& olk,
                                             const std::shared_ptr<VmObject>& object,
                                             VmPage* page, VmProt access) {
   if (page->unlock_pending) {
     return KernReturn::kSuccess;  // Already asked; just wait.
   }
   page->unlock_pending = true;
-  ++stats_.unlock_requests;
+  counters_.unlock_requests.fetch_add(1, std::memory_order_relaxed);
   PagerDataUnlockArgs args;
   args.pager_request_port = object->request_send;
   args.offset = page->offset;
@@ -94,45 +183,43 @@ KernReturn VmSystem::RequestUnlockFromPager(KernelLock& lock,
   args.desired_access = access;
   Message msg = EncodePagerDataUnlock(args);
   SendRight pager = object->pager;
-  lock.unlock();
-  KernReturn kr = MsgSend(pager, std::move(msg), std::chrono::milliseconds(2000));
-  lock.lock();
-  return kr;
+  ScopedUnlock unlock(olk);
+  return MsgSend(pager, std::move(msg), std::chrono::milliseconds(2000));
 }
 
-Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
-                                                       std::shared_ptr<VmObject> first_object,
-                                                       VmOffset first_offset, VmProt fault_type) {
+// --- the page walk ----------------------------------------------------------
+
+Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_object,
+                                                VmOffset first_offset, VmProt fault_type) {
   assert(first_offset % page_size() == 0);
-  // Fast path: the top object already holds a settled page and no manager
-  // lock blocks the access — return it without computing the pager deadline
-  // or entering the chain walk. Shadow-chain collapse funnels long-lived
-  // fork survivors into this path by keeping their pages in the top object.
-  if (VmPage* page = PageLookup(first_object.get(), first_offset);
-      page != nullptr && !page->busy && !page->absent && !page->error &&
-      !page->unavailable && (fault_type & page->page_lock) == 0) {
-    ++stats_.fast_faults;
-    return PageResolution{page, false};
-  }
   // Deadline for data-manager interactions (§6.2.1 failure options).
   SteadyClock::time_point deadline = SteadyClock::time_point::max();
   if (config_.pager_timeout.has_value()) {
     deadline = SteadyClock::now() + *config_.pager_timeout;
   }
 
-  for (;;) {
+  bool first_probe = true;
+  int shortage_rounds = 0;
+  for (;;) {  // Each iteration is one full rescan from the top object.
     std::shared_ptr<VmObject> object = first_object;
     VmOffset offset = first_offset;
     uint64_t depth = 1;
+    ObjectLock olk(object->mu);
     bool rescan = false;
-    while (!rescan) {
+    bool need_frames = false;
+    while (!rescan && !need_frames) {
+      // Invariant here: olk holds object->mu.
       VmPage* page = PageLookup(object.get(), offset);
       if (page != nullptr) {
         if (page->busy) {
-          // In transit on behalf of another thread; wait and rescan.
-          WaitForPage(lock);
-          if (SteadyClock::now() >= deadline) {
+          // In transit on behalf of another thread; wait for a state change
+          // and rescan from the top (the pointer may dangle after a wake —
+          // the owning thread may have freed or renamed it).
+          if (!WaitForPage(olk, object.get(), deadline)) {
             return KernReturn::kMemoryFailure;
+          }
+          if (VmPage* p2 = PageLookup(object.get(), offset); p2 != nullptr && p2->busy) {
+            counters_.spurious_page_wakeups.fetch_add(1, std::memory_order_relaxed);
           }
           rescan = true;
           continue;
@@ -144,65 +231,98 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           // The data manager has no data for this page: copy from the
           // shadow if there is one, else fill with zeros (footnote 6).
           if (object->shadow != nullptr) {
-            page->busy = true;  // Pin our placeholder across the recursion.
-            Result<PageResolution> backing =
-                ResolvePage(lock, object->shadow, offset + object->shadow_offset, kVmProtRead);
-            page->busy = false;
-            page_cv_.notify_all();
+            page->busy = true;  // Own the placeholder across the recursion.
+            std::shared_ptr<VmObject> backing_obj = object->shadow;
+            VmOffset backing_off = offset + object->shadow_offset;
+            Result<PagePin> backing = KernReturn::kFailure;
+            {
+              ScopedUnlock unlock(olk);
+              backing = ResolvePage(backing_obj, backing_off, kVmProtRead);
+            }
+            // We own the busy placeholder: even on failure, we must settle
+            // it ourselves (nobody else may touch a busy page).
+            if (!object->alive) {
+              if (backing.ok()) {
+                UnpinPage(backing.value());
+              }
+              PageFreeLocked(olk, page);
+              object->cv.notify_all();
+              return KernReturn::kMemoryFailure;
+            }
             if (!backing.ok()) {
+              page->busy = false;
               page->error = true;
+              object->cv.notify_all();
               return backing.status();
             }
             phys_->CopyFrame(backing.value().page->frame, page->frame);
+            UnpinPage(backing.value());
+            page->busy = false;
           } else {
             phys_->ZeroFrame(page->frame);
-            ++stats_.zero_fill_count;
+            counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
           }
           page->unavailable = false;
           page->absent = false;
-          page_cv_.notify_all();
+          object->cv.notify_all();
         }
         if (object == first_object) {
           // Found in the top object. Honour any data-manager lock.
           if ((fault_type & page->page_lock) != 0 && object->pager.valid()) {
-            KernReturn kr = RequestUnlockFromPager(lock, object, page, fault_type);
+            KernReturn kr = RequestUnlockFromPager(olk, object, page, fault_type);
             if (!IsOk(kr) && kr != KernReturn::kSuccess) {
               return KernReturn::kMemoryFailure;
             }
-            WaitForPage(lock);
-            if (SteadyClock::now() >= deadline) {
+            // The lock was dropped across the send; the page pointer is
+            // stale. Wait for the unlock to land, then rescan.
+            if (!WaitForPage(olk, object.get(), deadline)) {
               return KernReturn::kMemoryFailure;
             }
             rescan = true;
             continue;
           }
-          return PageResolution{page, false};
+          if (first_probe) {
+            // Settled page in the top object on the very first probe — the
+            // fast path collapse funnels long-lived fork survivors into.
+            counters_.fast_faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          return MakePinLocked(olk, object, page, /*from_backing=*/false);
         }
         // Found in a backing (shadow ancestor) object.
         if ((fault_type & kVmProtWrite) != 0) {
-          // Copy-on-write: push a private copy into the top object.
-          Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
+          // Copy-on-write: push a private copy into the top object. Pin the
+          // backing page so it survives while we drop its lock and lock the
+          // top object (child-before-parent order forbids holding both the
+          // other way, and we are at the parent now).
+          ++page->pin_count;
+          std::shared_ptr<VmObject> backing_owner = object;
+          olk.unlock();
+          ObjectLock top_lk(first_object->mu);
+          Result<VmPage*> np =
+              PageAllocLocked(first_object.get(), first_offset, shortage_rounds >= 100);
           if (!np.ok()) {
+            top_lk.unlock();
+            UnpinRaw(backing_owner, page);
             if (np.status() == KernReturn::kMemoryPresent) {
               rescan = true;  // Another thread won the slot; use its page.
-              continue;
+            } else {
+              need_frames = true;
             }
-            return np.status();
-          }
-          // PageAlloc may have dropped the lock while reclaiming; the
-          // backing page could have moved. Re-validate.
-          VmPage* backing = PageLookup(object.get(), offset);
-          if (backing == nullptr || backing->busy) {
-            PageFree(np.value());
-            rescan = true;
+            olk = ObjectLock(first_object->mu);  // Re-establish the invariant.
+            object = first_object;
+            offset = first_offset;
             continue;
           }
-          phys_->CopyFrame(backing->frame, np.value()->frame);
+          phys_->CopyFrame(page->frame, np.value()->frame);
           np.value()->dirty = true;
-          ++stats_.cow_faults;
-          return PageResolution{np.value(), false};
+          counters_.cow_faults.fetch_add(1, std::memory_order_relaxed);
+          PagePin pin = MakePinLocked(top_lk, first_object, np.value(), /*from_backing=*/false);
+          first_object->cv.notify_all();
+          top_lk.unlock();
+          UnpinRaw(backing_owner, page);
+          return pin;
         }
-        return PageResolution{page, true};
+        return MakePinLocked(olk, object, page, /*from_backing=*/true);
       }
 
       // Not resident in `object`.
@@ -214,21 +334,23 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           std::optional<std::vector<std::byte>> data = parking_->Unpark(object->id(), offset);
           object->parked_offsets.erase(parked);
           if (data.has_value()) {
-            Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+            Result<VmPage*> np =
+                PageAllocLocked(object.get(), offset, shortage_rounds >= 100);
             if (!np.ok()) {
+              // Keep the unparked bytes safe either way.
+              object->parked_offsets[offset] = true;
+              parking_->Park(object->id(), offset, std::move(*data));
               if (np.status() == KernReturn::kMemoryPresent) {
-                // A page appeared at this slot while reclaiming; keep the
-                // unparked bytes safe and use the resident copy.
-                object->parked_offsets[offset] = true;
-                parking_->Park(object->id(), offset, std::move(*data));
                 rescan = true;
-                continue;
+              } else {
+                need_frames = true;
               }
-              return np.status();
+              continue;
             }
             VmSize n = std::min<VmSize>(data->size(), page_size());
             phys_->WriteFrame(np.value()->frame, 0, data->data(), n);
             np.value()->dirty = true;  // Never reached its manager.
+            object->cv.notify_all();
             rescan = true;  // Rescan finds it resident.
             continue;
           }
@@ -237,67 +359,80 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
           // Destruction of a memory object by the data manager aborts
           // requests in progress (§6.2.1).
           if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
-            Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+            Result<VmPage*> np =
+                PageAllocLocked(object.get(), offset, shortage_rounds >= 100);
             if (!np.ok()) {
               if (np.status() == KernReturn::kMemoryPresent) {
                 rescan = true;
-                continue;
+              } else {
+                need_frames = true;
               }
-              return np.status();
+              continue;
             }
             phys_->ZeroFrame(np.value()->frame);
-            ++stats_.zero_fill_count;
+            counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
+            object->cv.notify_all();
             rescan = true;
             continue;
           }
           return KernReturn::kMemoryFailure;
         }
         // Cache miss: allocate a placeholder and issue pager_data_request.
-        Result<VmPage*> np = PageAlloc(lock, object.get(), offset);
+        Result<VmPage*> np = PageAllocLocked(object.get(), offset, shortage_rounds >= 100);
         if (!np.ok()) {
           if (np.status() == KernReturn::kMemoryPresent) {
             rescan = true;
-            continue;
+          } else {
+            need_frames = true;
           }
-          return np.status();
+          continue;
         }
         VmPage* placeholder = np.value();
         placeholder->busy = true;
         placeholder->absent = true;
-        KernReturn kr = RequestDataFromPager(lock, object, offset, fault_type);
-        // The lock was dropped during the send: re-find our placeholder.
-        placeholder = PageLookup(object.get(), offset);
-        if (placeholder == nullptr || !placeholder->absent) {
-          rescan = true;  // Filled (or vanished) already.
+        KernReturn kr = RequestDataFromPager(olk, object, offset, fault_type);
+        // The object lock was dropped during the send. We still own the
+        // placeholder (only handlers settle busy+absent pages, and they do
+        // so without freeing), but the object may have died.
+        if (!object->alive) {
+          PageFreeLocked(olk, placeholder);
+          object->cv.notify_all();
+          return KernReturn::kMemoryFailure;
+        }
+        if (!placeholder->absent || placeholder->error || placeholder->unavailable) {
+          rescan = true;  // Data (or a verdict) arrived already.
           continue;
         }
         if (!IsOk(kr)) {
-          PageFree(placeholder);
           if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
-            // Treat an unreachable manager per the timeout policy.
-            Result<VmPage*> zp = PageAlloc(lock, object.get(), offset);
-            if (!zp.ok()) {
-              if (zp.status() == KernReturn::kMemoryPresent) {
-                rescan = true;
-                continue;
-              }
-              return zp.status();
-            }
-            phys_->ZeroFrame(zp.value()->frame);
-            ++stats_.zero_fill_count;
+            // Treat an unreachable manager per the timeout policy: settle
+            // our own placeholder as zero fill in place.
+            phys_->ZeroFrame(placeholder->frame);
+            placeholder->busy = false;
+            placeholder->absent = false;
+            placeholder->dirty = true;  // Not backed by the manager.
+            counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
+            object->cv.notify_all();
             rescan = true;
             continue;
           }
+          PageFreeLocked(olk, placeholder);
+          object->cv.notify_all();
           return KernReturn::kMemoryFailure;
         }
-        // Wait for pager_data_provided / pager_data_unavailable.
+        // Wait for pager_data_provided / pager_data_unavailable. Handlers
+        // never free the placeholder, so the pointer stays valid while the
+        // object lives; the object's death is the one exit we must handle.
         for (;;) {
-          placeholder = PageLookup(object.get(), offset);
-          if (placeholder == nullptr || !placeholder->absent || placeholder->unavailable ||
-              placeholder->error) {
+          if (!object->alive) {
+            PageFreeLocked(olk, placeholder);
+            object->cv.notify_all();
+            return KernReturn::kMemoryFailure;
+          }
+          if (!placeholder->absent || placeholder->unavailable || placeholder->error) {
             break;
           }
-          if (SteadyClock::now() >= deadline) {
+          if (!WaitForPage(olk, object.get(), deadline)) {
             // §6.2.1: a timeout may abort the memory request. Either fail
             // the fault or substitute zero-filled memory.
             if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
@@ -305,103 +440,185 @@ Result<VmSystem::PageResolution> VmSystem::ResolvePage(KernelLock& lock,
               placeholder->busy = false;
               placeholder->absent = false;
               placeholder->dirty = true;  // Not backed by the manager.
-              ++stats_.zero_fill_count;
-              page_cv_.notify_all();
+              counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
+              object->cv.notify_all();
               break;
             }
-            PageFree(placeholder);
-            page_cv_.notify_all();
+            PageFreeLocked(olk, placeholder);
+            object->cv.notify_all();
             return KernReturn::kMemoryFailure;
           }
-          WaitForPage(lock);
+          if (placeholder->absent && !placeholder->unavailable && !placeholder->error) {
+            counters_.spurious_page_wakeups.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         rescan = true;
         continue;
       }
       if (object->shadow != nullptr) {
-        offset += object->shadow_offset;
-        object = object->shadow;
+        // Walk down, hand over hand: take the parent's lock before
+        // releasing the child's so the shadow pointer we followed cannot be
+        // spliced out from under us mid-step.
+        std::shared_ptr<VmObject> parent = object->shadow;
+        VmOffset parent_offset = offset + object->shadow_offset;
+        ObjectLock plk(parent->mu);
+        olk.unlock();
+        object = std::move(parent);
+        offset = parent_offset;
+        olk = std::move(plk);
         ++depth;
-        // Skip pageless intermediates without per-object hash probes: an
-        // object with no resident pages and no pager cannot resolve any
-        // offset itself.
+        // Skip pageless intermediates cheaply: an object with no resident
+        // pages and no pager cannot resolve any offset itself.
         while (object->resident_count == 0 && !object->pager.valid() &&
                object->shadow != nullptr) {
-          offset += object->shadow_offset;
-          object = object->shadow;
+          parent = object->shadow;
+          parent_offset = offset + object->shadow_offset;
+          ObjectLock nlk(parent->mu);
+          olk.unlock();
+          object = std::move(parent);
+          offset = parent_offset;
+          olk = std::move(nlk);
           ++depth;
         }
-        if (depth > stats_.chain_depth_max) {
-          stats_.chain_depth_max = depth;
+        uint64_t prev_max = counters_.chain_depth_max.load(std::memory_order_relaxed);
+        while (depth > prev_max && !counters_.chain_depth_max.compare_exchange_weak(
+                                       prev_max, depth, std::memory_order_relaxed)) {
         }
         continue;
       }
       // Nothing anywhere in the chain: zero-fill in the *top* object so the
       // page is private to this mapping chain.
-      Result<VmPage*> np = PageAlloc(lock, first_object.get(), first_offset);
+      if (object != first_object) {
+        olk.unlock();
+        olk = ObjectLock(first_object->mu);
+        object = first_object;
+        offset = first_offset;
+        if (PageLookup(object.get(), offset) != nullptr) {
+          rescan = true;  // A page appeared while we walked; use it.
+          continue;
+        }
+      }
+      Result<VmPage*> np =
+          PageAllocLocked(first_object.get(), first_offset, shortage_rounds >= 100);
       if (!np.ok()) {
         if (np.status() == KernReturn::kMemoryPresent) {
           rescan = true;
-          continue;
+        } else {
+          need_frames = true;
         }
-        return np.status();
+        continue;
       }
       phys_->ZeroFrame(np.value()->frame);
-      ++stats_.zero_fill_count;
-      return PageResolution{np.value(), false};
+      counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
+      first_object->cv.notify_all();
+      return MakePinLocked(olk, first_object, np.value(), /*from_backing=*/false);
+    }
+    olk.unlock();
+    first_probe = false;
+    if (need_frames) {
+      // Frame shortage below the reserved floor: with every lock dropped,
+      // help reclaim and retry. After enough rounds dip into the reserve
+      // (§6.2.3) so the fault that *frees* memory can always complete.
+      if (++shortage_rounds > 100) {
+        return KernReturn::kResourceShortage;
+      }
+      WaitForFreeFrames();
     }
   }
 }
 
+// --- the fault entry point --------------------------------------------------
+
 KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
   const VmOffset page_addr = TruncPage(addr, page_size());
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
   for (int attempt = 0; attempt < 64; ++attempt) {
-    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, access);
-    if (!re.ok()) {
-      return re.status();
-    }
-    std::shared_ptr<VmObject> object = re.value().holder->object;
-    const VmOffset object_offset = TruncPage(re.value().object_offset, page_size());
+    // Phase 1: resolve the map entry under the map lock(s), shared mode.
+    std::shared_ptr<VmObject> object;
+    VmOffset object_offset;
+    {
+      std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
+      Result<EntryRef> re = LookupEntry(task, page_addr, access);
+      if (!re.ok()) {
+        return re.status();
+      }
+      if (re.value().needs_prepare) {
+        re.value().share_lock = {};
+        map_lock.unlock();
+        KernReturn kr = PrepareEntry(task, page_addr, access);
+        if (!IsOk(kr)) {
+          return kr;
+        }
+        continue;  // Re-resolve with the entry prepared.
+      }
+      object = re.value().holder->object;
+      object_offset = TruncPage(re.value().object_offset, page_size());
 
-    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, access);
+      // Fast path: a settled page resident in the entry's own object can be
+      // installed in this same critical section — map shared → object →
+      // queues → pmap is the documented order, and the object lock keeps
+      // the page stable across the pmap update, so no pin and no second
+      // map lookup are needed. Anything unsettled (busy, absent, locked
+      // against this access, COW pending on a write) falls through to the
+      // general three-phase path.
+      {
+        ObjectLock olk(object->mu);
+        VmPage* page = PageLookup(object.get(), object_offset);
+        if (page != nullptr && !page->busy && !page->absent && !page->unavailable &&
+            !page->error) {
+          VmProt prot = re.value().top->protection;
+          if (re.value().holder->needs_copy) {
+            prot &= ~kVmProtWrite;
+          }
+          prot &= ~page->page_lock;
+          if ((access & ~prot) == 0) {
+            task.pmap->Enter(page_addr, page->frame, prot);
+            PageActivate(page);
+            counters_.fast_faults.fetch_add(1, std::memory_order_relaxed);
+            counters_.faults.fetch_add(1, std::memory_order_relaxed);
+            return KernReturn::kSuccess;
+          }
+        }
+      }
+    }
+
+    // Phase 2: find/create the page; returns it pinned, no locks held.
+    Result<PagePin> rp = ResolvePage(object, object_offset, access);
     if (!rp.ok()) {
       return rp.status();
     }
-    // The lock may have been dropped inside ResolvePage; re-validate that
-    // the map still leads to the same object before installing hardware
-    // state (Mach used map timestamps for the same purpose).
-    Result<ResolvedEntry> re2 = ResolveEntry(task, page_addr, access);
-    if (!re2.ok()) {
-      return re2.status();
+    PagePin pin = std::move(rp.value());
+
+    // Phase 3: revalidate that the map still leads to the same object and
+    // install the translation under the map shared lock. The pin keeps the
+    // page alive; holding the map lock keeps the entry's protection and
+    // needs_copy stable against concurrent Protect/CopyIn/ForkMap (which
+    // all take it exclusively), closing the classic COW install race.
+    bool installed = false;
+    {
+      std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
+      Result<EntryRef> re = LookupEntry(task, page_addr, access);
+      if (re.ok() && !re.value().needs_prepare && re.value().holder->object == object &&
+          TruncPage(re.value().object_offset, page_size()) == object_offset) {
+        VmProt prot = re.value().top->protection;
+        if (pin.from_backing || re.value().holder->needs_copy) {
+          prot &= ~kVmProtWrite;  // Copy still pending.
+        }
+        prot &= ~pin.page_lock;
+        if ((access & ~prot) == 0) {
+          task.pmap->Enter(page_addr, pin.page->frame, prot);
+          installed = true;
+        }
+      }
     }
-    if (re2.value().holder->object != object ||
-        TruncPage(re2.value().object_offset, page_size()) != object_offset) {
-      continue;  // The world changed; redo the fault.
+    PageActivate(pin.page);
+    UnpinPage(pin);
+    if (!installed) {
+      continue;  // The world changed under us; redo the fault.
     }
-    VmPage* page = rp.value().page;
-    VmProt prot = re2.value().top->protection;
-    if (rp.value().from_backing || re2.value().holder->needs_copy) {
-      prot &= ~kVmProtWrite;  // Copy still pending.
-    }
-    prot &= ~page->page_lock;
-    if ((access & ~prot) != 0) {
-      continue;  // e.g. a new manager lock raced in; redo.
-    }
-    task.pmap->Enter(page_addr, page->frame, prot);
-    PageActivate(page);
-    ++stats_.faults;
-    // Opportunistic collapse, gated on checks that are O(1) per fault: a
-    // shadow whose sole remaining reference is our pointer (a dying fork
-    // chain), or a top object that now covers every one of its own pages
-    // (the last pending copy-on-write just completed).
-    if (object->shadow != nullptr &&
-        (object->shadow->map_refs == 1 ||
-         (!object->pager.valid() &&
-          uint64_t{object->resident_count} * page_size() >= object->size()))) {
-      TryCollapse(lock, object);
-    }
+    counters_.faults.fetch_add(1, std::memory_order_relaxed);
+    // Opportunistic collapse: cheap unlocked precondition checks inside.
+    MaybeCollapse(object);
     return KernReturn::kSuccess;
   }
   return KernReturn::kFailure;
@@ -437,6 +654,8 @@ KernReturn VmSystem::UserAccess(TaskVm& task, VmOffset addr, void* buf, VmSize l
   return KernReturn::kSuccess;
 }
 
+// --- kernel-mediated access -------------------------------------------------
+
 KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize len) {
   // vm_read: kernel-mediated, faults pages in via the object layer without
   // touching the task's pmap.
@@ -445,19 +664,33 @@ KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize l
   while (len > 0) {
     VmOffset page_addr = TruncPage(addr, ps);
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
-    KernelLock lock(mu_);
-    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, kVmProtRead);
-    if (!re.ok()) {
-      return re.status();
+    std::shared_ptr<VmObject> object;
+    VmOffset object_offset;
+    {
+      std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
+      Result<EntryRef> re = LookupEntry(task, page_addr, kVmProtRead);
+      if (!re.ok()) {
+        return re.status();
+      }
+      if (re.value().needs_prepare) {
+        re.value().share_lock = {};
+        map_lock.unlock();
+        KernReturn kr = PrepareEntry(task, page_addr, kVmProtRead);
+        if (!IsOk(kr)) {
+          return kr;
+        }
+        continue;  // Retry this chunk.
+      }
+      object = re.value().holder->object;
+      object_offset = TruncPage(re.value().object_offset, ps);
     }
-    std::shared_ptr<VmObject> object = re.value().holder->object;
-    VmOffset object_offset = TruncPage(re.value().object_offset, ps);
-    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, kVmProtRead);
+    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtRead);
     if (!rp.ok()) {
       return rp.status();
     }
     phys_->ReadFrame(rp.value().page->frame, addr - page_addr, out, chunk);
     PageActivate(rp.value().page);
+    UnpinPage(rp.value());
     addr += chunk;
     out += chunk;
     len -= chunk;
@@ -471,36 +704,62 @@ KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, V
   while (len > 0) {
     VmOffset page_addr = TruncPage(addr, ps);
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
-    KernelLock lock(mu_);
-    Result<ResolvedEntry> re = ResolveEntry(task, page_addr, kVmProtWrite);
-    if (!re.ok()) {
-      return re.status();
+    std::shared_ptr<VmObject> object;
+    VmOffset object_offset;
+    {
+      std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
+      Result<EntryRef> re = LookupEntry(task, page_addr, kVmProtWrite);
+      if (!re.ok()) {
+        return re.status();
+      }
+      if (re.value().needs_prepare) {
+        re.value().share_lock = {};
+        map_lock.unlock();
+        KernReturn kr = PrepareEntry(task, page_addr, kVmProtWrite);
+        if (!IsOk(kr)) {
+          return kr;
+        }
+        continue;  // Retry this chunk.
+      }
+      object = re.value().holder->object;
+      object_offset = TruncPage(re.value().object_offset, ps);
     }
-    std::shared_ptr<VmObject> object = re.value().holder->object;
-    VmOffset object_offset = TruncPage(re.value().object_offset, ps);
-    Result<PageResolution> rp = ResolvePage(lock, object, object_offset, kVmProtWrite);
+    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtWrite);
     if (!rp.ok()) {
       return rp.status();
     }
-    VmPage* page = rp.value().page;
-    if ((kVmProtWrite & page->page_lock) != 0 && object->pager.valid()) {
-      // Honour manager locks on the kernel write path too.
-      KernReturn kr = RequestUnlockFromPager(lock, object, page, kVmProtWrite);
-      if (!IsOk(kr)) {
-        return KernReturn::kMemoryFailure;
+    PagePin pin = std::move(rp.value());
+    bool retry = false;
+    {
+      ObjectLock olk(pin.owner->mu);
+      if ((kVmProtWrite & pin.page->page_lock) != 0 && pin.owner->pager.valid()) {
+        // Honour manager locks on the kernel write path too.
+        KernReturn kr = RequestUnlockFromPager(olk, pin.owner, pin.page, kVmProtWrite);
+        if (!IsOk(kr)) {
+          olk.unlock();
+          UnpinPage(pin);
+          return KernReturn::kMemoryFailure;
+        }
+        retry = true;  // Retry this chunk; ResolvePage waits out the unlock.
+      } else {
+        phys_->WriteFrame(pin.page->frame, addr - page_addr, in, chunk);
+        pin.page->dirty = true;
       }
-      WaitForPage(lock);
-      continue;  // Retry this chunk.
     }
-    phys_->WriteFrame(page->frame, addr - page_addr, in, chunk);
-    page->dirty = true;
-    PageActivate(page);
+    if (retry) {
+      UnpinPage(pin);
+      continue;
+    }
+    PageActivate(pin.page);
+    UnpinPage(pin);
     addr += chunk;
     in += chunk;
     len -= chunk;
   }
   return KernReturn::kSuccess;
 }
+
+// --- vm_copy and flat-byte conversion ---------------------------------------
 
 KernReturn VmSystem::Copy(TaskVm& task, VmOffset src, VmSize size, VmOffset dst) {
   if (size == 0 || src % page_size() != 0 || dst % page_size() != 0 ||
@@ -511,15 +770,18 @@ KernReturn VmSystem::Copy(TaskVm& task, VmOffset src, VmSize size, VmOffset dst)
   if (!copy.ok()) {
     return copy.status();
   }
-  KernelLock lock(mu_);
+  std::unique_lock<std::shared_mutex> map_lock(task.map->lock());
   // vm_copy overwrites an existing destination region.
   if (!task.map->RangeFullyCovered(dst, size)) {
     return KernReturn::kInvalidAddress;
   }
   std::vector<MapEntry> removed = task.map->RemoveRange(dst, dst + size);
-  for (MapEntry& entry : removed) {
-    task.pmap->Remove(entry.start, entry.end);
-    ReleaseEntry(lock, std::move(entry));
+  {
+    ChainLock chain(chain_mu_);
+    for (MapEntry& entry : removed) {
+      task.pmap->Remove(entry.start, entry.end);
+      ReleaseEntry(chain, std::move(entry));
+    }
   }
   VmOffset cursor = dst;
   for (VmMapCopy::Segment& seg : copy.value()->segments()) {
@@ -544,13 +806,21 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyFromBytes(const void* data, VmS
   }
   const VmSize ps = page_size();
   const VmSize rounded = RoundPage(size, ps);
-  KernelLock lock(mu_);
   std::shared_ptr<VmObject> object = CreateInternalObject(rounded);
   const auto* in = static_cast<const std::byte*>(data);
+  ObjectLock olk(object->mu);
   for (VmOffset off = 0; off < rounded; off += ps) {
-    Result<VmPage*> np = PageAlloc(lock, object.get(), off);
+    Result<VmPage*> np = PageAllocLocked(object.get(), off, /*allow_reserve=*/false);
+    int rounds = 0;
+    while (!np.ok() && np.status() == KernReturn::kResourceShortage && ++rounds <= 100) {
+      {
+        ScopedUnlock unlock(olk);
+        WaitForFreeFrames();
+      }
+      np = PageAllocLocked(object.get(), off, rounds >= 100);
+    }
     if (!np.ok()) {
-      object->pages.ForEach([&](VmPage* page) { PageFree(page); });
+      object->pages.ForEach([&](VmPage* page) { PageFreeLocked(olk, page); });
       return np.status();
     }
     VmSize n = off < size ? std::min<VmSize>(ps, size - off) : 0;
@@ -563,6 +833,7 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyFromBytes(const void* data, VmS
     np.value()->dirty = true;  // No backing store yet.
     PageActivate(np.value());
   }
+  olk.unlock();
   auto copy = std::make_shared<VmMapCopy>(this, rounded);
   VmMapCopy::Segment seg;
   seg.object = object;
@@ -579,20 +850,20 @@ Result<std::vector<std::byte>> VmSystem::CopyAsBytes(const std::shared_ptr<VmMap
   }
   std::vector<std::byte> out(copy->size());
   VmSize cursor = 0;
-  KernelLock lock(mu_);
   for (const VmMapCopy::Segment& seg : copy->segments()) {
     if (seg.object == nullptr) {
       cursor += seg.size;  // Zero region; `out` is zero-initialised.
       continue;
     }
     for (VmOffset off = 0; off < seg.size; off += page_size()) {
-      Result<PageResolution> rp =
-          ResolvePage(lock, seg.object, TruncPage(seg.offset + off, page_size()), kVmProtRead);
+      Result<PagePin> rp =
+          ResolvePage(seg.object, TruncPage(seg.offset + off, page_size()), kVmProtRead);
       if (!rp.ok()) {
         return rp.status();
       }
       VmSize n = std::min<VmSize>(page_size(), seg.size - off);
       phys_->ReadFrame(rp.value().page->frame, 0, out.data() + cursor + off, n);
+      UnpinPage(rp.value());
     }
     cursor += seg.size;
   }

@@ -11,14 +11,26 @@
 // paper's "number of address map references to the object"); when it drops
 // to zero the object is terminated or cached per can_persist (§3.4.1).
 //
-// All mutable fields are protected by the owning VmSystem's kernel lock.
+// Locking: each object carries its own mutex `mu` guarding its page list,
+// page state, pager ports and paged/parked metadata, plus a condition
+// variable `cv` for the §5 busy/wanted page protocol. Chain *structure*
+// (`shadow`, `shadow_offset`, `shadow_children`) and lifecycle state
+// (`alive`, `cached`, `can_persist`, registry membership) are guarded by the
+// VmSystem chain lock; `shadow`/`shadow_offset` writes additionally hold the
+// object's own mu so a fault walking the chain under object locks reads a
+// stable value. `map_refs` is atomic (decrements to a possibly-terminal
+// count happen under the chain lock). Object locks are taken child before
+// shadow parent; see the lock-order comment in vm_system.h.
 
 #ifndef SRC_VM_VM_OBJECT_H_
 #define SRC_VM_VM_OBJECT_H_
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -42,6 +54,16 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
 
   VmSize size() const { return size_; }
   void set_size(VmSize size) { size_ = size; }
+
+  // The object lock: guards the page list, every resident page's state, the
+  // pager ports, and the paged/parked offset metadata. Innermost of the
+  // object tier (only hash-shard, queue, pmap/frame and port locks nest
+  // inside it).
+  mutable std::mutex mu;
+
+  // The wanted-page condition (§5 busy/wanted protocol): waiters for a busy
+  // page of this object block here; every page state transition notifies it.
+  std::condition_variable cv;
 
   // The memory object port (send right held by the kernel). Null for
   // internal objects that have not yet been handed to the default pager.
@@ -92,8 +114,11 @@ class VmObject : public std::enable_shared_from_this<VmObject> {
   // Maps offset -> true. Cleared when the data is re-fetched.
   std::unordered_map<VmOffset, bool> parked_offsets;
 
-  // Number of address-map (and map-copy) references.
-  uint32_t map_refs = 0;
+  // Number of address-map (and map-copy) references. Atomic so references
+  // can be taken without a lock; decrements (which may reach the terminal
+  // count) happen under the VmSystem chain lock so termination and collapse
+  // decisions are serialised.
+  std::atomic<uint32_t> map_refs{0};
 
   // Resident pages of this object.
   ObjectPageList pages;

@@ -7,8 +7,12 @@
 // and are findable through the virtual-to-physical hash table (§5.3),
 // keyed by (object, offset).
 //
-// All fields are protected by the owning VmSystem's kernel lock, except the
-// frame contents and hardware bits which live in hw::PhysicalMemory.
+// Locking: a page's state fields (busy/absent/error/..., page_lock, dirty,
+// identity and pin_count) are protected by the *owning VmObject's* lock; the
+// queue membership fields (`queue`, queue_link, and the identity fields while
+// a PageRename is in flight) are additionally protected by the VmSystem page-
+// queue lock. Frame contents and hardware bits live in hw::PhysicalMemory
+// under per-frame locks. See the lock-order comment in vm_system.h.
 
 #ifndef SRC_VM_VM_PAGE_H_
 #define SRC_VM_VM_PAGE_H_
@@ -32,7 +36,8 @@ struct VmPage {
 
   // Page state (§5.3 and Mach's vm_page):
   bool busy = false;    // In transit (pagein/pageout); waiters block on the
-                        // kernel page condition variable.
+                        // owning object's condition variable. Only the
+                        // thread that set busy may clear or free the page.
   bool absent = false;  // Data has been requested but has not arrived.
   bool error = false;   // The data manager reported failure for this page.
   bool unavailable = false;  // pager_data_unavailable arrived: the faulting
@@ -46,6 +51,14 @@ struct VmPage {
   // Access *prohibited* by the data manager (pager_data_lock /
   // the lock_value of pager_data_provided). kVmProtNone = unrestricted.
   VmProt page_lock = kVmProtNone;
+
+  // Short-term reference count taken by a fault while it installs the frame
+  // into a pmap after dropping the object lock (distinct from `busy`, which
+  // marks a page whose *data* is in transit). A pinned page may not be
+  // freed, renamed by collapse, or selected by pageout; if the object dies
+  // while pins are outstanding the page is orphaned and the last unpinner
+  // frees it.
+  uint16_t pin_count = 0;
 
   enum class Queue : uint8_t { kNone, kActive, kInactive };
   Queue queue = Queue::kNone;
@@ -90,6 +103,12 @@ struct VmStatistics {
                                   // injected suppression).
   uint64_t chain_depth_max = 0;   // Deepest shadow chain any fault walked.
   uint64_t fast_faults = 0;       // ResolvePage top-object fast-path hits.
+  uint64_t spurious_page_wakeups = 0;  // Page-wait wakeups that found the
+                                       // awaited page still in transit.
+  uint64_t collapse_denied_scan_cap = 0;  // Collapse bypasses declined only
+                                          // because the coverage metadata
+                                          // exceeded Config::collapse_scan_cap
+                                          // (also counted in collapse_denied).
 };
 
 }  // namespace mach

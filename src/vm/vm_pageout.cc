@@ -8,6 +8,13 @@
 // cannot accept its dirty data promptly has the data *parked* with the
 // trusted default pager instead (§6.2.2), so an errant manager can never
 // wedge the kernel's memory pool.
+//
+// Locking: the scan runs under queue_mu_ and must take object locks in the
+// reverse of the documented order, so it only ever try_locks an object —
+// contended pages rotate to the queue tail and the scan moves on. A chosen
+// victim is unqueued, queue_mu_ is dropped, and the pageout itself runs
+// under the object lock alone. Manager handlers run under the owning
+// object's lock and finish with a targeted cv broadcast.
 
 #include <cassert>
 #include <cstring>
@@ -19,7 +26,7 @@
 namespace mach {
 
 void VmSystem::StartPageoutDaemon() {
-  KernelLock lock(mu_);
+  std::lock_guard<std::mutex> lk(pageout_mu_);
   if (pageout_running_) {
     return;
   }
@@ -30,7 +37,7 @@ void VmSystem::StartPageoutDaemon() {
 
 void VmSystem::StopPageoutDaemon() {
   {
-    KernelLock lock(mu_);
+    std::lock_guard<std::mutex> lk(pageout_mu_);
     if (!pageout_running_) {
       return;
     }
@@ -38,71 +45,103 @@ void VmSystem::StopPageoutDaemon() {
     pageout_wake_.notify_all();
   }
   pageout_thread_.join();
-  KernelLock lock(mu_);
+  std::lock_guard<std::mutex> lk(pageout_mu_);
   pageout_running_ = false;
 }
 
 void VmSystem::PageoutDaemonMain() {
-  KernelLock lock(mu_);
+  std::unique_lock<std::mutex> lk(pageout_mu_);
   while (!shutting_down_) {
-    pageout_wake_.wait_for(lock, config_.pageout_interval);
+    pageout_wake_.wait_for(lk, config_.pageout_interval);
     if (shutting_down_) {
       break;
     }
-    DrainDeferredReleases(lock);
-    // Age pages: keep roughly a third of the in-use pool on the inactive
-    // queue so reference information accumulates.
-    uint32_t inactive_target = (active_count_ + inactive_count_) / 3;
-    while (inactive_count_ < inactive_target && !active_queue_.empty()) {
-      PageDeactivate(active_queue_.Front());
+    lk.unlock();
+    MaybeDrainDeferred();
+    {
+      // Age pages: keep roughly a third of the in-use pool on the inactive
+      // queue so reference information accumulates.
+      std::lock_guard<std::mutex> qlk(queue_mu_);
+      uint32_t inactive_target = (active_count_ + inactive_count_) / 3;
+      while (inactive_count_ < inactive_target && !active_queue_.empty()) {
+        PageDeactivateLocked(active_queue_.Front());
+      }
     }
     // Replenish free memory.
     uint32_t free = phys_->free_frames();
     if (free < free_target_) {
-      Reclaim(lock, free_target_ - free);
-      free_cv_.notify_all();
+      ReclaimPass(free_target_ - free);
     }
+    lk.lock();
   }
 }
 
-uint32_t VmSystem::Reclaim(KernelLock& lock, uint32_t want) {
+uint32_t VmSystem::ReclaimPass(uint32_t want) {
   uint32_t freed = 0;
-  // Bounded scan: each iteration either frees, reactivates, or deactivates
-  // a page; give every resident page at most one look.
+  std::unique_lock<std::mutex> qlk(queue_mu_);
+  // Bounded scan: each iteration either frees, reactivates, rotates or
+  // deactivates a page; give every resident page at most one look.
   uint32_t guard = active_count_ + inactive_count_ + 8;
   while (freed < want && guard-- > 0) {
     if (inactive_queue_.empty()) {
       if (active_queue_.empty()) {
         break;
       }
-      PageDeactivate(active_queue_.Front());
+      PageDeactivateLocked(active_queue_.Front());
       continue;
     }
     VmPage* page = inactive_queue_.Front();
+    // Identity is stable while queue_mu_ is held (PageRename flips it under
+    // queue_mu_), but the object lock order is the reverse of ours: try
+    // only, and rotate contended pages to the tail.
+    VmObject* owner = page->object;
+    if (!owner->mu.try_lock()) {
+      inactive_queue_.Remove(page);
+      inactive_queue_.PushBack(page);
+      continue;
+    }
+    ObjectLock olk(owner->mu, std::adopt_lock);
+    // A queued page's owner is always alive (termination unqueues), so a
+    // strong reference is safe to take here and keeps the object across the
+    // pageout I/O below.
+    std::shared_ptr<VmObject> object = owner->shared_from_this();
     if (page->busy) {
-      // Should not happen (busy pages are unqueued), but be safe.
-      PageRemoveFromQueue(page);
+      // Busy pages are normally unqueued by their owner; be safe.
+      PageRemoveFromQueueLocked(page);
+      continue;
+    }
+    if (page->pin_count > 0) {
+      // A fault is installing this frame right now; clearly not idle.
+      inactive_queue_.Remove(page);
+      inactive_queue_.PushBack(page);
       continue;
     }
     if (phys_->IsReferenced(page->frame)) {
       // Second chance: touched while inactive.
       phys_->ClearReference(page->frame);
-      PageActivate(page);
-      ++stats_.reactivations;
+      PageActivateLocked(page);
+      counters_.reactivations.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    PageRemoveFromQueue(page);
-    if (PageoutPage(lock, page)) {
+    PageRemoveFromQueueLocked(page);
+    qlk.unlock();
+    if (PageoutPageLocked(olk, object, page)) {
       ++freed;
     }
+    olk.unlock();
+    qlk.lock();
   }
+  qlk.unlock();
   if (freed > 0) {
     free_cv_.notify_all();
   }
   return freed;
 }
 
-bool VmSystem::EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
+bool VmSystem::EnsureInternalPager(ChainLock& chain, ObjectLock& olk,
+                                   const std::shared_ptr<VmObject>& object) {
+  (void)chain;
+  (void)olk;
   if (object->pager.valid()) {
     return true;
   }
@@ -143,26 +182,59 @@ bool VmSystem::EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObj
   return true;
 }
 
-bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
-  VmObject* object = page->object;
-  // Invalidate all hardware mappings first, then sample the modify bit: no
-  // access can slip in after the sample.
-  Pmap::PageProtect(phys_, page->frame, kVmProtNone);
-  bool dirty = page->dirty || phys_->IsModified(page->frame);
-  if (!dirty) {
-    // Clean data: the manager (or a zero fill) can reproduce it.
-    PageFree(page);
-    return true;
-  }
-  // Dirty: the data must reach backing storage (pager_data_write).
-  if (!object->pager.valid()) {
+bool VmSystem::PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
+                                 VmPage* page) {
+  for (;;) {
+    // Invalidate all hardware mappings first, then sample the modify bit:
+    // no access can slip in after the sample. (The loop re-runs this after
+    // any window where the object lock was dropped.)
+    Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+    bool dirty = page->dirty || phys_->IsModified(page->frame);
+    if (!dirty) {
+      // Clean data: the manager (or a zero fill) can reproduce it.
+      PageFreeLocked(olk, page);
+      return true;
+    }
+    if (object->pager.valid()) {
+      break;
+    }
     // Kernel-created object touched for the first time: hand it to the
-    // default pager via pager_create.
-    if (!EnsureInternalPager(lock, object->shared_from_this())) {
+    // default pager via pager_create. That needs chain_mu_, which sits
+    // *above* the object lock — pin the victim, drop the object lock, take
+    // the chain lock, relock, revalidate.
+    ++page->pin_count;
+    olk.unlock();
+    bool have_pager;
+    {
+      ChainLock chain(chain_mu_);
+      olk.lock();
+      have_pager = object->alive && EnsureInternalPager(chain, olk, object);
+    }
+    --page->pin_count;
+    if (!object->alive) {
+      // Terminated while unlocked; the page was orphaned for us to free.
+      if (page->pin_count == 0 && !page->busy) {
+        PageFreeLocked(olk, page);
+        object->cv.notify_all();
+        return true;
+      }
+      object->cv.notify_all();
+      return false;
+    }
+    if (page->busy || page->pin_count > 0) {
+      // A fault claimed the page during the gap: no longer a victim.
+      PageActivate(page);
+      object->cv.notify_all();
+      return false;
+    }
+    if (!have_pager) {
       PageActivate(page);  // Try again later.
       return false;
     }
+    // A mapping may have been re-established during the gap; loop to
+    // re-protect and resample so no modification is lost.
   }
+  // Dirty: the data must reach backing storage (pager_data_write).
   std::vector<std::byte> data(page_size());
   phys_->ReadFrame(page->frame, 0, data.data(), page_size());
   PagerDataWriteArgs args;
@@ -170,11 +242,11 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
   args.data = data;  // Copy: we may still need it for the parking fallback.
   KernReturn kr = MsgSend(object->pager, EncodePagerDataWrite(args), kPoll);
   if (IsOk(kr)) {
-    ++stats_.pageouts;
+    counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
     // The pager now holds this offset: chain collapse must account for it
     // even though no page is resident.
     object->paged_offsets.insert(page->offset);
-    PageFree(page);
+    PageFreeLocked(olk, page);
     return true;
   }
   // The manager did not accept the data (queue full / port dead).
@@ -182,8 +254,8 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
     // §6.2.2: divert to the default pager so pageout is never starved.
     parking_->Park(object->id(), page->offset, std::move(data));
     object->parked_offsets[page->offset] = true;
-    ++stats_.parked_pageouts;
-    PageFree(page);
+    counters_.parked_pageouts.fetch_add(1, std::memory_order_relaxed);
+    PageFreeLocked(olk, page);
     return true;
   }
   // Unprotected mode (ablation): give up on this page for now.
@@ -194,7 +266,6 @@ bool VmSystem::PageoutPage(KernelLock& lock, VmPage* page) {
 // --- data manager -> kernel calls (Table 3-6) -------------------------------
 
 void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
-  KernelLock lock(mu_);
   if (msg.id() == kMsgIdPortDeath) {
     // Death notification for a watched memory-object port. Only the
     // kernel's dedicated notify port is trusted: a kMsgIdPortDeath landing
@@ -208,9 +279,10 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
     // The payload is the dead port's id.
     Result<uint64_t> dead_id = msg.TakeU64();
     if (dead_id.ok()) {
+      ChainLock chain(chain_mu_);
       auto dead_it = objects_by_pager_.find(dead_id.value());
       if (dead_it != objects_by_pager_.end()) {
-        HandlePagerDeath(lock, dead_it->second);
+        HandlePagerDeath(chain, dead_it->second);
       }
     }
     return;
@@ -225,17 +297,21 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
     }
     return;
   }
-  auto it = objects_by_request_.find(request_port_id);
-  if (it == objects_by_request_.end()) {
-    MACH_LOG(kDebug) << "pager message for unknown request port " << request_port_id;
-    return;
+  std::shared_ptr<VmObject> object;
+  {
+    ChainLock chain(chain_mu_);
+    auto it = objects_by_request_.find(request_port_id);
+    if (it == objects_by_request_.end()) {
+      MACH_LOG(kDebug) << "pager message for unknown request port " << request_port_id;
+      return;
+    }
+    object = it->second;
   }
-  std::shared_ptr<VmObject> object = it->second;
   switch (msg.id()) {
     case kMsgPagerDataProvided: {
       Result<PagerDataProvidedArgs> args = DecodePagerDataProvided(msg);
       if (args.ok()) {
-        HandleDataProvided(lock, object, args.value().offset, args.value().data,
+        HandleDataProvided(object, args.value().offset, args.value().data,
                            args.value().lock_value);
       }
       break;
@@ -243,14 +319,14 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
     case kMsgPagerDataUnavailable: {
       Result<PagerDataUnavailableArgs> args = DecodePagerDataUnavailable(msg);
       if (args.ok()) {
-        HandleDataUnavailable(lock, object, args.value().offset, args.value().size);
+        HandleDataUnavailable(object, args.value().offset, args.value().size);
       }
       break;
     }
     case kMsgPagerDataLock: {
       Result<PagerDataLockArgs> args = DecodePagerDataLock(msg);
       if (args.ok()) {
-        HandleDataLock(lock, object, args.value().offset, args.value().length,
+        HandleDataLock(object, args.value().offset, args.value().length,
                        args.value().lock_value);
       }
       break;
@@ -258,21 +334,21 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
     case kMsgPagerFlushRequest: {
       Result<PagerRangeArgs> args = DecodePagerFlushRequest(msg);
       if (args.ok()) {
-        HandleFlush(lock, object, args.value().offset, args.value().length);
+        HandleFlush(object, args.value().offset, args.value().length);
       }
       break;
     }
     case kMsgPagerCleanRequest: {
       Result<PagerRangeArgs> args = DecodePagerCleanRequest(msg);
       if (args.ok()) {
-        HandleClean(lock, object, args.value().offset, args.value().length);
+        HandleClean(object, args.value().offset, args.value().length);
       }
       break;
     }
     case kMsgPagerCache: {
       Result<PagerCacheArgs> args = DecodePagerCache(msg);
       if (args.ok()) {
-        HandleCache(lock, object, args.value().may_cache);
+        HandleCache(object, args.value().may_cache);
       }
       break;
     }
@@ -282,12 +358,15 @@ void VmSystem::HandlePagerMessage(uint64_t request_port_id, Message&& msg) {
   }
 }
 
-void VmSystem::HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                                  VmOffset offset, const std::vector<std::byte>& data,
-                                  VmProt lock_value) {
+void VmSystem::HandleDataProvided(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                                  const std::vector<std::byte>& data, VmProt lock_value) {
   const VmSize ps = page_size();
   if (offset % ps != 0) {
     return;  // Alignment violation: discard.
+  }
+  ObjectLock olk(object->mu);
+  if (!object->alive) {
+    return;
   }
   // Only integral multiples of the page size are accepted; a trailing
   // partial page is discarded (§3.4.1).
@@ -306,7 +385,7 @@ void VmSystem::HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObje
         page->unavailable = false;
         page->dirty = false;
         PageActivate(page);
-        ++stats_.pageins;
+        counters_.pageins.fetch_add(1, std::memory_order_relaxed);
       }
       // Already-resident data: duplicate provision is ignored.
       continue;
@@ -317,7 +396,7 @@ void VmSystem::HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObje
     if (phys_->free_frames() <= free_target_) {
       continue;
     }
-    Result<VmPage*> np = PageAlloc(lock, object.get(), off);
+    Result<VmPage*> np = PageAllocLocked(object.get(), off, /*allow_reserve=*/false);
     if (!np.ok()) {
       continue;
     }
@@ -326,14 +405,18 @@ void VmSystem::HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObje
     phys_->ClearReference(np.value()->frame);
     np.value()->page_lock = lock_value;
     PageActivate(np.value());
-    ++stats_.pageins;
+    counters_.pageins.fetch_add(1, std::memory_order_relaxed);
   }
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
-void VmSystem::HandleDataUnavailable(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                                     VmOffset offset, VmSize size) {
+void VmSystem::HandleDataUnavailable(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                                     VmSize size) {
   const VmSize ps = page_size();
+  ObjectLock olk(object->mu);
+  if (!object->alive) {
+    return;
+  }
   for (VmOffset off = TruncPage(offset, ps); off < offset + size; off += ps) {
     VmPage* page = PageLookup(object.get(), off);
     if (page != nullptr && page->busy && page->absent) {
@@ -343,12 +426,16 @@ void VmSystem::HandleDataUnavailable(KernelLock& lock, const std::shared_ptr<VmO
       page->busy = false;
     }
   }
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
-void VmSystem::HandleDataLock(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                              VmOffset offset, VmSize length, VmProt lock_value) {
+void VmSystem::HandleDataLock(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                              VmSize length, VmProt lock_value) {
   const VmSize ps = page_size();
+  ObjectLock olk(object->mu);
+  if (!object->alive) {
+    return;
+  }
   for (VmOffset off = TruncPage(offset, ps); off < offset + length; off += ps) {
     VmPage* page = PageLookup(object.get(), off);
     if (page == nullptr) {
@@ -356,21 +443,25 @@ void VmSystem::HandleDataLock(KernelLock& lock, const std::shared_ptr<VmObject>&
     }
     page->page_lock = lock_value;
     page->unlock_pending = false;
-    if (!page->busy) {
-      // Lower existing hardware mappings to the newly permitted access.
-      Pmap::PageProtect(phys_, page->frame, kVmProtAll & ~lock_value);
-    }
+    // Lower existing hardware mappings to the newly permitted access. (A
+    // busy placeholder has no mappings, so this is a no-op for it; pinned
+    // pages are re-clamped at unpin if the lock changed under them.)
+    Pmap::PageProtect(phys_, page->frame, kVmProtAll & ~lock_value);
   }
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
-void VmSystem::HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                           VmOffset offset, VmSize length) {
+void VmSystem::HandleFlush(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                           VmSize length) {
   const VmSize ps = page_size();
+  ObjectLock olk(object->mu);
+  if (!object->alive) {
+    return;
+  }
   std::vector<VmPage*> victims;
   for (VmPage* page : object->pages) {
     if (page->offset >= TruncPage(offset, ps) && page->offset < offset + length &&
-        !page->busy) {
+        !page->busy && page->pin_count == 0) {
       victims.push_back(page);
     }
   }
@@ -384,25 +475,29 @@ void VmSystem::HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       args.data.resize(ps);
       phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
       if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
-        ++stats_.pageouts;
+        counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
         object->paged_offsets.insert(page->offset);
       } else if (config_.errant_manager_protection && parking_ != nullptr) {
         parking_->Park(object->id(), page->offset, std::move(args.data));
         object->parked_offsets[page->offset] = true;
-        ++stats_.parked_pageouts;
+        counters_.parked_pageouts.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    PageFree(page);
+    PageFreeLocked(olk, page);
   }
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
-void VmSystem::HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                           VmOffset offset, VmSize length) {
+void VmSystem::HandleClean(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                           VmSize length) {
   const VmSize ps = page_size();
+  ObjectLock olk(object->mu);
+  if (!object->alive) {
+    return;
+  }
   for (VmPage* page : object->pages) {
     if (page->offset < TruncPage(offset, ps) || page->offset >= offset + length ||
-        page->busy) {
+        page->busy || page->pin_count > 0) {
       continue;
     }
     // Write-protect before sampling so no modification slips past the copy.
@@ -418,33 +513,37 @@ void VmSystem::HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& ob
     if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
       page->dirty = false;
       phys_->ClearModify(page->frame);
-      ++stats_.pageouts;
+      counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
       object->paged_offsets.insert(page->offset);
     }
     // On failure the page simply stays dirty; pageout retries later.
   }
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
-void VmSystem::HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                           bool may_cache) {
+void VmSystem::HandleCache(const std::shared_ptr<VmObject>& object, bool may_cache) {
+  ChainLock chain(chain_mu_);
   object->can_persist = may_cache;
   if (!may_cache && object->cached) {
     // Permission rescinded after the object went idle: terminate now.
-    TerminateObject(lock, object);
+    TerminateObject(chain, object);
   }
 }
 
-void VmSystem::HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> object) {
+void VmSystem::HandlePagerDeath(ChainLock& chain, std::shared_ptr<VmObject> object) {
+  (void)chain;
+  ObjectLock olk(object->mu);
   if (!object->alive) {
     return;
   }
-  ++stats_.manager_deaths;
+  counters_.manager_deaths.fetch_add(1, std::memory_order_relaxed);
   const bool zero_fill = config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill;
   for (VmPage* page : object->pages) {
     if (page->busy && page->absent) {
       // In-flight placeholder: the requested data can never arrive. Resolve
       // it under the same §6.2.1 policy a timeout would apply, but now.
+      // (Settling another thread's busy page is the documented exception to
+      // busy ownership: the owner only ever observes the settled state.)
       if (zero_fill) {
         phys_->ZeroFrame(page->frame);
         phys_->ClearModify(page->frame);
@@ -454,13 +553,13 @@ void VmSystem::HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> obje
         page->unavailable = false;
         page->dirty = true;  // No backing copy of the zeroes exists.
         PageActivate(page);
-        ++stats_.zero_fill_count;
+        counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
       } else {
         page->error = true;
         page->busy = false;
         page->absent = false;
       }
-      ++stats_.death_resolved_pages;
+      counters_.death_resolved_pages.fetch_add(1, std::memory_order_relaxed);
     }
     // A dead manager can never answer pager_data_unlock: lift its locks.
     page->page_lock = kVmProtNone;
@@ -492,7 +591,7 @@ void VmSystem::HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> obje
   // Under kError the registries keep the dead pager right: resident error
   // pages answer kMemoryError, and future faults on non-resident pages hit
   // the pager.IsDead() fast path in ResolvePage (kMemoryFailure).
-  page_cv_.notify_all();
+  object->cv.notify_all();
 }
 
 }  // namespace mach

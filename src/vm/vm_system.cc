@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_set>
 
 #include "src/base/fault_injector.h"
 #include "src/base/log.h"
@@ -30,18 +31,23 @@ VmSystem::VmSystem(PhysicalMemory* phys, Config config) : phys_(phys), config_(c
 VmSystem::~VmSystem() {
   StopPageoutDaemon();
   // Free any pages still resident (objects referenced by leaked handles).
-  KernelLock lock(mu_);
+  // Execution is single-threaded by now, but PageFreeLocked still wants the
+  // owner's lock as its witness.
   std::vector<VmPage*> pages;
-  for (auto& [key, page] : page_hash_) {
-    pages.push_back(page);
+  for (PageHashShard& shard : page_shards_) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    for (auto& [key, page] : shard.map) {
+      pages.push_back(page);
+    }
   }
   for (VmPage* page : pages) {
-    PageFree(page);
+    ObjectLock olk(page->object->mu);
+    PageFreeLocked(olk, page);
   }
 }
 
 void VmSystem::SetDefaultPager(SendRight service_port, TrustedParkingStore* parking) {
-  KernelLock lock(mu_);
+  ChainLock chain(chain_mu_);
   default_pager_service_ = std::move(service_port);
   parking_ = parking;
 }
@@ -57,64 +63,68 @@ TaskVm VmSystem::CreateTaskVm() {
 
 // --- resident page management ---------------------------------------------
 
+VmSystem::PageHashShard& VmSystem::ShardFor(const VmObject* object, VmOffset offset) const {
+  return page_shards_[PageKeyHash{}(PageKey{object, offset}) & (kPageHashShards - 1)];
+}
+
 VmPage* VmSystem::PageLookup(VmObject* object, VmOffset offset) {
-  ++stats_.lookups;
-  auto it = page_hash_.find(PageKey{object, offset});
-  if (it == page_hash_.end()) {
+  counters_.lookups.fetch_add(1, std::memory_order_relaxed);
+  PageHashShard& shard = ShardFor(object, offset);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.map.find(PageKey{object, offset});
+  if (it == shard.map.end()) {
     return nullptr;
   }
-  ++stats_.hits;
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
-Result<VmPage*> VmSystem::PageAlloc(KernelLock& lock, VmObject* object, VmOffset offset) {
+bool VmSystem::PageResident(const VmObject* object, VmOffset offset) const {
+  PageHashShard& shard = ShardFor(object, offset);
+  std::lock_guard<std::mutex> g(shard.mu);
+  return shard.map.count(PageKey{object, offset}) != 0;
+}
+
+Result<VmPage*> VmSystem::PageAllocLocked(VmObject* object, VmOffset offset, bool allow_reserve) {
   assert(offset % page_size() == 0);
+  // The caller may have dropped the object lock since it probed: emplacing
+  // over an existing slot would leave two VmPages claiming it, so rescan.
+  if (PageResident(object, offset)) {
+    return KernReturn::kMemoryPresent;
+  }
   std::optional<uint32_t> frame;
-  for (int attempt = 0; attempt < 100; ++attempt) {
-    if (phys_->free_frames() > reserved_) {
-      frame = phys_->AllocFrame();
-      if (frame.has_value()) {
-        break;
-      }
-    }
-    // Below the reserved floor (§6.2.3): reclaim inline, then retry. The
-    // background daemon helps too.
-    uint32_t freed = Reclaim(lock, free_target_);
-    pageout_wake_.notify_all();
-    if (freed == 0) {
-      // Nothing reclaimable right now (pages busy / queues empty): wait for
-      // the daemon or a manager to release something.
-      free_cv_.wait_for(lock, std::chrono::milliseconds(50));
-    }
+  if (allow_reserve || phys_->free_frames() > reserved_) {
+    frame = phys_->AllocFrame();
   }
   if (!frame.has_value()) {
-    frame = phys_->AllocFrame();  // Last chance, dipping into the reserve.
-    if (!frame.has_value()) {
-      return KernReturn::kResourceShortage;
-    }
-  }
-  // Reclaim (and the free-frame wait) can drop the kernel lock: another
-  // faulter — or a chain collapse migrating pages — may have installed a
-  // page at this (object, offset) meanwhile. Emplacing over it would leave
-  // two VmPages claiming one hash slot; make the caller rescan instead.
-  if (page_hash_.find(PageKey{object, offset}) != page_hash_.end()) {
-    phys_->FreeFrame(*frame);
-    return KernReturn::kMemoryPresent;
+    // Below the reserved floor (§6.2.3). The caller must drop every lock
+    // and WaitForFreeFrames; poke the daemon on its behalf.
+    pageout_wake_.notify_all();
+    return KernReturn::kResourceShortage;
   }
   auto* page = new VmPage();
   page->object = object;
   page->offset = offset;
   page->frame = *frame;
-  page_hash_.emplace(PageKey{object, offset}, page);
+  {
+    PageHashShard& shard = ShardFor(object, offset);
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.map.emplace(PageKey{object, offset}, page);
+  }
   object->pages.PushBack(page);
   ++object->resident_count;
   return page;
 }
 
-void VmSystem::PageFree(VmPage* page) {
+void VmSystem::PageFreeLocked(ObjectLock& olk, VmPage* page) {
+  (void)olk;
   Pmap::PageProtect(phys_, page->frame, kVmProtNone);
   PageRemoveFromQueue(page);
-  page_hash_.erase(PageKey{page->object, page->offset});
+  {
+    PageHashShard& shard = ShardFor(page->object, page->offset);
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.map.erase(PageKey{page->object, page->offset});
+  }
   page->object->pages.Remove(page);
   --page->object->resident_count;
   phys_->FreeFrame(page->frame);
@@ -123,20 +133,30 @@ void VmSystem::PageFree(VmPage* page) {
 }
 
 void VmSystem::PageActivate(VmPage* page) {
+  std::lock_guard<std::mutex> g(queue_mu_);
+  PageActivateLocked(page);
+}
+
+void VmSystem::PageActivateLocked(VmPage* page) {
   if (page->queue == VmPage::Queue::kActive) {
     return;
   }
-  PageRemoveFromQueue(page);
+  PageRemoveFromQueueLocked(page);
   page->queue = VmPage::Queue::kActive;
   active_queue_.PushBack(page);
   ++active_count_;
 }
 
 void VmSystem::PageDeactivate(VmPage* page) {
+  std::lock_guard<std::mutex> g(queue_mu_);
+  PageDeactivateLocked(page);
+}
+
+void VmSystem::PageDeactivateLocked(VmPage* page) {
   if (page->queue == VmPage::Queue::kInactive) {
     return;
   }
-  PageRemoveFromQueue(page);
+  PageRemoveFromQueueLocked(page);
   page->queue = VmPage::Queue::kInactive;
   inactive_queue_.PushBack(page);
   ++inactive_count_;
@@ -146,6 +166,11 @@ void VmSystem::PageDeactivate(VmPage* page) {
 }
 
 void VmSystem::PageRemoveFromQueue(VmPage* page) {
+  std::lock_guard<std::mutex> g(queue_mu_);
+  PageRemoveFromQueueLocked(page);
+}
+
+void VmSystem::PageRemoveFromQueueLocked(VmPage* page) {
   switch (page->queue) {
     case VmPage::Queue::kActive:
       active_queue_.Remove(page);
@@ -162,14 +187,39 @@ void VmSystem::PageRemoveFromQueue(VmPage* page) {
 }
 
 void VmSystem::PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset) {
-  page_hash_.erase(PageKey{page->object, page->offset});
+  // Caller holds both objects' locks. The pageout scan reads a queued
+  // page's identity under queue_mu_ alone, so flip it under queue_mu_ too.
+  {
+    PageHashShard& shard = ShardFor(page->object, page->offset);
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.map.erase(PageKey{page->object, page->offset});
+  }
   page->object->pages.Remove(page);
   --page->object->resident_count;
-  page->object = new_object;
-  page->offset = new_offset;
-  page_hash_.emplace(PageKey{new_object, new_offset}, page);
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    page->object = new_object;
+    page->offset = new_offset;
+  }
+  {
+    PageHashShard& shard = ShardFor(new_object, new_offset);
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.map.emplace(PageKey{new_object, new_offset}, page);
+  }
   new_object->pages.PushBack(page);
   ++new_object->resident_count;
+}
+
+void VmSystem::WaitForFreeFrames() {
+  pageout_wake_.notify_all();
+  if (ReclaimPass(free_target_) > 0) {
+    return;
+  }
+  // Nothing reclaimable right now (pages busy / queues empty): wait for the
+  // daemon or a manager to release something. The slice bounds the cost of
+  // a missed notify.
+  std::unique_lock<std::mutex> lk(free_mu_);
+  free_cv_.wait_for(lk, std::chrono::milliseconds(50));
 }
 
 // --- object lifecycle -------------------------------------------------------
@@ -180,7 +230,10 @@ std::shared_ptr<VmObject> VmSystem::CreateInternalObject(VmSize size) {
   return object;
 }
 
-void VmSystem::MakeShadow(MapEntry* entry) {
+void VmSystem::MakeShadow(ChainLock& chain, MapEntry* entry) {
+  (void)chain;
+  // The shadow is fresh and unpublished until the entry assignment (made
+  // under the holder map's exclusive lock), so its own lock is not needed.
   std::shared_ptr<VmObject> shadow = CreateInternalObject(entry->size());
   shadow->shadow = entry->object;
   shadow->shadow_offset = entry->offset;
@@ -193,17 +246,18 @@ void VmSystem::MakeShadow(MapEntry* entry) {
   ObjectRef(entry->object);
 }
 
-void VmSystem::ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object) {
+void VmSystem::ObjectRelease(ChainLock& chain, std::shared_ptr<VmObject> object) {
   if (object == nullptr) {
     return;
   }
-  assert(object->map_refs > 0);
-  if (--object->map_refs > 0) {
+  const uint32_t prev = object->map_refs.fetch_sub(1, std::memory_order_acq_rel);
+  assert(prev > 0);
+  if (prev > 1) {
     // A dropped reference can leave a child's shadow pointer as the only
     // one remaining — the collapse opportunity. Map removal, task death and
-    // map-copy consumption (DrainDeferredReleases) all funnel through here.
-    if (object->map_refs == 1 && object->shadow_children.size() == 1) {
-      TryCollapse(lock, object->shadow_children.front()->shared_from_this());
+    // map-copy consumption (MaybeDrainDeferred) all funnel through here.
+    if (prev == 2 && object->shadow_children.size() == 1) {
+      TryCollapse(chain, object->shadow_children.front()->shared_from_this());
     }
     return;
   }
@@ -212,87 +266,107 @@ void VmSystem::ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object)
     object->cached = true;
     return;
   }
-  TerminateObject(lock, object);
+  TerminateObject(chain, object);
 }
 
-void VmSystem::TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
-  if (!object->alive) {
-    return;
-  }
-  object->alive = false;
-  object->cached = false;
-  // "When no references to a memory object remain, and all modifications
-  // have been written back to the memory object, the kernel deallocates its
-  // rights" (§3.4.1): push dirty pages to the data manager first.
-  object->pages.ForEach([&](VmPage* page) {
-    if (object->pager.valid() && !object->pager.IsDead() && !page->busy) {
-      Pmap::PageProtect(phys_, page->frame, kVmProtNone);
-      if (page->dirty || phys_->IsModified(page->frame)) {
-        PagerDataWriteArgs args;
-        args.offset = page->offset;
-        args.data.resize(page_size());
-        phys_->ReadFrame(page->frame, 0, args.data.data(), page_size());
-        if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
-          ++stats_.pageouts;
-        } else if (config_.errant_manager_protection && parking_ != nullptr) {
-          parking_->Park(object->id(), page->offset, std::move(args.data));
-          ++stats_.parked_pageouts;
+void VmSystem::TerminateObject(ChainLock& chain, const std::shared_ptr<VmObject>& object) {
+  std::shared_ptr<VmObject> shadow;
+  {
+    ObjectLock olk(object->mu);
+    if (!object->alive) {
+      return;
+    }
+    object->alive = false;
+    object->cached = false;
+    // "When no references to a memory object remain, and all modifications
+    // have been written back to the memory object, the kernel deallocates
+    // its rights" (§3.4.1): push dirty pages to the data manager first.
+    // Busy or pinned pages are orphaned — removed from the queues and left
+    // resident; the in-transit owner or last unpinner frees them on seeing
+    // !alive.
+    object->pages.ForEach([&](VmPage* page) {
+      if (page->busy || page->pin_count > 0) {
+        PageRemoveFromQueue(page);
+        return;
+      }
+      if (object->pager.valid() && !object->pager.IsDead()) {
+        Pmap::PageProtect(phys_, page->frame, kVmProtNone);
+        if (page->dirty || phys_->IsModified(page->frame)) {
+          PagerDataWriteArgs args;
+          args.offset = page->offset;
+          args.data.resize(page_size());
+          phys_->ReadFrame(page->frame, 0, args.data.data(), page_size());
+          if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
+            counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
+          } else if (config_.errant_manager_protection && parking_ != nullptr) {
+            parking_->Park(object->id(), page->offset, std::move(args.data));
+            counters_.parked_pageouts.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
+      PageFreeLocked(olk, page);
+    });
+    // Deallocate the kernel's rights to the three ports; the data manager
+    // receives death notifications for the request and name ports and can
+    // perform its shutdown (§3.4.1). Order matters: dropping the pager send
+    // right *first* makes the manager's no-senders notification for the
+    // object port precede the request-port death on the manager's notify
+    // queue — managers reclaim backing storage on no-senders and treat the
+    // subsequent death as confirmation, never the reverse.
+    if (object->pager.valid()) {
+      objects_by_pager_.erase(object->pager.id());
     }
-    PageFree(page);
-  });
-  // Deallocate the kernel's rights to the three ports; the data manager
-  // receives death notifications for the request and name ports and can
-  // perform its shutdown (§3.4.1). Order matters: dropping the pager send
-  // right *first* makes the manager's no-senders notification for the
-  // object port precede the request-port death on the manager's notify
-  // queue — managers reclaim backing storage on no-senders and treat the
-  // subsequent death as confirmation, never the reverse.
-  if (object->pager.valid()) {
-    objects_by_pager_.erase(object->pager.id());
+    if (object->request_receive.valid()) {
+      objects_by_request_.erase(object->request_receive.id());
+      pager_requests_->Remove(object->request_receive);
+    }
+    object->pager = SendRight();
+    object->request_send = SendRight();
+    object->name_send = SendRight();
+    object->request_receive.Destroy();
+    object->name_receive.Destroy();
+    // Any data parked with the default pager under this object's id is
+    // unreachable from now on; reclaim the store's blocks.
+    if (parking_ != nullptr) {
+      parking_->Discard(object->id());
+    }
+    // Wake faulters waiting on this object so they observe !alive.
+    object->cv.notify_all();
+    if (object->shadow != nullptr) {
+      shadow = std::move(object->shadow);
+      object->shadow = nullptr;
+      shadow->RemoveShadowChild(object.get());
+    }
   }
-  if (object->request_receive.valid()) {
-    objects_by_request_.erase(object->request_receive.id());
-    pager_requests_->Remove(object->request_receive);
-  }
-  object->pager = SendRight();
-  object->request_send = SendRight();
-  object->name_send = SendRight();
-  object->request_receive.Destroy();
-  object->name_receive.Destroy();
-  // Any data parked with the default pager under this object's id is
-  // unreachable from now on; reclaim the store's blocks.
-  if (parking_ != nullptr) {
-    parking_->Discard(object->id());
-  }
-  // Drop the shadow reference.
-  if (object->shadow != nullptr) {
-    std::shared_ptr<VmObject> shadow = std::move(object->shadow);
-    object->shadow = nullptr;
-    shadow->RemoveShadowChild(object.get());
-    ObjectRelease(lock, std::move(shadow));
+  // Releasing the shadow can recurse into terminates and collapse probes
+  // that take other object locks; do it after dropping ours.
+  if (shadow != nullptr) {
+    ObjectRelease(chain, std::move(shadow));
   }
 }
 
-void VmSystem::ReleaseEntry(KernelLock& lock, MapEntry&& entry) {
+void VmSystem::ReleaseEntry(ChainLock& chain, MapEntry&& entry) {
   if (entry.is_share) {
     std::shared_ptr<AddressMap> share = std::move(entry.share_map);
     if (share != nullptr && share.use_count() == 1) {
       // Last top-level reference to the sharing map: release its objects.
+      // No other map entry can reach the share map any more (use_count is
+      // exact: faulters never retain the share_map pointer), so its lock is
+      // not needed — and must not be taken here, where chain_mu_ is held.
       std::vector<MapEntry> subs = share->RemoveRange(share->min_address(), share->max_address());
       for (MapEntry& sub : subs) {
-        ReleaseEntry(lock, std::move(sub));
+        ReleaseEntry(chain, std::move(sub));
       }
     }
     return;
   }
   if (entry.object != nullptr) {
-    ObjectRelease(lock, std::move(entry.object));
+    ObjectRelease(chain, std::move(entry.object));
   }
 }
 
 void VmSystem::WriteProtectResident(VmObject* object, VmOffset offset, VmSize size) {
+  ObjectLock olk(object->mu);
   for (VmPage* page : object->pages) {
     if (page->offset >= offset && page->offset < offset + size) {
       Pmap::PageProtect(phys_, page->frame, kVmProtRead | kVmProtExecute);
@@ -303,19 +377,14 @@ void VmSystem::WriteProtectResident(VmObject* object, VmOffset offset, VmSize si
 // --- shadow-chain collapse (Mach's vm_object_collapse / bypass) -------------
 
 namespace {
-// Bound on the per-collapse coverage scan. Objects larger than this (in
-// pages) skip the bypass check rather than stall the kernel lock; splice —
-// which needs no full scan — still applies.
-constexpr VmSize kCollapseScanCap = 4096;
-
-// Pages in transit (pagein, pageout, pending unlock, death-resolution) make
-// residency unstable: a faulter may hold raw pointers into this object
-// across a lock drop, planning to resume here rather than rescan from the
-// top. Collapse must not touch such an object.
+// Pages in transit (pagein, pageout, pending unlock, death-resolution) or
+// pinned by an installing fault make residency unstable: another thread
+// holds raw pointers into this object across a lock drop. Collapse must not
+// touch such an object.
 bool HasUnstablePage(const VmObject* object) {
   for (const VmPage* page : object->pages) {
     if (page->busy || page->absent || page->unavailable || page->error ||
-        page->unlock_pending) {
+        page->unlock_pending || page->pin_count > 0) {
       return true;
     }
   }
@@ -325,7 +394,7 @@ bool HasUnstablePage(const VmObject* object) {
 
 bool VmSystem::ObjectCoversOffset(const VmObject* object, VmOffset offset) const {
   // Raw probe — coverage checks should not skew the lookup/hit statistics.
-  if (page_hash_.count(PageKey{object, offset}) != 0) {
+  if (PageResident(object, offset)) {
     return true;
   }
   // Parked (§6.2.2) and pager-held copies count only while the pager
@@ -335,35 +404,82 @@ bool VmSystem::ObjectCoversOffset(const VmObject* object, VmOffset offset) const
                                    object->paged_offsets.count(offset) != 0);
 }
 
-bool VmSystem::FullyCoversSelf(const VmObject* object) const {
+VmSystem::Coverage VmSystem::FullyCoversSelf(const VmObject* object) const {
   const VmSize ps = page_size();
+  const uint64_t total = (object->size() + ps - 1) / ps;
   if (!object->pager.valid()) {
-    // Residency is the only possible coverage; offsets are distinct, so the
-    // count is exact.
-    return uint64_t{object->resident_count} * ps >= object->size();
+    // Residency is the only possible coverage; offsets are distinct and
+    // in-range, so the count is exact.
+    return uint64_t{object->resident_count} >= total ? Coverage::kFull : Coverage::kPartial;
   }
-  if (object->size() / ps > kCollapseScanCap) {
-    return false;
+  // Coverage is derived from metadata (resident pages + pager-held +
+  // parked offsets), never an O(size) offset scan; the cap bounds the
+  // metadata walk for degenerate objects.
+  const size_t metadata = size_t{object->resident_count} + object->paged_offsets.size() +
+                          object->parked_offsets.size();
+  if (metadata > config_.collapse_scan_cap) {
+    return Coverage::kCapExceeded;
   }
-  for (VmOffset off = 0; off < object->size(); off += ps) {
-    if (!ObjectCoversOffset(object, off)) {
-      return false;
+  // A pager may have provided unsolicited pages beyond size(); count
+  // distinct in-range offsets only.
+  std::unordered_set<VmOffset> covered;
+  covered.reserve(metadata);
+  for (const VmPage* page : object->pages) {
+    if (page->offset < object->size()) {
+      covered.insert(page->offset);
     }
   }
-  return true;
+  for (VmOffset off : object->paged_offsets) {
+    if (off < object->size()) {
+      covered.insert(off);
+    }
+  }
+  for (const auto& [off, parked] : object->parked_offsets) {
+    (void)parked;
+    if (off < object->size()) {
+      covered.insert(off);
+    }
+  }
+  return covered.size() >= total ? Coverage::kFull : Coverage::kPartial;
 }
 
-void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& object) {
+void VmSystem::MaybeCollapse(const std::shared_ptr<VmObject>& object) {
   if (!config_.shadow_collapse) {
     return;
   }
-  const VmSize ps = page_size();
+  bool opportunity = false;
+  {
+    ObjectLock olk(object->mu);
+    opportunity =
+        object->alive && object->shadow != nullptr &&
+        (object->shadow->map_refs.load(std::memory_order_acquire) == 1 ||
+         (!object->pager.valid() &&
+          uint64_t{object->resident_count} * page_size() >= object->size()));
+  }
+  if (!opportunity) {
+    return;
+  }
+  ChainLock chain(chain_mu_);
+  TryCollapse(chain, object);
+}
+
+void VmSystem::TryCollapse(ChainLock& chain, const std::shared_ptr<VmObject>& object) {
+  if (!config_.shadow_collapse) {
+    return;
+  }
   // Splice loop: absorb immediate shadows whose only reference is our
-  // shadow pointer. Runs entirely under the kernel lock — page migration is
-  // hash-table surgery on frames that stay put, so no copies and no blocking.
-  while (object->alive && object->shadow != nullptr) {
-    VmObject* s = object->shadow.get();
-    if (s->map_refs != 1 || s->shadow_children.size() != 1 || !s->alive) {
+  // shadow pointer. Page migration is hash-table surgery on frames that
+  // stay put — no copies and no blocking — under the child and parent
+  // object locks (child first, the documented chain order).
+  for (;;) {
+    ObjectLock olk(object->mu);
+    if (!object->alive || object->shadow == nullptr) {
+      break;
+    }
+    std::shared_ptr<VmObject> sref = object->shadow;
+    VmObject* s = sref.get();
+    if (s->map_refs.load(std::memory_order_acquire) != 1 || s->shadow_children.size() != 1 ||
+        !s->alive) {
       break;  // Someone else still reads through s.
     }
     // Mach never collapses pager-created objects: an external manager's
@@ -373,8 +489,9 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
     if (!s->internal && s->pager.valid()) {
       break;
     }
+    ObjectLock slk(s->mu);
     if (HasUnstablePage(object.get()) || HasUnstablePage(s)) {
-      ++stats_.collapse_denied;
+      counters_.collapse_denied.fetch_add(1, std::memory_order_relaxed);
       return;  // In-transit pages; retry on a later opportunity.
     }
     const VmOffset window_lo = object->shadow_offset;
@@ -384,8 +501,7 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
     // covers those offsets (or a newer resident copy exists to migrate).
     bool backing_only_data = false;
     auto covered_or_resident = [&](VmOffset so) {
-      return so < window_lo || so >= window_hi ||
-             page_hash_.count(PageKey{s, so}) != 0 ||
+      return so < window_lo || so >= window_hi || PageResident(s, so) ||
              ObjectCoversOffset(object.get(), so - window_lo);
     };
     if (s->pager.valid()) {
@@ -404,12 +520,12 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       }
     }
     if (backing_only_data) {
-      ++stats_.collapse_denied;
+      counters_.collapse_denied.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (config_.fault_injector != nullptr &&
         config_.fault_injector->ShouldFail(kFaultCollapse)) {
-      ++stats_.collapse_denied;
+      counters_.collapse_denied.fetch_add(1, std::memory_order_relaxed);
       return;  // Injected suppression (chaos coverage of long chains).
     }
     // Migrate: every page of s the child would still read through the
@@ -421,12 +537,12 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
     }
     for (VmPage* page : source) {
       if (page->offset < window_lo || page->offset >= window_hi) {
-        PageFree(page);
+        PageFreeLocked(slk, page);
         continue;
       }
       const VmOffset co = page->offset - window_lo;
       if (ObjectCoversOffset(object.get(), co)) {
-        PageFree(page);
+        PageFreeLocked(slk, page);
         continue;
       }
       // Any surviving hardware mappings of this frame are read-only
@@ -437,7 +553,7 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       // The survivor's resident copy is now the only one — s's backing
       // store dies with it — so the page must not be dropped clean.
       page->dirty = true;
-      ++stats_.pages_migrated;
+      counters_.pages_migrated.fetch_add(1, std::memory_order_relaxed);
     }
     // Splice s out: the child inherits s's shadow reference (net reference
     // count on the grandparent unchanged), and s's last reference — our
@@ -451,82 +567,115 @@ void VmSystem::TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& ob
       object->shadow->RemoveShadowChild(doomed.get());
       object->shadow->AddShadowChild(object.get());
     }
-    doomed->map_refs = 0;
-    ++stats_.shadow_collapses;
-    TerminateObject(lock, doomed);
+    doomed->map_refs.store(0, std::memory_order_release);
+    counters_.shadow_collapses.fetch_add(1, std::memory_order_relaxed);
+    slk.unlock();
+    olk.unlock();
+    TerminateObject(chain, doomed);
   }
   // Bypass: if the child alone covers every page it can fault on, nothing
   // below it is reachable any more — release the whole remaining chain.
-  if (object->alive && object->shadow != nullptr && !HasUnstablePage(object.get()) &&
-      FullyCoversSelf(object.get())) {
-    if (config_.fault_injector != nullptr &&
-        config_.fault_injector->ShouldFail(kFaultCollapse)) {
-      ++stats_.collapse_denied;
-      return;
+  std::shared_ptr<VmObject> released_chain;
+  {
+    ObjectLock olk(object->mu);
+    if (object->alive && object->shadow != nullptr && !HasUnstablePage(object.get())) {
+      switch (FullyCoversSelf(object.get())) {
+        case Coverage::kPartial:
+          break;
+        case Coverage::kCapExceeded:
+          counters_.collapse_denied.fetch_add(1, std::memory_order_relaxed);
+          counters_.collapse_denied_scan_cap.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Coverage::kFull:
+          if (config_.fault_injector != nullptr &&
+              config_.fault_injector->ShouldFail(kFaultCollapse)) {
+            counters_.collapse_denied.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          released_chain = std::move(object->shadow);
+          object->shadow_offset = 0;
+          released_chain->RemoveShadowChild(object.get());
+          counters_.shadow_bypasses.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
     }
-    std::shared_ptr<VmObject> chain = std::move(object->shadow);
-    object->shadow_offset = 0;
-    chain->RemoveShadowChild(object.get());
-    ++stats_.shadow_bypasses;
-    ObjectRelease(lock, std::move(chain));
+  }
+  if (released_chain != nullptr) {
+    ObjectRelease(chain, std::move(released_chain));
   }
 }
 
 size_t VmSystem::ShadowChainLength(TaskVm& task, VmOffset addr) {
-  KernelLock lock(mu_);
   const VmOffset page_addr = TruncPage(addr, page_size());
-  MapEntry* top = task.map->Lookup(page_addr);
-  if (top == nullptr) {
-    return 0;
-  }
-  const MapEntry* holder = top;
-  if (top->is_share) {
-    holder = top->share_map->Lookup(top->offset + (page_addr - top->start));
-    if (holder == nullptr) {
+  std::shared_ptr<VmObject> object;
+  {
+    std::shared_lock<std::shared_mutex> mlk(task.map->lock());
+    MapEntry* top = task.map->Lookup(page_addr);
+    if (top == nullptr) {
       return 0;
     }
+    if (top->is_share) {
+      std::shared_lock<std::shared_mutex> slk(top->share_map->lock());
+      const MapEntry* holder = top->share_map->Lookup(top->offset + (page_addr - top->start));
+      if (holder == nullptr) {
+        return 0;
+      }
+      object = holder->object;
+    } else {
+      object = top->object;
+    }
   }
+  ChainLock chain(chain_mu_);
   size_t depth = 0;
-  for (const VmObject* o = holder->object.get(); o != nullptr; o = o->shadow.get()) {
+  for (const VmObject* o = object.get(); o != nullptr; o = o->shadow.get()) {
     ++depth;
   }
   return depth;
 }
 
-void VmSystem::DrainDeferredReleases(KernelLock& lock) {
+void VmSystem::MaybeDrainDeferred() {
   std::vector<std::shared_ptr<VmObject>> pending;
   {
     std::lock_guard<std::mutex> g(deferred_mu_);
+    if (deferred_releases_.empty()) {
+      return;
+    }
     pending.swap(deferred_releases_);
   }
   // ObjectRelease spots collapse opportunities, so map-copy consumption
   // (out-of-line message teardown) compacts chains just like map removal.
+  ChainLock chain(chain_mu_);
   for (auto& object : pending) {
-    ObjectRelease(lock, std::move(object));
+    ObjectRelease(chain, std::move(object));
   }
 }
 
 size_t VmSystem::object_count() const {
-  KernelLock lock(mu_);
+  ChainLock chain(chain_mu_);
   return objects_by_pager_.size();
 }
 
 std::shared_ptr<VmObject> VmSystem::ObjectForPager(const SendRight& pager) const {
-  KernelLock lock(mu_);
+  ChainLock chain(chain_mu_);
   auto it = objects_by_pager_.find(pager.id());
   return it == objects_by_pager_.end() ? nullptr : it->second;
 }
 
 void VmSystem::TrimObjectCache() {
-  KernelLock lock(mu_);
+  ChainLock chain(chain_mu_);
   std::vector<std::shared_ptr<VmObject>> victims;
   for (auto& [id, object] : objects_by_pager_) {
-    if (object->cached && object->resident_count == 0) {
+    bool idle;
+    {
+      ObjectLock olk(object->mu);
+      idle = object->resident_count == 0;
+    }
+    if (object->cached && idle) {
       victims.push_back(object);
     }
   }
   for (auto& object : victims) {
-    TerminateObject(lock, object);
+    TerminateObject(chain, object);
   }
 }
 
@@ -536,8 +685,8 @@ Result<VmOffset> VmSystem::Allocate(TaskVm& task, VmOffset addr, VmSize size, bo
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   size = RoundPage(size, page_size());
   if (anywhere) {
     Result<VmOffset> found = task.map->FindSpace(size, addr);
@@ -573,17 +722,17 @@ Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize
     // caveats; this implementation requires page alignment (see DESIGN.md).
     return KernReturn::kInvalidArgument;
   }
+  MaybeDrainDeferred();
+  size = RoundPage(size, page_size());
   bool need_init = false;
   std::shared_ptr<VmObject> object;
-  VmOffset result_addr = 0;
   {
-    KernelLock lock(mu_);
-    DrainDeferredReleases(lock);
-    size = RoundPage(size, page_size());
+    ChainLock chain(chain_mu_);
     auto it = objects_by_pager_.find(memory_object.id());
     if (it != objects_by_pager_.end()) {
       object = it->second;
       object->cached = false;  // Revived from the object cache.
+      ObjectLock olk(object->mu);
       object->set_size(std::max(object->size(), offset + size));
     } else {
       object = std::make_shared<VmObject>(offset + size);
@@ -605,6 +754,10 @@ Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize
       memory_object.port()->RequestDeathNotification(death_notify_send_);
       need_init = true;
     }
+  }
+  VmOffset result_addr = 0;
+  {
+    std::unique_lock<std::shared_mutex> mlk(task.map->lock());
     if (anywhere) {
       Result<VmOffset> found = task.map->FindSpace(size, addr);
       if (!found.ok()) {
@@ -633,10 +786,17 @@ Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize
     // pager_init is performed before the vm_allocate_with_pager call
     // completes (§4.2). Asynchronous: no reply is awaited.
     PagerInitArgs init;
-    init.pager_request_port = object->request_send;
-    init.pager_name_port = object->name_send;
+    SendRight pager;
+    {
+      ObjectLock olk(object->mu);
+      init.pager_request_port = object->request_send;
+      init.pager_name_port = object->name_send;
+      pager = object->pager;
+    }
     init.page_size = page_size();
-    MsgSend(object->pager, EncodePagerInit(init), std::chrono::milliseconds(1000));
+    if (pager.valid()) {
+      MsgSend(pager, EncodePagerInit(init), std::chrono::milliseconds(1000));
+    }
   }
   return result_addr;
 }
@@ -645,17 +805,18 @@ KernReturn VmSystem::Deallocate(TaskVm& task, VmOffset addr, VmSize size) {
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   std::vector<MapEntry> removed = task.map->RemoveRange(start, end);
   if (removed.empty()) {
     return KernReturn::kSuccess;  // Deallocating nothing is permitted.
   }
+  ChainLock chain(chain_mu_);
   for (MapEntry& entry : removed) {
     task.pmap->Remove(entry.start, entry.end);
-    ReleaseEntry(lock, std::move(entry));
+    ReleaseEntry(chain, std::move(entry));
   }
   return KernReturn::kSuccess;
 }
@@ -665,7 +826,7 @@ KernReturn VmSystem::Protect(TaskVm& task, VmOffset addr, VmSize size, bool set_
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   if (!task.map->RangeFullyCovered(start, end - start)) {
@@ -692,7 +853,7 @@ KernReturn VmSystem::Inherit(TaskVm& task, VmOffset addr, VmSize size, VmInherit
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   if (!task.map->RangeFullyCovered(start, end - start)) {
@@ -705,7 +866,7 @@ KernReturn VmSystem::Inherit(TaskVm& task, VmOffset addr, VmSize size, VmInherit
 }
 
 std::vector<RegionInfo> VmSystem::Regions(TaskVm& task) {
-  KernelLock lock(mu_);
+  std::shared_lock<std::shared_mutex> mlk(task.map->lock());
   std::vector<RegionInfo> out;
   for (const MapEntry* entry : task.map->AllEntries()) {
     RegionInfo info;
@@ -718,6 +879,7 @@ std::vector<RegionInfo> VmSystem::Regions(TaskVm& task) {
     if (!entry->is_share && entry->object != nullptr) {
       // Only the name port is exposed: the memory object and request ports
       // would grant data and management access (footnote 3).
+      ObjectLock olk(entry->object->mu);
       info.object_name = entry->object->name_send;
     }
     out.push_back(std::move(info));
@@ -726,20 +888,48 @@ std::vector<RegionInfo> VmSystem::Regions(TaskVm& task) {
 }
 
 VmStatistics VmSystem::Statistics() const {
-  KernelLock lock(mu_);
-  VmStatistics st = stats_;
+  VmStatistics st;
   st.page_size = page_size();
   st.free_count = phys_->free_frames();
-  st.active_count = active_count_;
-  st.inactive_count = inactive_count_;
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    st.active_count = active_count_;
+    st.inactive_count = inactive_count_;
+  }
+  const auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  st.faults = load(counters_.faults);
+  st.zero_fill_count = load(counters_.zero_fill_count);
+  st.cow_faults = load(counters_.cow_faults);
+  st.pageins = load(counters_.pageins);
+  st.pageouts = load(counters_.pageouts);
+  st.reactivations = load(counters_.reactivations);
+  st.lookups = load(counters_.lookups);
+  st.hits = load(counters_.hits);
+  st.unlock_requests = load(counters_.unlock_requests);
+  st.parked_pageouts = load(counters_.parked_pageouts);
+  st.manager_deaths = load(counters_.manager_deaths);
+  st.death_resolved_pages = load(counters_.death_resolved_pages);
+  st.shadow_collapses = load(counters_.shadow_collapses);
+  st.shadow_bypasses = load(counters_.shadow_bypasses);
+  st.pages_migrated = load(counters_.pages_migrated);
+  st.collapse_denied = load(counters_.collapse_denied);
+  st.chain_depth_max = load(counters_.chain_depth_max);
+  st.fast_faults = load(counters_.fast_faults);
+  st.spurious_page_wakeups = load(counters_.spurious_page_wakeups);
+  st.collapse_denied_scan_cap = load(counters_.collapse_denied_scan_cap);
   return st;
 }
 
 // --- fork (inheritance, §3.3) ----------------------------------------------
 
 void VmSystem::ForkMap(TaskVm& parent, TaskVm& child) {
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
+  // Parent before child (the documented map order). The child map is fresh
+  // and unpublished, but holding its lock keeps the discipline uniform.
+  std::unique_lock<std::shared_mutex> plk(parent.map->lock());
+  std::unique_lock<std::shared_mutex> clk(child.map->lock());
   // Snapshot entry ranges first: share conversion mutates entries in place
   // but not the map's structure.
   std::vector<VmOffset> starts;
@@ -757,7 +947,9 @@ void VmSystem::ForkMap(TaskVm& parent, TaskVm& child) {
       case VmInherit::kShare: {
         if (!entry->is_share) {
           // Convert the direct entry into a two-level (sharing map) entry
-          // (§5.1). The object moves into the sharing map.
+          // (§5.1). The object moves into the sharing map. The new sharing
+          // map is unpublished until the entry assignment below, all under
+          // the parent's exclusive lock.
           if (entry->object == nullptr) {
             entry->object = CreateInternalObject(entry->size());
             ObjectRef(entry->object);
@@ -784,7 +976,10 @@ void VmSystem::ForkMap(TaskVm& parent, TaskVm& child) {
       }
       case VmInherit::kCopy: {
         if (entry->is_share) {
-          // Copy each object referenced through the sharing map.
+          // Copy each object referenced through the sharing map. Exclusive
+          // on the sharing map: concurrent faults from other tasks sharing
+          // it must observe needs_copy and the write-protect atomically.
+          std::unique_lock<std::shared_mutex> slk(entry->share_map->lock());
           VmOffset window_lo = entry->offset;
           VmOffset window_hi = entry->offset + entry->size();
           for (MapEntry* sub : entry->share_map->ClipRange(window_lo, window_hi)) {
@@ -829,8 +1024,8 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyIn(TaskVm& task, VmOffset addr,
   if (size == 0 || addr % page_size() != 0 || size % page_size() != 0) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   if (!task.map->RangeFullyCovered(addr, size)) {
     return KernReturn::kInvalidAddress;
   }
@@ -838,6 +1033,9 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyIn(TaskVm& task, VmOffset addr,
   const VmOffset end = addr + size;
   for (MapEntry* top : task.map->ClipRange(addr, end)) {
     if (top->is_share) {
+      // Exclusive on the sharing map for the needs_copy + write-protect
+      // mutation, as in ForkMap.
+      std::unique_lock<std::shared_mutex> slk(top->share_map->lock());
       VmOffset lo = top->offset;
       VmOffset hi = top->offset + top->size();
       for (MapEntry* sub : top->share_map->ClipRange(lo, hi)) {
@@ -872,8 +1070,8 @@ Result<VmOffset> VmSystem::CopyOut(TaskVm& task, const std::shared_ptr<VmMapCopy
   if (copy == nullptr || copy->system() != this) {
     return KernReturn::kInvalidArgument;
   }
-  KernelLock lock(mu_);
-  DrainDeferredReleases(lock);
+  MaybeDrainDeferred();
+  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
   if (copy->segments().empty() && copy->size() != 0) {
     return KernReturn::kInvalidArgument;  // Already consumed.
   }
@@ -904,7 +1102,7 @@ VmMapCopy::~VmMapCopy() {
     return;
   }
   // Defer the reference drops: this destructor can run inside port teardown
-  // paths that must not take the kernel lock.
+  // paths that must not take VM locks.
   std::lock_guard<std::mutex> g(system_->deferred_mu_);
   for (Segment& seg : segments_) {
     if (seg.object != nullptr) {

@@ -15,22 +15,47 @@
 //     on pager request ports are dispatched to the Handle* methods by the
 //     kernel's pager service thread.
 //
-// Concurrency: one kernel lock (mu_) serialises all VM state, in the spirit
-// of the original Mach's coarse VM locking. The lock is *released* across
-// every potentially blocking operation (waiting for a busy page, waiting on
-// a manager, blocking message sends), so data managers — which call back
-// into this kernel — can always make progress. Ports have their own locks
-// and never call into the kernel (lock order: kernel > port).
+// Concurrency: VM state is guarded by a lock hierarchy so concurrent faults
+// on a multiprocessor contend only where they genuinely share state. From
+// outermost to innermost:
+//
+//   1. AddressMap locks (reader-writer): shared on the fault path, exclusive
+//      for structural mutation. A top-level map lock may be held while
+//      taking a sharing map's lock; ForkMap orders parent before child.
+//   2. chain_mu_: shadow-chain structure (shadow pointers, shadow_children),
+//      object lifecycle (terminate / cache / registries) and map_refs
+//      decrements. Witness type: ChainLock.
+//   3. VmObject::mu (per object): the object's page list, page state, pager
+//      ports and paged/parked metadata. Chain order is child before its
+//      shadow parent (the fault walk direction), hand over hand.
+//   4. Page-hash shard locks (64 shards keyed by the splitmix64 PageKey
+//      hash): pure membership; always leaf with respect to object locks.
+//   5. queue_mu_: the active/inactive queues, queue counts, each page's
+//      queue field, and page identity while a PageRename is in flight.
+//      Nests inside object locks; the pageout scan, which needs the reverse
+//      direction, only ever try_locks an object from under it.
+//   6. Pmap::mu_ and PhysicalMemory frame/free-list locks (hardware tier).
+//   7. Port locks (independent; ports never call back into the kernel).
+//
+// Blocking operations never hold a lock they could convoy on: waits for busy
+// pages use the owning object's condition variable (targeted wakeups, §5
+// busy/wanted protocol), message sends to managers release the object lock
+// (non-blocking kPoll sends excepted), and a fault installs its frame into
+// the pmap under the map lock only, holding a pin on the page rather than
+// the object lock.
 
 #ifndef SRC_VM_VM_SYSTEM_H_
 #define SRC_VM_VM_SYSTEM_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -96,6 +121,12 @@ class VmSystem {
     // chain. Off = chains grow without bound (the pre-collapse behaviour,
     // kept for the ablation bench).
     bool shadow_collapse = true;
+
+    // Upper bound on the number of coverage-metadata entries (resident
+    // pages + paged_offsets + parked_offsets) a chain-bypass check will
+    // examine. Bypasses declined by the cap are counted in both
+    // collapse_denied and collapse_denied_scan_cap.
+    size_t collapse_scan_cap = 1u << 20;
 
     // Optional fault injection: the kFaultCollapse point randomly
     // suppresses collapse opportunities so chaos soaks cover both collapsed
@@ -234,64 +265,172 @@ class VmSystem {
     size_t operator()(const PageKey& k) const {
       // Object pointers share allocator alignment and offsets are page
       // multiples; a full-avalanche mix keeps (object, offset) keys from
-      // clustering into a few buckets (see src/base/hash.h).
+      // clustering into a few buckets (see src/base/hash.h). The same mix
+      // selects the hash shard, so shard load stays uniform.
       return HashPointerAndU64(k.object, k.offset);
     }
   };
 
-  using KernelLock = std::unique_lock<std::mutex>;
+  // Witness types: a ChainLock proves chain_mu_ is held, an ObjectLock
+  // proves some object's mu is held. Passed by reference where a callee
+  // relies on the caller's lock.
+  using ChainLock = std::unique_lock<std::mutex>;
+  using ObjectLock = std::unique_lock<std::mutex>;
+
+  // The resident-page hash (§5.3), sharded: each shard is an independent
+  // bucket map under its own lock so concurrent faults on distinct objects
+  // touch distinct cache lines.
+  static constexpr size_t kPageHashShards = 64;
+  struct PageHashShard {
+    std::mutex mu;
+    std::unordered_map<PageKey, VmPage*, PageKeyHash> map;
+  };
+
+  // Systemwide VM event counters, atomically maintained; Statistics()
+  // snapshots them into the plain VmStatistics wire struct.
+  struct Counters {
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> zero_fill_count{0};
+    std::atomic<uint64_t> cow_faults{0};
+    std::atomic<uint64_t> pageins{0};
+    std::atomic<uint64_t> pageouts{0};
+    std::atomic<uint64_t> reactivations{0};
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> unlock_requests{0};
+    std::atomic<uint64_t> parked_pageouts{0};
+    std::atomic<uint64_t> manager_deaths{0};
+    std::atomic<uint64_t> death_resolved_pages{0};
+    std::atomic<uint64_t> shadow_collapses{0};
+    std::atomic<uint64_t> shadow_bypasses{0};
+    std::atomic<uint64_t> pages_migrated{0};
+    std::atomic<uint64_t> collapse_denied{0};
+    std::atomic<uint64_t> chain_depth_max{0};
+    std::atomic<uint64_t> fast_faults{0};
+    std::atomic<uint64_t> spurious_page_wakeups{0};
+    std::atomic<uint64_t> collapse_denied_scan_cap{0};
+  };
 
   // --- resident page management ---------------------------------------
 
+  PageHashShard& ShardFor(const VmObject* object, VmOffset offset) const;
+
+  // Hash probe with lookup statistics. Caller holds the owner's mu (which
+  // keeps the returned page alive and its state stable).
   VmPage* PageLookup(VmObject* object, VmOffset offset);
-  Result<VmPage*> PageAlloc(KernelLock& lock, VmObject* object, VmOffset offset);
-  void PageFree(VmPage* page);
+  // Raw membership probe without statistics (coverage checks).
+  bool PageResident(const VmObject* object, VmOffset offset) const;
+
+  // Allocates a frame and a resident page for (object, offset). Never
+  // blocks and never reclaims inline: on exhaustion returns
+  // kResourceShortage and pokes the daemon; the caller must drop its locks
+  // and WaitForFreeFrames. Caller holds the owner's mu.
+  Result<VmPage*> PageAllocLocked(VmObject* object, VmOffset offset, bool allow_reserve);
+
+  // Frees a resident page: unmaps, unqueues, unhashes, releases the frame.
+  // Caller holds the owner's mu (witnessed by `olk`).
+  void PageFreeLocked(ObjectLock& olk, VmPage* page);
+
   void PageActivate(VmPage* page);
   void PageDeactivate(VmPage* page);
   void PageRemoveFromQueue(VmPage* page);
+  // Variants for callers already under queue_mu_ (the pageout scan).
+  void PageActivateLocked(VmPage* page);
+  void PageDeactivateLocked(VmPage* page);
+  void PageRemoveFromQueueLocked(VmPage* page);
+
+  // Re-homes a page into `new_object` (collapse migration). Caller holds
+  // both objects' locks; identity flips under queue_mu_ so the pageout scan
+  // never sees a torn (object, offset).
   void PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset);
+
+  // Blocks briefly until frames may be available again: pokes the daemon,
+  // runs one reclaim pass, then waits on free_cv_ with a bounded slice.
+  // No locks may be held.
+  void WaitForFreeFrames();
 
   // --- fault machinery --------------------------------------------------
 
-  struct ResolvedEntry {
+  // A resolved page, pinned for installation. The pin (VmPage::pin_count)
+  // keeps the page and frame alive after the object lock is dropped;
+  // page_lock is snapshotted so UnpinPage can detect a manager lock that
+  // raced with the install.
+  struct PagePin {
+    std::shared_ptr<VmObject> owner;
+    VmPage* page = nullptr;
+    bool from_backing = false;  // Page belongs to a shadow ancestor; map
+                                // read-only (copy still pending).
+    VmProt page_lock = kVmProtNone;
+  };
+
+  // Entry resolution under the map lock(s). `share_lock` keeps the sharing
+  // map's entries stable for as long as the holder pointer is used.
+  struct EntryRef {
     MapEntry* top = nullptr;     // Entry in the task's top-level map.
     MapEntry* holder = nullptr;  // Entry that references the object
                                  // (== top, or a sharing-map entry).
     VmOffset object_offset = 0;  // Offset of the faulting page in the object.
+    bool needs_prepare = false;  // Lazy object creation or a shadow push is
+                                 // required first (PrepareEntry).
+    std::shared_lock<std::shared_mutex> share_lock;
   };
-  Result<ResolvedEntry> ResolveEntry(TaskVm& task, VmOffset addr, VmProt access);
 
-  struct PageResolution {
-    VmPage* page = nullptr;
-    bool from_backing = false;  // Page belongs to a shadow ancestor; map
-                                // read-only (copy still pending).
-  };
-  Result<PageResolution> ResolvePage(KernelLock& lock, std::shared_ptr<VmObject> first_object,
-                                     VmOffset first_offset, VmProt fault_type);
+  // Read-only resolution; caller holds task.map->lock() (either mode).
+  Result<EntryRef> LookupEntry(TaskVm& task, VmOffset addr, VmProt access);
 
-  // Waits for a busy page to settle; returns false on timeout.
-  bool WaitForPage(KernelLock& lock);
+  // Performs the mutations LookupEntry flagged (lazy zero-fill object,
+  // copy-on-write shadow) under exclusive map locks. Takes no other locks
+  // on entry.
+  KernReturn PrepareEntry(TaskVm& task, VmOffset addr, VmProt access);
 
-  KernReturn RequestDataFromPager(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+  // The §5.5 page walk: finds or creates the page for
+  // (first_object, first_offset), waiting on busy pages, asking pagers, and
+  // performing the copy-on-write push as needed. Takes and releases object
+  // locks internally (none held on entry or exit); returns the page pinned.
+  Result<PagePin> ResolvePage(std::shared_ptr<VmObject> first_object, VmOffset first_offset,
+                              VmProt fault_type);
+
+  PagePin MakePinLocked(ObjectLock& olk, std::shared_ptr<VmObject> owner, VmPage* page,
+                        bool from_backing);
+  void UnpinPage(PagePin& pin);
+  void UnpinRaw(const std::shared_ptr<VmObject>& owner, VmPage* page);
+
+  // Waits (bounded slice) on `object`'s condition variable for a page state
+  // change; returns false once `deadline` has passed. `olk` holds the
+  // object's mu.
+  bool WaitForPage(ObjectLock& olk, VmObject* object,
+                   std::chrono::steady_clock::time_point deadline);
+
+  // Message sends to the object's manager. `olk` (the object's mu) is
+  // released across the send and reacquired; callers revalidate after.
+  KernReturn RequestDataFromPager(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
                                   VmOffset offset, VmProt access);
-  KernReturn RequestUnlockFromPager(KernelLock& lock, const std::shared_ptr<VmObject>& object,
+  KernReturn RequestUnlockFromPager(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
                                     VmPage* page, VmProt access);
 
   // --- objects -----------------------------------------------------------
 
   std::shared_ptr<VmObject> CreateInternalObject(VmSize size);
-  void MakeShadow(MapEntry* entry);
-  void ObjectRef(const std::shared_ptr<VmObject>& object) { ++object->map_refs; }
-  void ObjectRelease(KernelLock& lock, std::shared_ptr<VmObject> object);
-  void TerminateObject(KernelLock& lock, const std::shared_ptr<VmObject>& object);
-  void ReleaseEntry(KernelLock& lock, MapEntry&& entry);
+  // Pushes a shadow object in front of entry->object. Caller holds the
+  // holder map exclusively plus chain_mu_.
+  void MakeShadow(ChainLock& chain, MapEntry* entry);
+  void ObjectRef(const std::shared_ptr<VmObject>& object) {
+    object->map_refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ObjectRelease(ChainLock& chain, std::shared_ptr<VmObject> object);
+  void TerminateObject(ChainLock& chain, const std::shared_ptr<VmObject>& object);
+  void ReleaseEntry(ChainLock& chain, MapEntry&& entry);
   void WriteProtectResident(VmObject* object, VmOffset offset, VmSize size);
 
   // Ensures an internal object has a default-pager association
-  // (pager_create). Called from the pageout path, under the kernel lock.
-  bool EnsureInternalPager(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+  // (pager_create). Caller holds chain_mu_ and the object's mu.
+  bool EnsureInternalPager(ChainLock& chain, ObjectLock& olk,
+                           const std::shared_ptr<VmObject>& object);
 
   // --- shadow-chain collapse (Mach's vm_object_collapse / bypass) --------
+
+  // Cheap unlocked-precondition check + TryCollapse, used after a fault.
+  void MaybeCollapse(const std::shared_ptr<VmObject>& object);
 
   // Attempts to shorten `object`'s shadow chain, repeatedly:
   //  * splice: if the immediate shadow's only reference is `object`'s shadow
@@ -299,52 +438,56 @@ class VmSystem {
   //    out of the chain;
   //  * bypass: if `object` itself covers every offset it could fault on, drop
   //    the whole remaining chain.
-  // Runs entirely under the kernel lock (no blocking operations); declines —
-  // counting collapse_denied — whenever a busy page or unaccounted
-  // pager-held data makes the splice unsafe.
-  void TryCollapse(KernelLock& lock, const std::shared_ptr<VmObject>& object);
+  // Caller holds chain_mu_ only; object locks are taken child-then-parent
+  // inside. Declines — counting collapse_denied — whenever a busy or pinned
+  // page or unaccounted pager-held data makes the splice unsafe.
+  void TryCollapse(ChainLock& chain, const std::shared_ptr<VmObject>& object);
 
   // Whether `object` holds data for `offset` without consulting its shadow:
   // a resident page, a default-pager copy (paged_offsets), or a §6.2.2
-  // parked copy.
+  // parked copy. Caller holds the object's mu.
   bool ObjectCoversOffset(const VmObject* object, VmOffset offset) const;
 
-  // Whether `object` covers every page of [0, size()) by itself.
-  bool FullyCoversSelf(const VmObject* object) const;
+  // Whether `object` covers every page of [0, size()) by itself, derived
+  // from residency and pager metadata (never an O(size) offset scan).
+  // kCapExceeded = the metadata was larger than Config::collapse_scan_cap.
+  enum class Coverage { kFull, kPartial, kCapExceeded };
+  Coverage FullyCoversSelf(const VmObject* object) const;
 
   // --- pageout ------------------------------------------------------------
 
   void PageoutDaemonMain();
-  // Frees up to `want` frames; returns number freed. Kernel lock held.
-  uint32_t Reclaim(KernelLock& lock, uint32_t want);
-  // Writes one dirty page back to its manager (or parks it). Kernel lock
-  // held throughout (sends are non-blocking). Returns true if the frame was
-  // freed.
-  bool PageoutPage(KernelLock& lock, VmPage* page);
+  // Frees up to `want` frames from the inactive queue; returns the number
+  // freed. Takes queue_mu_ and object locks (try_lock) internally; no locks
+  // held on entry.
+  uint32_t ReclaimPass(uint32_t want);
+  // Writes one unqueued, settled page back to its manager (or parks it).
+  // Caller holds the owner's mu; returns true if the frame was freed.
+  bool PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object, VmPage* page);
 
-  void DrainDeferredReleases(KernelLock& lock);
+  // Drains deferred VmMapCopy releases if any are pending. Callers must
+  // hold no VM locks.
+  void MaybeDrainDeferred();
 
   // --- manager -> kernel handlers ----------------------------------------
 
-  void HandleDataProvided(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                          VmOffset offset, const std::vector<std::byte>& data, VmProt lock_value);
-  void HandleDataUnavailable(KernelLock& lock, const std::shared_ptr<VmObject>& object,
-                             VmOffset offset, VmSize size);
-  void HandleDataLock(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
-                      VmSize length, VmProt lock_value);
-  void HandleFlush(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
-                   VmSize length);
-  void HandleClean(KernelLock& lock, const std::shared_ptr<VmObject>& object, VmOffset offset,
-                   VmSize length);
-  void HandleCache(KernelLock& lock, const std::shared_ptr<VmObject>& object, bool may_cache);
+  void HandleDataProvided(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                          const std::vector<std::byte>& data, VmProt lock_value);
+  void HandleDataUnavailable(const std::shared_ptr<VmObject>& object, VmOffset offset,
+                             VmSize size);
+  void HandleDataLock(const std::shared_ptr<VmObject>& object, VmOffset offset, VmSize length,
+                      VmProt lock_value);
+  void HandleFlush(const std::shared_ptr<VmObject>& object, VmOffset offset, VmSize length);
+  void HandleClean(const std::shared_ptr<VmObject>& object, VmOffset offset, VmSize length);
+  void HandleCache(const std::shared_ptr<VmObject>& object, bool may_cache);
 
   // Death-notification fast path (§6.2.1): the memory-object port of a
   // manager died. Resolves every in-flight placeholder page under the
   // configured on_pager_timeout policy (zero fill or error) and wakes the
   // faulting threads immediately instead of letting them burn the timeout.
   // Takes the object by value: the caller's reference typically aliases the
-  // objects_by_pager_ entry this function erases.
-  void HandlePagerDeath(KernelLock& lock, std::shared_ptr<VmObject> object);
+  // objects_by_pager_ entry this function erases. Caller holds chain_mu_.
+  void HandlePagerDeath(ChainLock& chain, std::shared_ptr<VmObject> object);
 
   // ------------------------------------------------------------------------
 
@@ -353,19 +496,35 @@ class VmSystem {
   uint32_t free_target_;
   uint32_t reserved_;
 
-  mutable std::mutex mu_;  // The kernel lock.
-  std::condition_variable page_cv_;  // Busy-page / lock-change waits.
-  std::condition_variable free_cv_;  // Free-frame waits.
-  std::condition_variable pageout_wake_;
+  // Tier 2: chain structure, object lifecycle, registries (see the header
+  // comment for the full order).
+  mutable std::mutex chain_mu_;
 
-  std::unordered_map<PageKey, VmPage*, PageKeyHash> page_hash_;
+  // Tier 4: the sharded resident-page hash.
+  mutable std::array<PageHashShard, kPageHashShards> page_shards_;
+
+  // Tier 5: pageout queues and page queue-membership.
+  mutable std::mutex queue_mu_;
   PageQueue active_queue_;
   PageQueue inactive_queue_;
   uint32_t active_count_ = 0;
   uint32_t inactive_count_ = 0;
 
+  // Free-frame waiters (fault path under memory pressure). Notified after
+  // every frame free; waiters use bounded slices so a missed notify only
+  // costs one slice.
+  std::mutex free_mu_;
+  std::condition_variable free_cv_;
+
+  // Pageout daemon control.
+  std::mutex pageout_mu_;
+  std::condition_variable pageout_wake_;
+  std::thread pageout_thread_;
+  bool pageout_running_ = false;
+  bool shutting_down_ = false;
+
   // Object registries: by memory-object (pager) port id and by request
-  // port id.
+  // port id. Guarded by chain_mu_.
   std::unordered_map<uint64_t, std::shared_ptr<VmObject>> objects_by_pager_;
   std::unordered_map<uint64_t, std::shared_ptr<VmObject>> objects_by_request_;
 
@@ -378,17 +537,13 @@ class VmSystem {
   ReceiveRight death_notify_receive_;
   SendRight death_notify_send_;
 
-  SendRight default_pager_service_;
+  SendRight default_pager_service_;  // Guarded by chain_mu_.
   TrustedParkingStore* parking_ = nullptr;
 
-  VmStatistics stats_{};
-
-  std::thread pageout_thread_;
-  bool pageout_running_ = false;
-  bool shutting_down_ = false;
+  mutable Counters counters_;
 
   // Object references dropped by VmMapCopy destructors (possibly on threads
-  // that must not take the kernel lock); drained opportunistically.
+  // that must not take VM locks); drained opportunistically.
   std::mutex deferred_mu_;
   std::vector<std::shared_ptr<VmObject>> deferred_releases_;
 };
