@@ -1,19 +1,26 @@
-// E6 (§8.2, after Zayas): copy-on-reference task migration vs eager copy.
+// E6 (§8.2, after Zayas) extended for the fragmented reliable transport: a
+// copy-on-reference migration and a 64-page bulk OOL transfer, swept over a
+// fragment-drop rate x latency grid. Emits one JSON document on stdout
+// (ci.sh bench captures it as BENCH_migration.json); the human-readable
+// summary goes to stderr.
 //
-// A task with a large address space migrates across a NORMA link. Reported
-// per strategy and per fraction-of-address-space-touched:
-//   * time-to-resume: simulated network time spent before the migrated task
-//     can run (eager pays the whole copy; copy-on-reference ~nothing);
-//   * total pages moved and total network time after the migrated task has
-//     touched its working set.
-// Shape to reproduce: copy-on-reference resume time is ~constant while
-// eager grows linearly with address-space size, and total data moved is
-// proportional to the touched fraction.
+// Reported per (latency regime, drop rate):
+//   * resume_us / total_us: simulated network time before the migrated task
+//     can run, and after it has touched all 64 pages;
+//   * retransmitted_bytes vs payload_bytes: the cost of loss under the
+//     selective-repeat transport. One dropped fragment retransmits one
+//     fragment, so even at 10% drop the overhead stays a modest fraction of
+//     the payload (the acceptance bar is < 25% for the bulk transfer).
+// All time is virtual (SimClock) and the injector is seeded, so the numbers
+// are deterministic and diffable.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/base/fault_injector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
 #include "src/managers/migrate/migration_manager.h"
@@ -24,6 +31,7 @@ namespace {
 using namespace mach;
 
 constexpr VmSize kPage = 4096;
+constexpr VmSize kPages = 64;
 
 std::unique_ptr<Kernel> MakeHost(const std::string& name, uint32_t frames) {
   Kernel::Config config;
@@ -34,86 +42,184 @@ std::unique_ptr<Kernel> MakeHost(const std::string& name, uint32_t frames) {
   return std::make_unique<Kernel>(config);
 }
 
-struct RunResult {
-  uint64_t resume_us = 0;       // Net time before the task could run.
-  uint64_t total_us = 0;        // Net time after touching the working set.
-  uint64_t pages_moved = 0;
+struct LinkStats {
+  uint64_t payload_bytes = 0;
+  uint64_t retransmitted_bytes = 0;
+  uint64_t fragments_sent = 0;
+  uint64_t fragments_retransmitted = 0;
+  uint64_t sacks_sent = 0;
+  uint64_t messages_lost = 0;
+  double retrans_ratio = 0.0;
 };
 
-RunResult Run(MigrationManager::Strategy strategy, VmSize space_pages, int touched_pct) {
-  auto src = MakeHost("src", static_cast<uint32_t>(space_pages + 128));
-  auto dst = MakeHost("dst", static_cast<uint32_t>(space_pages + 128));
+LinkStats Snapshot(const NetLink& link) {
+  LinkStats s;
+  s.payload_bytes = link.bytes_forwarded();
+  s.retransmitted_bytes = link.bytes_retransmitted();
+  s.fragments_sent = link.fragments_sent();
+  s.fragments_retransmitted = link.fragments_retransmitted();
+  s.sacks_sent = link.sacks_sent();
+  s.messages_lost = link.messages_lost();
+  s.retrans_ratio =
+      s.payload_bytes == 0
+          ? 0.0
+          : static_cast<double>(s.retransmitted_bytes) / static_cast<double>(s.payload_bytes);
+  return s;
+}
+
+NetFaultConfig FaultPlan(FaultInjector* inj, int drop_pct) {
+  // Drop applies symmetrically to data fragments and SACKs; the budget is
+  // sized so loss is effectively impossible at these rates.
+  inj->SetProbability(NetLink::kFaultFragDrop, drop_pct / 100.0);
+  inj->SetProbability(NetLink::kFaultAckDrop, drop_pct / 100.0);
+  NetFaultConfig net;
+  net.injector = inj;
+  net.reliable = true;
+  net.max_retransmits = 12;
+  return net;
+}
+
+struct MigrateResult {
+  uint64_t resume_us = 0;  // Net time before the task could run.
+  uint64_t total_us = 0;   // Net time after touching all pages.
+  uint64_t pages_moved = 0;
+  LinkStats link;
+};
+
+MigrateResult RunMigration(NetLatencyModel latency, int drop_pct) {
+  auto src = MakeHost("src", kPages + 128);
+  auto dst = MakeHost("dst", kPages + 128);
   SimClock net_clock;
-  NetLink link(&src->vm(), &dst->vm(), &net_clock, kNormaLatency);
+  FaultInjector inj(42);
+  NetLink link(&src->vm(), &dst->vm(), &net_clock, latency, FaultPlan(&inj, drop_pct));
 
   std::shared_ptr<Task> victim = src->CreateTask(nullptr, "victim");
-  VmOffset addr = victim->VmAllocate(space_pages * kPage).value();
-  for (VmOffset p = 0; p < space_pages; ++p) {
+  VmOffset addr = victim->VmAllocate(kPages * kPage).value();
+  for (VmOffset p = 0; p < kPages; ++p) {
     victim->WriteValue<uint64_t>(addr + p * kPage, 0xE0E0000000000000ull + p);
   }
 
   MigrationManager migrator;
   migrator.Start();
   MigrationManager::Options options;
-  options.strategy = strategy;
-  options.prepage_pages = 8;
+  options.strategy = MigrationManager::Strategy::kCopyOnReference;
   options.export_port = [&](SendRight object) { return link.ProxyForB(std::move(object)); };
-  // For the eager baseline the data crosses the network too: model it by
-  // charging the link for each page the migrator moves synchronously.
   uint64_t net_before = net_clock.NowNs();
   Result<std::shared_ptr<Task>> moved = migrator.Migrate(victim, dst.get(), options);
-  if (strategy == MigrationManager::Strategy::kEager) {
-    // Eager used vm_read/vm_write directly; charge the wire for the bytes.
-    net_clock.Charge(migrator.pages_transferred() *
-                     (kNormaLatency.per_msg_ns + kNormaLatency.per_byte_ns * kPage));
-  }
-  RunResult result;
+  MigrateResult result;
   result.resume_us = (net_clock.NowNs() - net_before) / 1000;
-
-  // The migrated task touches `touched_pct` of its space.
-  std::shared_ptr<Task> task = moved.value();
-  VmSize touch_pages = space_pages * touched_pct / 100;
-  for (VmOffset p = 0; p < touch_pages; ++p) {
-    uint64_t v = 0;
-    task->Read(addr + p * kPage, &v, sizeof(v));
+  if (moved.ok()) {
+    std::shared_ptr<Task> task = moved.value();
+    for (VmOffset p = 0; p < kPages; ++p) {
+      uint64_t v = 0;
+      task->Read(addr + p * kPage, &v, sizeof(v));
+    }
+    task.reset();
   }
   result.total_us = (net_clock.NowNs() - net_before) / 1000;
   result.pages_moved = migrator.pages_transferred();
-  task.reset();
+  result.link = Snapshot(link);
   victim.reset();
   migrator.Stop();
   return result;
 }
 
+struct BulkResult {
+  uint64_t transfer_us = 0;
+  LinkStats link;
+};
+
+// One 64-page message through a proxy: the transport fragments it, and a
+// dropped fragment costs one fragment on the wire, not the whole message.
+BulkResult RunBulk(NetLatencyModel latency, int drop_pct) {
+  auto src = MakeHost("src", kPages + 128);
+  auto dst = MakeHost("dst", kPages + 128);
+  SimClock net_clock;
+  FaultInjector inj(43);
+  NetLink link(&src->vm(), &dst->vm(), &net_clock, latency, FaultPlan(&inj, drop_pct));
+
+  std::shared_ptr<Task> task_a = src->CreateTask();
+  VmOffset base = task_a->VmAllocate(kPages * kPage).value();
+  std::vector<uint8_t> payload(kPages * kPage);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  task_a->Write(base, payload.data(), payload.size());
+  auto copy = src->vm().CopyIn(task_a->vm_context(), base, kPages * kPage).value();
+
+  PortPair sink = PortAllocate("bulk-sink");
+  SendRight proxy = link.ProxyForA(sink.send);
+  Message msg(1);
+  msg.PushOol(copy, kPages * kPage);
+  uint64_t net_before = net_clock.NowNs();
+  MsgSend(proxy, std::move(msg));
+  Result<Message> got = MsgReceive(sink.receive, std::chrono::seconds(30));
+  BulkResult result;
+  result.transfer_us = (net_clock.NowNs() - net_before) / 1000;
+  result.link = Snapshot(link);
+  if (!got.ok()) {
+    std::fprintf(stderr, "bulk transfer lost (drop %d%%)\n", drop_pct);
+  }
+  task_a.reset();
+  return result;
+}
+
+void PrintLinkJson(const LinkStats& s) {
+  std::printf(
+      "\"payload_bytes\": %llu, \"retransmitted_bytes\": %llu, \"retrans_ratio\": %.4f, "
+      "\"fragments_sent\": %llu, \"fragments_retransmitted\": %llu, \"sacks_sent\": %llu, "
+      "\"messages_lost\": %llu",
+      (unsigned long long)s.payload_bytes, (unsigned long long)s.retransmitted_bytes,
+      s.retrans_ratio, (unsigned long long)s.fragments_sent,
+      (unsigned long long)s.fragments_retransmitted, (unsigned long long)s.sacks_sent,
+      (unsigned long long)s.messages_lost);
+}
+
 }  // namespace
 
 int main() {
-  std::printf("E6: task migration over a NORMA link — copy-on-reference vs eager\n\n");
-  std::printf("%-18s %8s %8s %14s %14s %12s\n", "strategy", "space", "touch%",
-              "resume (us)", "total (us)", "pages moved");
-  struct Case {
-    MigrationManager::Strategy strategy;
+  struct Regime {
     const char* name;
+    NetLatencyModel latency;
   };
-  const Case cases[] = {
-      {MigrationManager::Strategy::kEager, "eager"},
-      {MigrationManager::Strategy::kCopyOnReference, "copy-on-ref"},
-      {MigrationManager::Strategy::kPrePage, "prepage(8)"},
-  };
-  const VmSize spaces[] = {64, 256};
-  const int touches[] = {5, 25, 100};
-  for (const Case& c : cases) {
-    for (VmSize space : spaces) {
-      for (int touch : touches) {
-        RunResult r = Run(c.strategy, space, touch);
-        std::printf("%-18s %7llup %8d %14llu %14llu %12llu\n", c.name,
-                    (unsigned long long)space, touch, (unsigned long long)r.resume_us,
-                    (unsigned long long)r.total_us, (unsigned long long)r.pages_moved);
+  const Regime regimes[] = {{"numa", kNumaLatency}, {"norma", kNormaLatency}};
+  const int drops[] = {0, 1, 5, 10};
+
+  std::fprintf(stderr, "E6+: 64-page migration and bulk transfer vs fragment drop rate\n");
+  std::fprintf(stderr, "%-8s %6s %12s %12s %14s %9s\n", "regime", "drop%", "resume(us)",
+               "total(us)", "bulk(us)", "retrans%");
+
+  std::printf("{\n  \"benchmark\": \"migration_drop_sweep\",\n  \"pages\": %llu,\n",
+              (unsigned long long)kPages);
+  std::printf("  \"configs\": [\n");
+  bool first = true;
+  for (const Regime& regime : regimes) {
+    for (int drop : drops) {
+      MigrateResult m = RunMigration(regime.latency, drop);
+      BulkResult b = RunBulk(regime.latency, drop);
+      if (!first) {
+        std::printf(",\n");
       }
+      first = false;
+      std::printf("    {\"latency\": \"%s\", \"drop_pct\": %d,\n", regime.name, drop);
+      std::printf("     \"migration\": {\"resume_us\": %llu, \"total_us\": %llu, "
+                  "\"pages_moved\": %llu, ",
+                  (unsigned long long)m.resume_us, (unsigned long long)m.total_us,
+                  (unsigned long long)m.pages_moved);
+      PrintLinkJson(m.link);
+      std::printf("},\n     \"bulk_64p\": {\"transfer_us\": %llu, ",
+                  (unsigned long long)b.transfer_us);
+      PrintLinkJson(b.link);
+      std::printf("}}");
+      std::fprintf(stderr, "%-8s %6d %12llu %12llu %14llu %8.1f%%\n", regime.name, drop,
+                   (unsigned long long)m.resume_us, (unsigned long long)m.total_us,
+                   (unsigned long long)b.transfer_us, 100.0 * b.link.retrans_ratio);
     }
   }
-  std::printf("\nshape: eager resume time grows with address-space size; copy-on-\n"
-              "reference resumes immediately and moves only the touched fraction\n"
-              "(Sec 8.2); pre-paging trades a little resume time for fewer faults.\n");
+  std::printf("\n  ]\n}\n");
+  std::fprintf(stderr,
+               "\nshape: copy-on-reference resumes immediately at every drop rate; the\n"
+               "selective-repeat transport keeps retransmitted bytes a small fraction\n"
+               "of payload (< 25%% at 10%% drop) because only missing fragments resend.\n");
   return 0;
 }

@@ -84,7 +84,14 @@ case "$mode" in
         exit 2
       fi
       echo "=== bench_${name} -> BENCH_${name}.json"
-      "$bin" --benchmark_format=json --benchmark_out_format=json > "BENCH_${name}.json"
+      if [ "$name" = migration ]; then
+        # bench_migration is a plain sweep driver that writes its own JSON
+        # document to stdout (drop-rate x latency grid; human table on
+        # stderr), not a google-benchmark binary.
+        "$bin" > "BENCH_${name}.json"
+      else
+        "$bin" --benchmark_format=json --benchmark_out_format=json > "BENCH_${name}.json"
+      fi
     done
     ;;
   *)

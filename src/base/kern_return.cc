@@ -46,6 +46,8 @@ const char* KernReturnName(KernReturn kr) {
       return "KERN_NOT_FOUND";
     case KernReturn::kAlreadyExists:
       return "KERN_ALREADY_EXISTS";
+    case KernReturn::kMigrationAborted:
+      return "KERN_MIGRATION_ABORTED";
   }
   return "KERN_UNKNOWN";
 }

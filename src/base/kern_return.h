@@ -38,6 +38,9 @@ enum class KernReturn : int32_t {
   kNoMessage = 105,     // msg_receive poll found no message.
   kNotFound = 106,      // Named object does not exist.
   kAlreadyExists = 107, // Named object already exists.
+
+  // Service-level errors (no historical Mach equivalent).
+  kMigrationAborted = 200,  // The transport to the destination died mid-migration.
 };
 
 // Human-readable enumerator name, for logs and test failure messages.

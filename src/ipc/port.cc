@@ -141,6 +141,20 @@ void Port::RequestDeathNotification(SendRight notify_to) {
   }
 }
 
+void Port::AddDeathAction(std::function<void(uint64_t)> action) {
+  if (!action) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!dead_) {
+      death_actions_.push_back(std::move(action));
+      return;
+    }
+  }
+  action(id_);  // Already dead: fire synchronously, outside mu_.
+}
+
 void Port::RequestNoSendersNotification(SendRight notify_to) {
   bool fire_now = false;
   SendRight replaced;
@@ -223,6 +237,7 @@ void Port::ForEachGcRef(const std::function<void(const Port*)>& fn) const {
 void Port::MarkDead() {
   std::deque<Message> drained;
   std::vector<SendRight> watchers;
+  std::vector<std::function<void(uint64_t)>> actions;
   SendRight no_senders;
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -232,6 +247,7 @@ void Port::MarkDead() {
     dead_ = true;
     drained.swap(queue_);
     watchers.swap(death_watchers_);
+    actions.swap(death_actions_);
     no_senders = std::move(no_senders_notify_);
     recv_cv_.notify_all();
     send_cv_.notify_all();
@@ -247,6 +263,11 @@ void Port::MarkDead() {
     msg.PushU64(id_);
     // Best-effort: a full or dead notify port drops the notification.
     DeliverNotification(std::move(w), std::move(msg));
+  }
+  // Death actions run last: notification messages above are already queued,
+  // so an action killing further ports cannot reorder ahead of them.
+  for (auto& action : actions) {
+    action(id_);
   }
   // `no_senders` is discarded unfired: death supersedes no-senders.
   MACH_LOG(kDebug) << "port " << id_ << " (" << label_ << ") died";

@@ -91,6 +91,15 @@ class Port : public std::enable_shared_from_this<Port> {
   // port is destroyed.
   void RequestDeathNotification(SendRight notify_to);
 
+  // Registers a callback invoked exactly once when this port dies, after
+  // its queue is drained and its death-notification messages are sent. Runs
+  // on the thread that kills the port, outside all port locks — it may take
+  // its own locks and kill other ports (transports use this to propagate
+  // death across a link eagerly), but must not block. Fires immediately if
+  // the port is already dead. Actions must not own port rights: PortGc
+  // cannot see into them.
+  void AddDeathAction(std::function<void(uint64_t dead_port_id)> action);
+
   // Registers `notify_to` to receive a one-shot kMsgIdNoSenders message
   // when the port's send-right count drops to zero (fires immediately if it
   // already is zero). A later MakeSendRight re-arms nothing by itself; the
@@ -143,6 +152,7 @@ class Port : public std::enable_shared_from_this<Port> {
   bool dead_ = false;
   std::weak_ptr<PortSet> set_;
   std::vector<SendRight> death_watchers_;
+  std::vector<std::function<void(uint64_t)>> death_actions_;
   SendRight no_senders_notify_;
 };
 

@@ -14,6 +14,7 @@ Result<std::shared_ptr<Task>> MigrationManager::Migrate(const std::shared_ptr<Ta
   source->Suspend();
   std::vector<RegionInfo> regions = source->VmRegions();
   std::shared_ptr<Task> migrated = destination->CreateTask(nullptr, source->name() + "-migrated");
+  std::vector<uint64_t> cookies;  // Regions created by this call, for unwind.
 
   for (const RegionInfo& region : regions) {
     const VmSize size = region.end - region.start;
@@ -52,14 +53,19 @@ Result<std::shared_ptr<Task>> MigrationManager::Migrate(const std::shared_ptr<Ta
       mr.source = source;
       mr.source_base = region.start;
       mr.size = size;
+      mr.object_port_id = object.id();
       regions_.emplace(cookie, std::move(mr));
     }
+    cookies.push_back(cookie);
     SendRight exported = options.export_port ? options.export_port(object) : object;
+    if (!exported.valid() || exported.IsDead()) {
+      return AbortMigration(source, cookies, KernReturn::kMigrationAborted);
+    }
     Result<VmOffset> addr =
         migrated->VmAllocateWithPager(size, exported, 0, /*anywhere=*/false, region.start);
     if (!addr.ok()) {
-      source->Resume();
-      return addr.status();
+      return AbortMigration(source, cookies,
+                            exported.IsDead() ? KernReturn::kMigrationAborted : addr.status());
     }
     if (options.strategy == Strategy::kPrePage && options.prepage_pages > 0) {
       // Push the first pages so predictable tasks start without faulting
@@ -71,15 +77,25 @@ Result<std::shared_ptr<Task>> MigrationManager::Migrate(const std::shared_ptr<Ta
           std::lock_guard<std::mutex> g(mu_);
           request = regions_[cookie].request_port;
         }
+        if (exported.IsDead() || RegionAborted(cookie)) {
+          break;  // The link ate the init: the request port never comes.
+        }
         if (!request.valid()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(2));
         }
+      }
+      if (exported.IsDead() || RegionAborted(cookie) ||
+          (request.valid() && request.IsDead())) {
+        return AbortMigration(source, cookies, KernReturn::kMigrationAborted);
       }
       if (request.valid()) {
         std::vector<std::byte> buf(ps);
         for (size_t p = 0; p < options.prepage_pages && p * ps < size; ++p) {
           if (IsOk(source->VmRead(region.start + p * ps, buf.data(), ps))) {
-            ProvideData(request, p * ps, buf, kVmProtNone);
+            KernReturn kr = ProvideData(request, p * ps, buf, kVmProtNone);
+            if (kr == KernReturn::kPortDead) {
+              return AbortMigration(source, cookies, KernReturn::kMigrationAborted);
+            }
             pages_transferred_.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -91,6 +107,52 @@ Result<std::shared_ptr<Task>> MigrationManager::Migrate(const std::shared_ptr<Ta
     migrated->VmProtect(region.start, region.end - region.start, false, region.protection);
   }
   return migrated;
+}
+
+bool MigrationManager::RegionAborted(uint64_t cookie) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = regions_.find(cookie);
+  return it != regions_.end() && it->second.aborted;
+}
+
+KernReturn MigrationManager::AbortMigration(const std::shared_ptr<Task>& source,
+                                            const std::vector<uint64_t>& cookies,
+                                            KernReturn status) {
+  // Unwind: drop the regions this call created and kill their memory
+  // objects, so the destination kernel observes pager death (resolving any
+  // faults it parked on them per its timeout policy) and stray data
+  // requests cannot resurrect the transfer. The dropped `migrated` task is
+  // torn down by the caller's Result going out of scope.
+  std::vector<uint64_t> object_ports;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (uint64_t cookie : cookies) {
+      auto it = regions_.find(cookie);
+      if (it != regions_.end()) {
+        object_ports.push_back(it->second.object_port_id);
+        regions_.erase(it);
+      }
+    }
+  }
+  for (uint64_t port_id : object_ports) {
+    ReleaseMemoryObject(port_id);
+  }
+  source->Resume();
+  if (status == KernReturn::kMigrationAborted) {
+    migrations_aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void MigrationManager::OnPortDeath(uint64_t port_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [cookie, region] : regions_) {
+    if (region.request_port.valid() && region.request_port.id() == port_id) {
+      region.aborted = true;
+      region.request_port = SendRight();  // Drop the dead right.
+      region.writebacks.clear();
+    }
+  }
 }
 
 void MigrationManager::OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) {
@@ -108,7 +170,7 @@ void MigrationManager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
   {
     std::lock_guard<std::mutex> g(mu_);
     auto it = regions_.find(cookie);
-    if (it == regions_.end()) {
+    if (it == regions_.end() || it->second.aborted) {
       DataUnavailable(args.pager_request_port, args.offset, args.length);
       return;
     }

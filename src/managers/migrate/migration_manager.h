@@ -46,35 +46,57 @@ class MigrationManager : public DataManager {
   // Migrates `source`'s address space into a fresh task on `destination`.
   // The source task is suspended and must outlive the migrated task while
   // copy-on-reference dependencies remain (the residual-dependency caveat
-  // of Zayas' design).
+  // of Zayas' design). If the transport to the destination dies while the
+  // transfer is in flight (an exported port observed dead, a pre-page push
+  // failing with port death, or the destination kernel's request port dying
+  // under the manager — e.g. a NetLink declaring the peer dead), the
+  // migration is unwound — regions created by this call are released, the
+  // source is resumed — and kMigrationAborted is returned; the caller may
+  // retry once the link heals.
   Result<std::shared_ptr<Task>> Migrate(const std::shared_ptr<Task>& source,
                                         Kernel* destination, const Options& options);
 
   // Statistics: how much data actually moved.
   uint64_t pages_transferred() const { return pages_transferred_.load(std::memory_order_relaxed); }
   uint64_t demand_requests() const { return demand_requests_.load(std::memory_order_relaxed); }
+  uint64_t migrations_aborted() const {
+    return migrations_aborted_.load(std::memory_order_relaxed);
+  }
 
  protected:
   void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) override;
   void OnDataRequest(uint64_t object_port_id, uint64_t cookie, PagerDataRequestArgs args) override;
   void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) override;
+  // A request port the destination kernel gave us died: the kernel (or the
+  // link carrying it) is gone. Mark the affected regions aborted so in-
+  // flight Migrate calls unwind and stray data requests answer unavailable.
+  void OnPortDeath(uint64_t port_id) override;
 
  private:
   struct MigratedRegion {
     std::shared_ptr<Task> source;
     VmOffset source_base = 0;
     VmSize size = 0;
+    uint64_t object_port_id = 0;  // For release on abort.
     SendRight request_port;  // Destination kernel's request port (from init).
+    bool aborted = false;    // Transport to the destination died.
     // Pages written back by the destination kernel (its evictions): served
     // from here in preference to the (now stale) source.
     std::unordered_map<VmOffset, std::vector<std::byte>> writebacks;
   };
+
+  bool RegionAborted(uint64_t cookie);
+  // Unwinds a failed Migrate call: releases the memory objects and region
+  // entries it created and resumes the source.
+  KernReturn AbortMigration(const std::shared_ptr<Task>& source,
+                            const std::vector<uint64_t>& cookies, KernReturn status);
 
   std::mutex mu_;
   std::unordered_map<uint64_t, MigratedRegion> regions_;  // by cookie
   uint64_t next_cookie_ = 1;
   std::atomic<uint64_t> pages_transferred_{0};
   std::atomic<uint64_t> demand_requests_{0};
+  std::atomic<uint64_t> migrations_aborted_{0};
 };
 
 }  // namespace mach

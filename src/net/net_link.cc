@@ -1,5 +1,6 @@
 #include "src/net/net_link.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "src/base/log.h"
@@ -7,6 +8,9 @@
 namespace mach {
 
 namespace {
+
+// A SACK is a small control frame: sequence range + fragment bitmap.
+constexpr uint64_t kSackFrameBytes = 16;
 
 // A best-effort copy for duplicate delivery. Receive rights cannot be
 // duplicated (there is one receiver), so a message carrying one is never
@@ -30,9 +34,25 @@ std::optional<Message> CloneMessage(const Message& msg) {
 
 }  // namespace
 
+const char* LinkHealthName(LinkHealth health) {
+  switch (health) {
+    case LinkHealth::kUp:
+      return "up";
+    case LinkHealth::kDegraded:
+      return "degraded";
+    case LinkHealth::kPeerDead:
+      return "peer-dead";
+  }
+  return "?";
+}
+
 NetLink::NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock, NetLatencyModel latency,
                  NetFaultConfig faults)
-    : clock_(clock), latency_(latency), faults_(faults) {
+    : clock_(clock), latency_(latency), faults_(faults),
+      life_(std::make_shared<LifeToken>()) {
+  life_->link = this;
+  a_to_b_.name = "a->b";
+  b_to_a_.name = "b->a";
   a_to_b_.dst_vm = vm_b;  // Messages entering on A are delivered into B.
   b_to_a_.dst_vm = vm_a;
   a_to_b_.forwarder = std::thread([this] { ForwarderLoop(a_to_b_, b_to_a_); });
@@ -40,6 +60,12 @@ NetLink::NetLink(VmSystem* vm_a, VmSystem* vm_b, SimClock* clock, NetLatencyMode
 }
 
 NetLink::~NetLink() {
+  {
+    // Disarm target-death actions first: one may already hold life_->mu and
+    // be walking our maps, in which case this blocks until it finishes.
+    std::lock_guard<std::mutex> g(life_->mu);
+    life_->link = nullptr;
+  }
   running_.store(false, std::memory_order_release);
   a_to_b_.forwarder.join();
   b_to_a_.forwarder.join();
@@ -53,18 +79,55 @@ SendRight NetLink::MakeProxy(Direction& dir, SendRight target) {
   if (!target.valid()) {
     return SendRight();
   }
-  std::lock_guard<std::mutex> g(dir.mu);
-  auto it = dir.proxies_by_target.find(target.id());
-  if (it != dir.proxies_by_target.end()) {
-    return it->second;
+  SendRight proxy;
+  {
+    std::lock_guard<std::mutex> g(dir.mu);
+    auto it = dir.proxies_by_target.find(target.id());
+    if (it != dir.proxies_by_target.end()) {
+      return it->second;
+    }
+    PortPair pair = PortAllocate("netproxy:" + target.label());
+    pair.receive.port()->SetBacklog(1024);
+    proxy = pair.send;
+    dir.proxies_by_target.emplace(target.id(), pair.send);
+    dir.target_by_proxy.emplace(pair.send.id(), target);
+    dir.set->Add(pair.receive);
+    dir.receives.push_back(std::move(pair.receive));
   }
-  PortPair pair = PortAllocate("netproxy:" + target.label());
-  pair.receive.port()->SetBacklog(1024);
-  dir.proxies_by_target.emplace(target.id(), pair.send);
-  dir.target_by_proxy.emplace(pair.send.id(), target);
-  dir.set->Add(pair.receive);
-  dir.receives.push_back(std::move(pair.receive));
-  return pair.send;
+  // Propagate target death eagerly: remote senders observe port death the
+  // moment the real port dies, not whenever the next forward fails.
+  // Registered outside dir.mu — an already-dead target fires the action
+  // synchronously, and OnTargetDead retakes dir.mu. The action captures no
+  // port rights (PortGc cannot see into it); the token gates ~NetLink.
+  Direction* dir_ptr = &dir;
+  const uint64_t target_id = target.id();
+  target.port()->AddDeathAction(
+      [life = life_, dir_ptr, target_id](uint64_t) {
+        std::lock_guard<std::mutex> g(life->mu);
+        if (life->link != nullptr) {
+          life->link->OnTargetDead(*dir_ptr, target_id);
+        }
+      });
+  return proxy;
+}
+
+void NetLink::OnTargetDead(Direction& dir, uint64_t target_id) {
+  std::lock_guard<std::mutex> g(dir.mu);
+  auto it = dir.proxies_by_target.find(target_id);
+  if (it == dir.proxies_by_target.end()) {
+    return;  // Already cleaned up (forward failure or peer-dead sweep).
+  }
+  const uint64_t proxy_id = it->second.id();
+  for (auto rit = dir.receives.begin(); rit != dir.receives.end(); ++rit) {
+    if (rit->id() == proxy_id) {
+      dir.set->Remove(*rit);
+      rit->Destroy();
+      dir.receives.erase(rit);
+      break;
+    }
+  }
+  dir.target_by_proxy.erase(proxy_id);
+  dir.proxies_by_target.erase(it);
 }
 
 SendRight NetLink::RewriteRight(Direction& dir, Direction& reverse, SendRight right) {
@@ -89,6 +152,16 @@ void NetLink::ForwarderLoop(Direction& dir, Direction& reverse) {
   while (running_.load(std::memory_order_acquire)) {
     Result<PortSet::ReceivedMessage> got = dir.set->ReceiveFrom(std::chrono::milliseconds(20));
     if (!got.ok()) {
+      if (faults_.failure_detector) {
+        // Idle: probe the peer. Heartbeats are control-plane only — they
+        // consult the partition switch but never the injector (their count
+        // depends on wall-clock idle time, which would perturb the
+        // deterministic per-point fault sequences) and charge no virtual
+        // latency. They are what pushes a quiet partitioned direction over
+        // the peer-dead threshold, and what heals it after SetPartitioned.
+        heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+        NoteRoundOutcome(dir, !partitioned());
+      }
       continue;
     }
     Forward(dir, reverse, got.value().port_id, std::move(got.value().message));
@@ -134,18 +207,13 @@ void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Mes
     }
   }
 
-  // Wire transmission. In reliable mode a dropped attempt is retransmitted
-  // with exponential backoff (virtual ack timeouts); otherwise it is lost.
+  // Wire transmission: the fragmented selective-repeat transport in
+  // reliable mode, a single all-or-nothing traversal otherwise. A message
+  // that does not make it is counted lost exactly once, here and only here
+  // — attempt-level drops accumulate separately in messages_dropped.
   const uint64_t seq = dir.next_seq++;
-  bool on_wire = Transmit(payload_bytes);
-  for (uint32_t attempt = 0; !on_wire && faults_.reliable && attempt < faults_.max_retransmits;
-       ++attempt) {
-    if (clock_ != nullptr) {
-      clock_->Charge(faults_.retransmit_base_ns << attempt);
-    }
-    retransmits_.fetch_add(1, std::memory_order_relaxed);
-    on_wire = Transmit(payload_bytes);
-  }
+  const bool on_wire =
+      faults_.reliable ? SendReliable(dir, payload_bytes) : Transmit(payload_bytes);
   if (!on_wire) {
     lost_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -196,6 +264,134 @@ void NetLink::Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Mes
   }
 }
 
+bool NetLink::SendReliable(Direction& dir, uint64_t payload_bytes) {
+  const uint64_t frag_size = std::max<uint64_t>(1, faults_.fragment_bytes);
+  const uint64_t frag_count = std::max<uint64_t>(1, (payload_bytes + frag_size - 1) / frag_size);
+  const uint32_t window = std::max<uint32_t>(1, faults_.window_fragments);
+
+  // Sender and (simulated) receiver state for this message. `arrived` is
+  // the receiver's reassembly bitmap — out-of-order arrivals just set their
+  // bit; `acked` is the sender's view of it, merged from SACKs.
+  std::vector<bool> arrived(frag_count, false);
+  std::vector<bool> acked(frag_count, false);
+  std::vector<bool> transmitted(frag_count, false);  // First attempt done?
+  uint64_t acked_count = 0;
+  uint64_t arrived_count = 0;
+  uint64_t rto = CurrentRto(dir);
+
+  // Merging a SACK bitmap is idempotent: re-applying a duplicated (or
+  // stale) SACK acks nothing twice.
+  auto merge_sack = [&](const std::vector<bool>& sack) {
+    for (uint64_t f = 0; f < frag_count; ++f) {
+      if (sack[f] && !acked[f]) {
+        acked[f] = true;
+        ++acked_count;
+      }
+    }
+  };
+  auto receive_fragment = [&](uint64_t f) {
+    if (arrived[f]) {
+      // Already reassembled (a retransmit whose SACK was lost, or a
+      // reordered straggler that crossed its own retransmission).
+      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      arrived[f] = true;
+      ++arrived_count;
+    }
+  };
+
+  for (uint32_t pass = 0;; ++pass) {
+    // One pass over the fragments the SACKs still report missing, in
+    // window-sized bursts. Each delivering burst is answered by one SACK,
+    // so a retransmission round only ever resends what is actually missing.
+    uint64_t next = 0;
+    while (acked_count < frag_count && next < frag_count) {
+      std::vector<uint64_t> burst;
+      while (next < frag_count && burst.size() < window) {
+        if (!acked[next]) {
+          burst.push_back(next);
+        }
+        ++next;
+      }
+      if (burst.empty()) {
+        break;
+      }
+      const uint64_t burst_started_ns = clock_ != nullptr ? clock_->NowNs() : 0;
+      bool burst_delivered = false;
+      std::vector<uint64_t> reordered;  // Arrive only after the SACK left.
+      for (uint64_t f : burst) {
+        const uint64_t frag_bytes =
+            f + 1 == frag_count ? payload_bytes - f * frag_size : frag_size;
+        fragments_sent_.fetch_add(1, std::memory_order_relaxed);
+        if (transmitted[f]) {
+          fragments_retransmitted_.fetch_add(1, std::memory_order_relaxed);
+          bytes_retransmitted_.fetch_add(frag_bytes, std::memory_order_relaxed);
+        }
+        transmitted[f] = true;
+        if (!TransmitFragment(frag_bytes)) {
+          continue;  // Dropped on the wire; a later SACK flags it missing.
+        }
+        if (faults_.injector != nullptr && faults_.injector->ShouldFail(kFaultReorder)) {
+          reorders_.fetch_add(1, std::memory_order_relaxed);
+          reordered.push_back(f);
+          continue;
+        }
+        receive_fragment(f);
+        burst_delivered = true;
+      }
+      if (burst_delivered) {
+        // The receiver answers a delivering burst with a selective ack: a
+        // snapshot of its whole reassembly bitmap (so a SACK lost earlier
+        // is repaired by any later one).
+        sacks_sent_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<bool> sack = arrived;
+        const bool sack_arrived = TransmitSack();
+        // Reordered fragments land now — real arrivals the SACK that just
+        // left knows nothing about; the sender re-sends them and the
+        // receiver suppresses the duplicates.
+        for (uint64_t f : reordered) {
+          receive_fragment(f);
+        }
+        if (sack_arrived) {
+          merge_sack(sack);
+          if (faults_.injector != nullptr && faults_.injector->ShouldFail(kFaultDuplicate)) {
+            // A duplicated SACK: merged again, to no further effect.
+            sacks_duplicated_.fetch_add(1, std::memory_order_relaxed);
+            merge_sack(sack);
+          }
+          if (clock_ != nullptr) {
+            UpdateRtt(dir, clock_->NowNs() - burst_started_ns);
+          }
+        }
+      } else {
+        // Nothing reached the receiver in-band; stragglers still land.
+        for (uint64_t f : reordered) {
+          receive_fragment(f);
+        }
+      }
+    }
+
+    if (acked_count == frag_count) {
+      if (faults_.failure_detector) {
+        NoteRoundOutcome(dir, true);
+      }
+      return true;
+    }
+    // Unacked fragments remain: the retransmission timer fires.
+    if (faults_.failure_detector) {
+      NoteRoundOutcome(dir, false);
+    }
+    if (pass >= faults_.max_retransmits) {
+      return false;  // Budget exhausted; the caller counts the loss once.
+    }
+    if (clock_ != nullptr) {
+      clock_->Charge(rto);
+    }
+    rto = ClampRto(rto * 2);  // Bounded exponential backoff.
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool NetLink::Transmit(uint64_t payload_bytes) {
   if (clock_ != nullptr) {
     clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * payload_bytes);
@@ -214,6 +410,116 @@ bool NetLink::Transmit(uint64_t payload_bytes) {
     }
   }
   return true;
+}
+
+bool NetLink::TransmitFragment(uint64_t fragment_bytes) {
+  if (clock_ != nullptr) {
+    clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * fragment_bytes);
+  }
+  if (partitioned()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (faults_.injector != nullptr) {
+    if (faults_.injector->ShouldFail(kFaultDrop) ||
+        faults_.injector->ShouldFail(kFaultFragDrop)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (faults_.injector->ShouldFail(kFaultDelay) && clock_ != nullptr) {
+      clock_->Charge(faults_.delay_jitter_ns);
+    }
+  }
+  return true;
+}
+
+bool NetLink::TransmitSack() {
+  if (clock_ != nullptr) {
+    clock_->Charge(latency_.per_msg_ns + latency_.per_byte_ns * kSackFrameBytes);
+  }
+  if (partitioned()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Control frames fault independently of the data plane: only
+  // net.ack_drop, so tests can target acks without touching fragments.
+  if (faults_.injector != nullptr && faults_.injector->ShouldFail(kFaultAckDrop)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+uint64_t NetLink::ClampRto(uint64_t rto) const {
+  const uint64_t lo = std::max<uint64_t>(1, faults_.min_rto_ns);
+  const uint64_t hi = std::max<uint64_t>(lo, faults_.max_rto_ns);
+  return std::clamp(rto, lo, hi);
+}
+
+uint64_t NetLink::CurrentRto(const Direction& dir) const {
+  const uint64_t adaptive = dir.rto_ns.load(std::memory_order_relaxed);
+  // Before the first RTT sample the configured base paces retries (the
+  // clamp does not apply to it, so tests may pick an exact backoff series).
+  return adaptive != 0 ? adaptive : faults_.retransmit_base_ns;
+}
+
+void NetLink::UpdateRtt(Direction& dir, uint64_t sample_ns) {
+  // RFC 6298 over virtual time: srtt <- 7/8 srtt + 1/8 sample,
+  // rttvar <- 3/4 rttvar + 1/4 |srtt - sample|, rto = srtt + 4 rttvar.
+  if (dir.srtt_ns == 0) {
+    dir.srtt_ns = sample_ns;
+    dir.rttvar_ns = sample_ns / 2;
+  } else {
+    const uint64_t delta =
+        sample_ns > dir.srtt_ns ? sample_ns - dir.srtt_ns : dir.srtt_ns - sample_ns;
+    dir.rttvar_ns = (3 * dir.rttvar_ns + delta) / 4;
+    dir.srtt_ns = (7 * dir.srtt_ns + sample_ns) / 8;
+  }
+  dir.rto_ns.store(ClampRto(dir.srtt_ns + 4 * dir.rttvar_ns), std::memory_order_relaxed);
+}
+
+void NetLink::NoteRoundOutcome(Direction& dir, bool ok) {
+  if (ok) {
+    dir.consecutive_timeouts.store(0, std::memory_order_relaxed);
+    // Any successful round heals — including from kPeerDead after the
+    // partition is lifted. (Proxies killed meanwhile stay dead; callers
+    // mint fresh ones.)
+    dir.health.store(LinkHealth::kUp, std::memory_order_release);
+    return;
+  }
+  const uint32_t timeouts = dir.consecutive_timeouts.fetch_add(1, std::memory_order_relaxed) + 1;
+  const LinkHealth health = dir.health.load(std::memory_order_acquire);
+  if (timeouts >= faults_.dead_after_timeouts && health != LinkHealth::kPeerDead) {
+    dir.health.store(LinkHealth::kPeerDead, std::memory_order_release);
+    peer_dead_events_.fetch_add(1, std::memory_order_relaxed);
+    MACH_LOG(kDebug) << "net link " << dir.name << ": peer declared dead after " << timeouts
+                     << " consecutive timeouts";
+    KillProxies(dir);
+  } else if (timeouts >= faults_.degraded_after_timeouts && health == LinkHealth::kUp) {
+    dir.health.store(LinkHealth::kDegraded, std::memory_order_release);
+  }
+}
+
+void NetLink::KillProxies(Direction& dir) {
+  // Destroying the receive rights marks every proxy port dead; their death
+  // notifications fan out to whoever registered (kernels resolve parked
+  // faulters per OnPagerTimeout policy, data managers get OnPortDeath).
+  std::lock_guard<std::mutex> g(dir.mu);
+  for (ReceiveRight& r : dir.receives) {
+    dir.set->Remove(r);
+    r.Destroy();
+  }
+  dir.receives.clear();
+  dir.target_by_proxy.clear();
+  dir.proxies_by_target.clear();
+}
+
+NetLink::LinkDirectionStatus NetLink::StatusOf(const Direction& dir) const {
+  LinkDirectionStatus status;
+  status.health = dir.health.load(std::memory_order_acquire);
+  status.rto_ns = dir.rto_ns.load(std::memory_order_relaxed);
+  status.consecutive_timeouts = dir.consecutive_timeouts.load(std::memory_order_relaxed);
+  return status;
 }
 
 }  // namespace mach

@@ -15,10 +15,28 @@
 // hundreds of microseconds on a HyperCube-class NORMA.
 //
 // Real interconnects lose, duplicate and delay packets. A FaultInjector
-// (points "net.drop" / "net.duplicate" / "net.delay") plus SetPartitioned()
-// model that; the optional reliable mode layers sequence numbers and an
-// ack-and-retransmit scheme with bounded exponential backoff on top, so
-// proxied pager traffic degrades to added (virtual) latency instead of loss.
+// (points "net.drop" / "net.duplicate" / "net.delay" plus the fragment-level
+// "net.frag_drop" / "net.ack_drop" / "net.reorder") plus SetPartitioned()
+// model that. The optional reliable mode is a fragmented, windowed
+// transport: a message is split into fragment_bytes-sized fragments sent in
+// window-sized bursts; the receiver answers each delivering burst with a
+// selective ack (a bitmap of everything it has reassembled so far), and the
+// sender retransmits only the fragments the SACK reports missing, pacing
+// retries with an adaptive RTO (SRTT/RTTVAR over virtual time, exponentially
+// backed off, bounded by max_retransmits passes). Proxied pager traffic thus
+// degrades to added (virtual) latency instead of loss, and one dropped
+// fragment of a 64-page transfer costs one fragment on the wire — not the
+// whole message.
+//
+// An optional failure detector sits on top: consecutive transport timeouts
+// and idle-time heartbeats drive a per-direction health state machine
+// kUp → kDegraded → kPeerDead. Declaring the peer dead kills every proxy
+// port in that direction, which flows through the ordinary port-death
+// notification path — remote kernels resolve parked faulters per their
+// OnPagerTimeout policy immediately, and data managers get OnPortDeath for
+// their request ports — instead of every waiter burning the 5 s pager
+// timeout. SetPartitioned(false) heals: the next successful heartbeat
+// re-enters kUp and fresh proxies can be minted.
 
 #ifndef SRC_NET_NET_LINK_H_
 #define SRC_NET_NET_LINK_H_
@@ -39,7 +57,7 @@
 namespace mach {
 
 struct NetLatencyModel {
-  uint64_t per_msg_ns = 0;   // Charged once per message.
+  uint64_t per_msg_ns = 0;   // Charged once per wire frame (fragment/SACK).
   uint64_t per_byte_ns = 0;  // Charged per payload byte (inline + OOL).
 };
 
@@ -48,25 +66,58 @@ inline constexpr NetLatencyModel kUmaLatency{500, 0};        // "considerably le
 inline constexpr NetLatencyModel kNumaLatency{5'000, 1};     // Butterfly: ≈5 µs
 inline constexpr NetLatencyModel kNormaLatency{200'000, 80}; // HyperCube: 100s of µs, 10 Mb/s
 
+// Per-direction link health as seen by the failure detector.
+enum class LinkHealth : uint8_t {
+  kUp = 0,        // Recent traffic (or heartbeats) succeeded.
+  kDegraded = 1,  // degraded_after_timeouts consecutive timeouts.
+  kPeerDead = 2,  // dead_after_timeouts: proxies for the peer were killed.
+};
+
+const char* LinkHealthName(LinkHealth health);
+
 struct NetFaultConfig {
   // Consulted per transmission attempt (null = healthy link).
   FaultInjector* injector = nullptr;
   // Extra virtual-time delay charged when "net.delay" fires.
   uint64_t delay_jitter_ns = 1'000'000;  // 1 ms.
-  // Sequence-numbered ack-and-retransmit: a dropped transmission is retried
-  // with exponentially backed-off (virtual) delay instead of being lost,
-  // and receiver-side sequence tracking suppresses duplicate deliveries.
+  // Fragmented selective-repeat transport: fragments ride a sliding window,
+  // the receiver SACKs what it has, and only missing fragments retransmit.
   bool reliable = false;
+  // Retransmission passes per message before it is declared lost.
   uint32_t max_retransmits = 6;
-  uint64_t retransmit_base_ns = 5'000'000;  // 5 ms, doubled per attempt.
+  // Initial RTO before any RTT sample exists; doubled per timeout.
+  uint64_t retransmit_base_ns = 5'000'000;  // 5 ms.
+  // Reliable-mode wire format: payload is split into fragments of this many
+  // bytes, sent in bursts of window_fragments.
+  uint64_t fragment_bytes = 4096;
+  uint32_t window_fragments = 8;
+  // Clamp on the adaptive RTO (srtt + 4*rttvar, exponentially backed off).
+  uint64_t min_rto_ns = 1'000'000;    // 1 ms.
+  uint64_t max_rto_ns = 320'000'000;  // 320 ms.
+  // Failure detector: when enabled, consecutive transport timeouts and idle
+  // heartbeats drive the kUp -> kDegraded -> kPeerDead state machine, and
+  // kPeerDead kills every proxy in the affected direction.
+  bool failure_detector = false;
+  uint32_t degraded_after_timeouts = 3;
+  uint32_t dead_after_timeouts = 10;
 };
 
 class NetLink {
  public:
-  // Fault points consulted per transmission when an injector is attached.
+  // Fault points consulted when an injector is attached. Data fragments
+  // consult net.drop then net.frag_drop (drop) and net.delay (jitter);
+  // delivered fragments consult net.reorder (arrival deferred past the
+  // SACK). SACK control frames consult only net.ack_drop — the control
+  // plane can be faulted independently of the data plane — plus
+  // net.duplicate for a duplicated (idempotently re-applied) SACK.
+  // Heartbeats consult no points at all: their count depends on wall-clock
+  // idle time, which would perturb the deterministic per-point sequences.
   static constexpr const char* kFaultDrop = "net.drop";
   static constexpr const char* kFaultDuplicate = "net.duplicate";
   static constexpr const char* kFaultDelay = "net.delay";
+  static constexpr const char* kFaultFragDrop = "net.frag_drop";
+  static constexpr const char* kFaultAckDrop = "net.ack_drop";
+  static constexpr const char* kFaultReorder = "net.reorder";
 
   // Host A and host B are identified by their VM systems (for OOL
   // rebuild). Latency is charged to `clock` per traversal.
@@ -88,24 +139,53 @@ class NetLink {
   void SetPartitioned(bool on) { partitioned_.store(on, std::memory_order_release); }
   bool partitioned() const { return partitioned_.load(std::memory_order_acquire); }
 
+  // Failure-detector observability, per direction.
+  struct LinkDirectionStatus {
+    LinkHealth health = LinkHealth::kUp;
+    uint64_t rto_ns = 0;  // Current adaptive RTO (0 until the first sample).
+    uint32_t consecutive_timeouts = 0;
+  };
+  LinkDirectionStatus a_to_b_status() const { return StatusOf(a_to_b_); }
+  LinkDirectionStatus b_to_a_status() const { return StatusOf(b_to_a_); }
+
   uint64_t messages_forwarded() const { return messages_.load(std::memory_order_relaxed); }
   uint64_t bytes_forwarded() const { return bytes_.load(std::memory_order_relaxed); }
-  // Transmission attempts dropped on the wire (includes retried ones).
+  // Transmission attempts dropped on the wire (fragments, SACKs, and
+  // unreliable whole messages; includes retried attempts).
   uint64_t messages_dropped() const { return dropped_.load(std::memory_order_relaxed); }
-  // Retransmissions performed in reliable mode.
+  // Retransmission passes (RTO expiries) performed in reliable mode.
   uint64_t retransmits() const { return retransmits_.load(std::memory_order_relaxed); }
-  // Messages lost for good (unreliable drop, or retransmit budget spent).
+  // Messages lost for good: an unreliable drop, or a reliable message whose
+  // retransmit budget was exhausted. Each lost message counts exactly once,
+  // however many of its transmission attempts were dropped.
   uint64_t messages_lost() const { return lost_.load(std::memory_order_relaxed); }
   // Extra deliveries from duplication (unreliable mode).
   uint64_t messages_duplicated() const { return duplicated_.load(std::memory_order_relaxed); }
-  // Duplicates suppressed by sequence numbers (reliable mode).
+  // Duplicates suppressed in reliable mode: replayed whole messages caught
+  // by sequence numbers, plus re-received fragments already reassembled.
   uint64_t duplicates_suppressed() const {
     return dup_suppressed_.load(std::memory_order_relaxed);
   }
 
+  // Fragment-transport counters (reliable mode).
+  uint64_t fragments_sent() const { return fragments_sent_.load(std::memory_order_relaxed); }
+  uint64_t fragments_retransmitted() const {
+    return fragments_retransmitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_retransmitted() const {
+    return bytes_retransmitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t sacks_sent() const { return sacks_sent_.load(std::memory_order_relaxed); }
+  uint64_t sacks_duplicated() const { return sacks_duplicated_.load(std::memory_order_relaxed); }
+  uint64_t reorders_seen() const { return reorders_.load(std::memory_order_relaxed); }
+  // Failure-detector counters.
+  uint64_t peer_dead_events() const { return peer_dead_events_.load(std::memory_order_relaxed); }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_.load(std::memory_order_relaxed); }
+
  private:
   // One direction of the link.
   struct Direction {
+    const char* name = "";
     VmSystem* dst_vm = nullptr;  // OOL is rebuilt into this kernel.
     std::shared_ptr<PortSet> set = PortSet::Create();
     std::mutex mu;
@@ -120,6 +200,22 @@ class NetLink {
     // per direction, so "seq <= delivered_up_to" detects any duplicate.
     uint64_t next_seq = 1;
     uint64_t delivered_up_to = 0;
+    // RTT estimator (forwarder-thread-only; RFC 6298 shape over virtual
+    // time). rto_ns is mirrored atomically for cross-thread observability.
+    uint64_t srtt_ns = 0;
+    uint64_t rttvar_ns = 0;
+    // Failure-detector state. Written only by this direction's forwarder
+    // thread; read from anywhere.
+    std::atomic<LinkHealth> health{LinkHealth::kUp};
+    std::atomic<uint32_t> consecutive_timeouts{0};
+    std::atomic<uint64_t> rto_ns{0};
+  };
+
+  // NetLink is not shared_ptr-managed, but proxy-target death actions can
+  // outlive it; they hold this token and no-op once `link` is cleared.
+  struct LifeToken {
+    std::mutex mu;
+    NetLink* link = nullptr;
   };
 
   SendRight MakeProxy(Direction& dir, SendRight target);
@@ -129,13 +225,35 @@ class NetLink {
   SendRight RewriteRight(Direction& dir, Direction& reverse, SendRight right);
   void ForwarderLoop(Direction& dir, Direction& reverse);
   void Forward(Direction& dir, Direction& reverse, uint64_t proxy_id, Message&& msg);
-  // One wire traversal: charges latency and decides drop/delay. Returns
-  // false if the transmission was dropped.
+  // One wire traversal of a whole (unreliable) message: charges latency and
+  // decides drop/delay. Returns false if the transmission was dropped.
   bool Transmit(uint64_t payload_bytes);
+  // Reliable fragmented transport for one message. Returns false when the
+  // retransmit budget is exhausted with fragments still missing; the caller
+  // counts the loss (exactly once).
+  bool SendReliable(Direction& dir, uint64_t payload_bytes);
+  // One fragment on the wire: latency + data-plane fault points.
+  bool TransmitFragment(uint64_t fragment_bytes);
+  // One SACK control frame back: latency + net.ack_drop only.
+  bool TransmitSack();
+  void UpdateRtt(Direction& dir, uint64_t sample_ns);
+  uint64_t ClampRto(uint64_t rto) const;
+  uint64_t CurrentRto(const Direction& dir) const;
+  // Failure detector: called by `dir`'s forwarder for every transport round
+  // (RTO expiry = false, completed message = true) and heartbeat probe.
+  void NoteRoundOutcome(Direction& dir, bool ok);
+  // Kills every proxy in `dir` (peer declared dead): their death
+  // notifications fan out to kernels and data managers holding them.
+  void KillProxies(Direction& dir);
+  // Eager cross-link death propagation: the real target died, so its proxy
+  // dies too (instead of waiting for the next forward to fail).
+  void OnTargetDead(Direction& dir, uint64_t target_id);
+  LinkDirectionStatus StatusOf(const Direction& dir) const;
 
   SimClock* const clock_;
   const NetLatencyModel latency_;
   const NetFaultConfig faults_;
+  const std::shared_ptr<LifeToken> life_;
   Direction a_to_b_;  // Proxies that live on A and target ports on B.
   Direction b_to_a_;
   std::atomic<bool> running_{true};
@@ -147,6 +265,14 @@ class NetLink {
   std::atomic<uint64_t> lost_{0};
   std::atomic<uint64_t> duplicated_{0};
   std::atomic<uint64_t> dup_suppressed_{0};
+  std::atomic<uint64_t> fragments_sent_{0};
+  std::atomic<uint64_t> fragments_retransmitted_{0};
+  std::atomic<uint64_t> bytes_retransmitted_{0};
+  std::atomic<uint64_t> sacks_sent_{0};
+  std::atomic<uint64_t> sacks_duplicated_{0};
+  std::atomic<uint64_t> reorders_{0};
+  std::atomic<uint64_t> peer_dead_events_{0};
+  std::atomic<uint64_t> heartbeats_sent_{0};
 };
 
 }  // namespace mach

@@ -118,14 +118,19 @@ class ChaosSoak {
  public:
   explicit ChaosSoak(uint64_t seed) : seed_(seed), faults_(seed), ipc_faults_(seed ^ 0x19C0'FA17) {
     // Fault plan: transient backing-disk errors plus a lossy, jittery,
-    // duplicating link. Rates are high enough to fire constantly but low
-    // enough that the reliable link's retransmit budget (6 attempts)
-    // effectively never exhausts.
+    // duplicating link — with the fragment-level points armed too, so the
+    // selective-repeat transport sees dropped fragments, dropped SACKs and
+    // reorders on every seed. Rates are high enough to fire constantly but
+    // low enough that the retransmit budget below effectively never
+    // exhausts.
     faults_.SetProbability(SimDisk::kFaultRead, 0.05);
     faults_.SetProbability(SimDisk::kFaultWrite, 0.05);
     faults_.SetProbability(NetLink::kFaultDrop, 0.15);
     faults_.SetProbability(NetLink::kFaultDuplicate, 0.05);
     faults_.SetProbability(NetLink::kFaultDelay, 0.2);
+    faults_.SetProbability(NetLink::kFaultFragDrop, 0.05);
+    faults_.SetProbability(NetLink::kFaultAckDrop, 0.05);
+    faults_.SetProbability(NetLink::kFaultReorder, 0.05);
     // Suppress a random 30% of shadow-chain collapse opportunities: denial
     // must be purely a performance event, never a correctness one.
     faults_.SetProbability(VmSystem::kFaultCollapse, 0.3);
@@ -149,6 +154,16 @@ class ChaosSoak {
     NetFaultConfig net;
     net.injector = &faults_;
     net.reliable = true;
+    // With frag/ack/reorder armed on top of net.drop, a transport round
+    // fails with probability ~0.25; 8 retries push per-message loss below
+    // 1e-5, so the soak's "nothing reliable is ever lost" asserts hold.
+    net.max_retransmits = 8;
+    // The failure detector must only fire on real partitions, not on an
+    // unlucky run of injected drops: 14 consecutive timeouts is ~1e-9 by
+    // chance at these rates.
+    net.failure_detector = true;
+    net.degraded_after_timeouts = 6;
+    net.dead_after_timeouts = 14;
     link_ = std::make_unique<NetLink>(&host_a_->vm(), &host_b_->vm(), &net_clock_,
                                       kNormaLatency, net);
   }
@@ -163,6 +178,7 @@ class ChaosSoak {
     PartitionAndHeal();
     ManagerDeathMidFault();
     MigrationOverLossyLink();
+    PartitionWithMigrationInFlight();
     MidMigrationHostCrash();
     CamelotCrashPointsUnderDataDiskFaults();
     NoLeaksAfterTeardown();
@@ -172,6 +188,12 @@ class ChaosSoak {
     EXPECT_GT(faults_.Injected(SimDisk::kFaultRead) + faults_.Injected(SimDisk::kFaultWrite), 0u)
         << "disk faults never fired";
     EXPECT_GT(faults_.Injected(NetLink::kFaultDrop), 0u) << "link drops never fired";
+    EXPECT_GT(faults_.Evaluations(NetLink::kFaultFragDrop), 0u)
+        << "net.frag_drop never consulted";
+    EXPECT_GT(faults_.Evaluations(NetLink::kFaultAckDrop), 0u)
+        << "net.ack_drop never consulted";
+    EXPECT_GT(faults_.Evaluations(NetLink::kFaultReorder), 0u)
+        << "net.reorder never consulted";
     EXPECT_GT(faults_.Evaluations(VmSystem::kFaultCollapse), 0u)
         << "no collapse opportunity ever reached the injector";
     EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultEnqueue), 0u) << "ipc.enqueue never consulted";
@@ -270,20 +292,41 @@ class ChaosSoak {
   }
 
   // A partitioned link loses even reliable traffic (after burning its
-  // retransmit budget); healing restores the flow.
+  // retransmit budget), the failure detector declares the peer dead and
+  // kills the proxies; healing re-enters kUp and fresh proxies carry
+  // traffic again.
   void PartitionAndHeal() {
     PortPair sink = PortAllocate("chaos-partition-sink");
     SendRight proxy = link_->ProxyForA(sink.send);
     uint64_t lost_before = link_->messages_lost();
+    uint64_t dead_before = link_->peer_dead_events();
     link_->SetPartitioned(true);
     ASSERT_EQ(MsgSend(proxy, Message(7)), KernReturn::kSuccess);  // Into the void.
-    EXPECT_FALSE(MsgReceive(sink.receive, std::chrono::milliseconds(300)).ok());
+    // Transport timeouts plus heartbeats push both directions to kPeerDead.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((link_->a_to_b_status().health != LinkHealth::kPeerDead ||
+            link_->messages_lost() <= lost_before) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(link_->a_to_b_status().health, LinkHealth::kPeerDead);
+    EXPECT_GT(link_->messages_lost(), lost_before);
+    EXPECT_GT(link_->peer_dead_events(), dead_before);
+    // The old proxy died with the peer; senders observe port death.
+    EXPECT_EQ(MsgSend(proxy, Message(9), kPoll), KernReturn::kPortDead);
+
     link_->SetPartitioned(false);
-    ASSERT_EQ(MsgSend(proxy, Message(8)), KernReturn::kSuccess);
+    while ((link_->a_to_b_status().health != LinkHealth::kUp ||
+            link_->b_to_a_status().health != LinkHealth::kUp) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(link_->a_to_b_status().health, LinkHealth::kUp);
+    SendRight fresh = link_->ProxyForA(sink.send);
+    ASSERT_EQ(MsgSend(fresh, Message(8)), KernReturn::kSuccess);
     Result<Message> got = MsgReceive(sink.receive, std::chrono::seconds(10));
     ASSERT_TRUE(got.ok());
     EXPECT_EQ(got.value().id(), 8u);
-    EXPECT_GT(link_->messages_lost(), lost_before);
   }
 
   // Kill a manager while a fault is parked on it: the faulter must resolve
@@ -335,6 +378,68 @@ class ChaosSoak {
       EXPECT_TRUE(out == Stamp(seed_, 1000 + p) || out == 0) << "page " << p;
     }
     migrated.value().reset();
+    source.reset();
+    manager.Stop();
+  }
+
+  // Partition the link while a copy-on-reference migration has pages still
+  // to pull: a faulter parked on the dead wire must resolve via the
+  // peer-dead proxy kill (zero-fill on B) in a fraction of the 5 s pager
+  // timeout, and once the link heals the migration can be redone.
+  void PartitionWithMigrationInFlight() {
+    std::shared_ptr<Task> source = host_a_->CreateTask(nullptr, "partition-migrant");
+    const VmSize pages = 8;
+    VmOffset base = source->VmAllocate(pages * kPage).value();
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t stamp = Stamp(seed_, 6000 + p);
+      ASSERT_EQ(source->Write(base + p * kPage, &stamp, sizeof(stamp)), KernReturn::kSuccess);
+    }
+    MigrationManager manager;
+    manager.Start();
+    MigrationManager::Options options;
+    options.export_port = [&](SendRight object) { return link_->ProxyForB(std::move(object)); };
+    Result<std::shared_ptr<Task>> migrated = manager.Migrate(source, host_b_.get(), options);
+    ASSERT_TRUE(migrated.ok());
+    for (VmOffset p = 0; p < 2; ++p) {  // Pull a couple of pages while healthy.
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(migrated.value()->Read(base + p * kPage, &out, sizeof(out)),
+                KernReturn::kSuccess);
+      EXPECT_TRUE(out == Stamp(seed_, 6000 + p) || out == 0) << "page " << p;
+    }
+
+    uint64_t dead_before = link_->peer_dead_events();
+    link_->SetPartitioned(true);
+    auto start = std::chrono::steady_clock::now();
+    uint64_t out = 0xDEAD;
+    // This fault's data request dies on the wire; the read parks until the
+    // failure detector kills the exported proxy and B's kernel zero-fills.
+    ASSERT_EQ(migrated.value()->Read(base + 5 * kPage, &out, sizeof(out)),
+              KernReturn::kSuccess);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_TRUE(out == Stamp(seed_, 6005) || out == 0);
+    EXPECT_LT(elapsed.count(), 4000) << "parked faulter burned the pager timeout";
+    EXPECT_GT(link_->peer_dead_events(), dead_before);
+    migrated.value().reset();
+
+    // Heal and redo the migration over fresh proxies.
+    link_->SetPartitioned(false);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((link_->a_to_b_status().health != LinkHealth::kUp ||
+            link_->b_to_a_status().health != LinkHealth::kUp) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(link_->a_to_b_status().health, LinkHealth::kUp);
+    ASSERT_EQ(link_->b_to_a_status().health, LinkHealth::kUp);
+    Result<std::shared_ptr<Task>> redo = manager.Migrate(source, host_b_.get(), options);
+    ASSERT_TRUE(redo.ok()) << KernReturnName(redo.status());
+    for (VmOffset p = 0; p < pages; ++p) {
+      uint64_t v = 0xDEAD;
+      ASSERT_EQ(redo.value()->Read(base + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+      EXPECT_TRUE(v == Stamp(seed_, 6000 + p) || v == 0) << "page " << p;
+    }
+    redo.value().reset();
     source.reset();
     manager.Stop();
   }

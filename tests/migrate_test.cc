@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/kernel/kernel.h"
@@ -193,6 +195,61 @@ TEST_F(MigrateTest, MigrationOverNormaLink) {
   EXPECT_EQ(out, Stamp(3));
   EXPECT_GT(link.messages_forwarded(), msgs_before);  // Page moved on the wire.
   EXPECT_GT(net_clock.NowNs(), 0u);
+}
+
+TEST_F(MigrateTest, LinkDeathMidMigrationAbortsThenRetrySucceeds) {
+  // The link partitions before the transfer: the failure detector declares
+  // the peer dead, the exported proxies die, and Migrate unwinds with a
+  // typed kMigrationAborted instead of hanging or half-transferring. After
+  // the link heals, retrying the same migration succeeds.
+  SimClock net_clock;
+  NetFaultConfig faults;
+  faults.reliable = true;
+  faults.failure_detector = true;
+  faults.max_retransmits = 2;
+  faults.retransmit_base_ns = 1000;
+  faults.degraded_after_timeouts = 1;
+  faults.dead_after_timeouts = 3;
+  NetLink link(&src_host_->vm(), &dst_host_->vm(), &net_clock, kUmaLatency, faults);
+
+  VmOffset addr = Populate(16);
+  MigrationManager::Options options;
+  options.strategy = MigrationManager::Strategy::kPrePage;
+  options.prepage_pages = 4;
+  options.export_port = [&](SendRight object) { return link.ProxyForB(std::move(object)); };
+
+  link.SetPartitioned(true);
+  Result<std::shared_ptr<Task>> r = manager_->Migrate(source_, dst_host_.get(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), KernReturn::kMigrationAborted);
+  EXPECT_EQ(manager_->migrations_aborted(), 1u);
+  EXPECT_GE(link.peer_dead_events(), 1u);
+  // The source was resumed by the unwind and is intact.
+  uint64_t src_v = 0;
+  ASSERT_EQ(source_->VmRead(addr, &src_v, sizeof(src_v)), KernReturn::kSuccess);
+  EXPECT_EQ(src_v, Stamp(0));
+
+  // Heal, and wait for the heartbeats to bring both directions back up.
+  link.SetPartitioned(false);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((link.a_to_b_status().health != LinkHealth::kUp ||
+          link.b_to_a_status().health != LinkHealth::kUp) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(link.a_to_b_status().health, LinkHealth::kUp);
+  ASSERT_EQ(link.b_to_a_status().health, LinkHealth::kUp);
+
+  // Source must be suspended-able again: retry the whole migration.
+  Result<std::shared_ptr<Task>> retry = manager_->Migrate(source_, dst_host_.get(), options);
+  ASSERT_TRUE(retry.ok()) << KernReturnName(retry.status());
+  migrated_ = retry.value();
+  for (VmOffset p = 0; p < 16; ++p) {
+    uint64_t out = 0;
+    ASSERT_EQ(migrated_->Read(addr + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+    EXPECT_EQ(out, Stamp(p)) << "page " << p;
+  }
+  EXPECT_EQ(manager_->migrations_aborted(), 1u);  // The retry did not abort.
 }
 
 }  // namespace

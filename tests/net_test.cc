@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <random>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
 #include "src/net/net_link.h"
+#include "src/pager/data_manager.h"
 
 namespace mach {
 namespace {
@@ -144,26 +149,16 @@ TEST_F(NetTest, OolMemoryFlattensAcrossKernels) {
   task_b.reset();
 }
 
-TEST_F(NetTest, DeadTargetKillsProxy) {
+TEST_F(NetTest, DeadTargetKillsProxyImmediately) {
   SendRight proxy;
   {
     PortPair on_b = PortAllocate("dying");
     proxy = link_->ProxyForA(on_b.send);
     ASSERT_EQ(MsgSend(proxy, Message(1)), KernReturn::kSuccess);
-    // Receive right dropped here: target dies.
+    // Receive right dropped here: target dies, and its death action kills
+    // the proxy synchronously — no waiting for the next forward to fail.
   }
-  // Subsequent sends eventually observe port death (the forwarder kills
-  // the proxy when the forward fails).
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  KernReturn kr = KernReturn::kSuccess;
-  while (std::chrono::steady_clock::now() < deadline) {
-    kr = MsgSend(proxy, Message(2), kPoll);
-    if (kr == KernReturn::kPortDead) {
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  EXPECT_EQ(kr, KernReturn::kPortDead);
+  EXPECT_EQ(MsgSend(proxy, Message(2), kPoll), KernReturn::kPortDead);
 }
 
 TEST_F(NetTest, LatencyRegimesOrdering) {
@@ -256,9 +251,11 @@ TEST_F(NetTest, DuplicatesDeliveredUnreliablySuppressedReliably) {
   EXPECT_EQ(two.value().id(), 5u);
   EXPECT_EQ(dup.messages_duplicated(), 1u);
 
-  // Reliable: sequence numbers suppress the duplicate delivery.
+  // Reliable: sequence numbers suppress the duplicate delivery. Hit 0 of
+  // net.duplicate is consulted by the SACK path (a duplicated SACK, merged
+  // idempotently); hit 1 replays the whole message.
   FaultInjector inj2(3);
-  inj2.SetSchedule(NetLink::kFaultDuplicate, {0});
+  inj2.SetSchedule(NetLink::kFaultDuplicate, {0, 1});
   NetFaultConfig rfaults;
   rfaults.injector = &inj2;
   rfaults.reliable = true;
@@ -269,8 +266,333 @@ TEST_F(NetTest, DuplicatesDeliveredUnreliablySuppressedReliably) {
   ASSERT_EQ(MsgSend(rproxy, std::move(msg2)), KernReturn::kSuccess);
   ASSERT_TRUE(MsgReceive(on_b2.receive, std::chrono::seconds(5)).ok());
   EXPECT_FALSE(MsgReceive(on_b2.receive, std::chrono::milliseconds(200)).ok());
+  EXPECT_EQ(rel.sacks_duplicated(), 1u);
   EXPECT_EQ(rel.duplicates_suppressed(), 1u);
   EXPECT_EQ(rel.messages_duplicated(), 0u);
+}
+
+// --- Fragmented reliable transport -----------------------------------------
+
+// Helper: an OOL message carrying `pages` pages of a deterministic pattern,
+// plus the expected bytes for verification on the far side.
+struct OolPayload {
+  Message msg{42};
+  std::vector<uint8_t> expected;
+};
+
+OolPayload MakeOolPayload(Kernel* host, const std::shared_ptr<Task>& task, size_t pages) {
+  OolPayload p;
+  VmOffset src = task->VmAllocate(pages * kPage).value();
+  p.expected.resize(pages * kPage);
+  for (size_t i = 0; i < p.expected.size(); ++i) {
+    p.expected[i] = static_cast<uint8_t>((i * 131) ^ (i >> 8));
+  }
+  EXPECT_EQ(task->Write(src, p.expected.data(), p.expected.size()), KernReturn::kSuccess);
+  auto copy = host->vm().CopyIn(task->vm_context(), src, pages * kPage).value();
+  p.msg.PushOol(copy, pages * kPage);
+  return p;
+}
+
+// Helper: receive an OOL message on host B and check it byte-for-byte.
+void ExpectOolDelivered(Kernel* host_b, const std::shared_ptr<Task>& task_b,
+                        ReceiveRight& recv, const std::vector<uint8_t>& expected) {
+  Result<Message> got = MsgReceive(recv, std::chrono::seconds(10));
+  ASSERT_TRUE(got.ok());
+  Result<OolItem> ool = got.value().TakeOol();
+  ASSERT_TRUE(ool.ok());
+  auto rebuilt = std::static_pointer_cast<VmMapCopy>(ool.value().copy);
+  ASSERT_NE(rebuilt, nullptr);
+  Result<VmOffset> dst = host_b->vm().CopyOut(task_b->vm_context(), rebuilt);
+  ASSERT_TRUE(dst.ok());
+  std::vector<uint8_t> out(expected.size());
+  ASSERT_EQ(task_b->Read(dst.value(), out.data(), out.size()), KernReturn::kSuccess);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_F(NetTest, FragmentedTransferRetransmitsOnlyTheMissingFragment) {
+  // 8 pages = 8 fragments; fragment #3 of the first burst is dropped. The
+  // SACK flags exactly that fragment, so the retransmission pass resends one
+  // fragment — 4 KiB on the wire, not 32 KiB.
+  FaultInjector inj(11);
+  inj.SetSchedule(NetLink::kFaultFragDrop, {3});
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  faults.reliable = true;
+  NetLink lossy(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  std::shared_ptr<Task> task_a = host_a_->CreateTask();
+  std::shared_ptr<Task> task_b = host_b_->CreateTask();
+  PortPair on_b = PortAllocate("frag-sink");
+  SendRight proxy = lossy.ProxyForA(on_b.send);
+
+  OolPayload p = MakeOolPayload(host_a_.get(), task_a, 8);
+  ASSERT_EQ(MsgSend(proxy, std::move(p.msg)), KernReturn::kSuccess);
+  ExpectOolDelivered(host_b_.get(), task_b, on_b.receive, p.expected);
+
+  EXPECT_EQ(lossy.fragments_sent(), 9u);           // 8 + the one retry.
+  EXPECT_EQ(lossy.fragments_retransmitted(), 1u);
+  EXPECT_EQ(lossy.bytes_retransmitted(), 4096u);
+  EXPECT_EQ(lossy.sacks_sent(), 2u);               // One per delivering burst.
+  EXPECT_EQ(lossy.retransmits(), 1u);              // One RTO expiry.
+  EXPECT_EQ(lossy.messages_dropped(), 1u);
+  EXPECT_EQ(lossy.messages_lost(), 0u);
+  task_a.reset();
+  task_b.reset();
+}
+
+TEST_F(NetTest, OutOfOrderFragmentArrivalReassembles) {
+  // The first fragment is reordered past the SACK: it arrives, but the SACK
+  // that already left does not cover it, so the sender retransmits it and
+  // the receiver suppresses the duplicate. The payload is still intact.
+  FaultInjector inj(12);
+  inj.SetSchedule(NetLink::kFaultReorder, {0});
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  faults.reliable = true;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  std::shared_ptr<Task> task_a = host_a_->CreateTask();
+  std::shared_ptr<Task> task_b = host_b_->CreateTask();
+  PortPair on_b = PortAllocate("reorder-sink");
+  SendRight proxy = link.ProxyForA(on_b.send);
+
+  OolPayload p = MakeOolPayload(host_a_.get(), task_a, 2);
+  ASSERT_EQ(MsgSend(proxy, std::move(p.msg)), KernReturn::kSuccess);
+  ExpectOolDelivered(host_b_.get(), task_b, on_b.receive, p.expected);
+
+  EXPECT_EQ(link.reorders_seen(), 1u);
+  EXPECT_EQ(link.fragments_retransmitted(), 1u);
+  EXPECT_EQ(link.duplicates_suppressed(), 1u);  // The straggler's retry.
+  EXPECT_EQ(link.messages_lost(), 0u);
+  task_a.reset();
+  task_b.reset();
+}
+
+TEST_F(NetTest, LostSackRetransmitsWindowIdempotently) {
+  // All four fragments arrive but the SACK is dropped: the sender must
+  // resend the whole window, the receiver suppresses all four duplicates,
+  // and the second SACK (covering everything) completes the message. The
+  // message is delivered exactly once.
+  FaultInjector inj(13);
+  inj.SetSchedule(NetLink::kFaultAckDrop, {0});
+  NetFaultConfig faults;
+  faults.injector = &inj;
+  faults.reliable = true;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  std::shared_ptr<Task> task_a = host_a_->CreateTask();
+  std::shared_ptr<Task> task_b = host_b_->CreateTask();
+  PortPair on_b = PortAllocate("ackloss-sink");
+  SendRight proxy = link.ProxyForA(on_b.send);
+
+  OolPayload p = MakeOolPayload(host_a_.get(), task_a, 4);
+  ASSERT_EQ(MsgSend(proxy, std::move(p.msg)), KernReturn::kSuccess);
+  ExpectOolDelivered(host_b_.get(), task_b, on_b.receive, p.expected);
+  EXPECT_FALSE(MsgReceive(on_b.receive, std::chrono::milliseconds(200)).ok());
+
+  EXPECT_EQ(link.fragments_sent(), 8u);
+  EXPECT_EQ(link.fragments_retransmitted(), 4u);
+  EXPECT_EQ(link.duplicates_suppressed(), 4u);
+  EXPECT_EQ(link.sacks_sent(), 2u);
+  EXPECT_EQ(link.retransmits(), 1u);
+  EXPECT_EQ(link.messages_lost(), 0u);
+  task_a.reset();
+  task_b.reset();
+}
+
+TEST_F(NetTest, TerminalLossIsCountedExactlyOnce) {
+  // A multi-fragment reliable message that exhausts its budget during a
+  // partition is one lost message — not one per dropped fragment — while
+  // messages_dropped still counts every attempt that died on the wire.
+  NetFaultConfig faults;
+  faults.reliable = true;
+  faults.max_retransmits = 2;
+  NetLink plink(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("budget-sink");
+  SendRight proxy = plink.ProxyForA(on_b.send);
+  plink.SetPartitioned(true);
+
+  Message msg(7);
+  std::string blob(4 * kPage, 'q');  // 4 fragments.
+  msg.PushData(blob.data(), blob.size());
+  ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+  EXPECT_FALSE(MsgReceive(on_b.receive, std::chrono::milliseconds(300)).ok());
+
+  EXPECT_EQ(plink.messages_lost(), 1u);  // Exactly once.
+  EXPECT_EQ(plink.retransmits(), 2u);    // The full budget.
+  // (1 + max_retransmits) passes x 4 fragments, every one dropped.
+  EXPECT_EQ(plink.messages_dropped(), 12u);
+  EXPECT_EQ(plink.sacks_sent(), 0u);
+
+  // Healing does not resurrect the lost message, and later traffic does not
+  // re-count it.
+  plink.SetPartitioned(false);
+  ASSERT_EQ(MsgSend(proxy, Message(8)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 8u);
+  EXPECT_EQ(plink.messages_lost(), 1u);
+}
+
+TEST_F(NetTest, RandomizedFragmentFaultsDeliverByteForByte) {
+  // Property check: under randomized fragment drops, ack drops, reorders,
+  // whole-frame drops and duplicates, every reliable message that the link
+  // reports delivered matches the sent bytes exactly — and with a generous
+  // retransmit budget, none are lost.
+  uint64_t total_retransmitted = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultInjector inj(seed);
+    inj.SetProbability(NetLink::kFaultFragDrop, 0.20);
+    inj.SetProbability(NetLink::kFaultAckDrop, 0.15);
+    inj.SetProbability(NetLink::kFaultReorder, 0.10);
+    inj.SetProbability(NetLink::kFaultDrop, 0.05);
+    inj.SetProbability(NetLink::kFaultDuplicate, 0.05);
+    NetFaultConfig faults;
+    faults.injector = &inj;
+    faults.reliable = true;
+    faults.max_retransmits = 10;
+    faults.window_fragments = 4;
+    NetLink link(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+    PortPair on_b = PortAllocate("prop-sink");
+    SendRight proxy = link.ProxyForA(on_b.send);
+
+    std::mt19937_64 rng(seed * 7919);
+    for (int i = 0; i < 6; ++i) {
+      std::vector<std::byte> payload(1 + rng() % (5 * kPage));
+      for (std::byte& b : payload) {
+        b = static_cast<std::byte>(rng());
+      }
+      const std::vector<std::byte> oracle = payload;
+      Message msg(100 + i);
+      msg.PushBytes(std::move(payload));
+      ASSERT_EQ(MsgSend(proxy, std::move(msg)), KernReturn::kSuccess);
+      Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(10));
+      ASSERT_TRUE(got.ok()) << "seed " << seed << " message " << i;
+      EXPECT_EQ(got.value().id(), 100u + i);
+      Result<std::vector<std::byte>> bytes = got.value().TakeBytes();
+      ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(bytes.value(), oracle) << "seed " << seed << " message " << i;
+    }
+    EXPECT_EQ(link.messages_lost(), 0u) << "seed " << seed;
+    total_retransmitted += link.fragments_retransmitted();
+  }
+  // The fault rates are high enough that the sweep must have exercised the
+  // selective-repeat path.
+  EXPECT_GT(total_retransmitted, 0u);
+}
+
+// --- Failure detector -------------------------------------------------------
+
+TEST_F(NetTest, FailureDetectorDegradesThenDeclaresPeerDead) {
+  NetFaultConfig faults;
+  faults.reliable = true;
+  faults.failure_detector = true;
+  faults.max_retransmits = 1;
+  faults.retransmit_base_ns = 1000;  // Keep virtual backoff cheap.
+  faults.degraded_after_timeouts = 1;
+  faults.dead_after_timeouts = 4;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &clock_, kUmaLatency, faults);
+  PortPair on_b = PortAllocate("detector-sink");
+  SendRight proxy = link.ProxyForA(on_b.send);
+  ASSERT_EQ(link.a_to_b_status().health, LinkHealth::kUp);
+
+  // A partition plus one message burns the retransmit budget: two timeout
+  // rounds, enough to degrade but not to declare death.
+  link.SetPartitioned(true);
+  ASSERT_EQ(MsgSend(proxy, Message(1)), KernReturn::kSuccess);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (link.a_to_b_status().health == LinkHealth::kUp &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(link.a_to_b_status().health, LinkHealth::kUp);
+
+  // Heartbeats keep probing the dead link; the peer is declared dead and
+  // the proxy is killed, so senders see port death instead of hanging.
+  while (link.a_to_b_status().health != LinkHealth::kPeerDead &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(link.a_to_b_status().health, LinkHealth::kPeerDead);
+  EXPECT_GE(link.peer_dead_events(), 1u);
+  EXPECT_EQ(MsgSend(proxy, Message(2), kPoll), KernReturn::kPortDead);
+
+  // Healing: the next successful heartbeat re-enters kUp, and a fresh proxy
+  // for the same target carries traffic again.
+  link.SetPartitioned(false);
+  while ((link.a_to_b_status().health != LinkHealth::kUp ||
+          link.b_to_a_status().health != LinkHealth::kUp) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(link.a_to_b_status().health, LinkHealth::kUp);
+  SendRight fresh = link.ProxyForA(on_b.send);
+  ASSERT_TRUE(fresh.valid());
+  EXPECT_NE(fresh.id(), proxy.id());
+  ASSERT_EQ(MsgSend(fresh, Message(3)), KernReturn::kSuccess);
+  Result<Message> got = MsgReceive(on_b.receive, std::chrono::seconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id(), 3u);
+  // Successful traffic seeded the RTT estimator.
+  EXPECT_GE(link.a_to_b_status().rto_ns, faults.min_rto_ns);
+  EXPECT_GE(link.heartbeats_sent(), 4u);
+}
+
+// A data manager that never answers: any fault against its objects parks
+// until the pager (or the link carrying it) dies.
+class StallingPager : public DataManager {
+ public:
+  StallingPager() : DataManager("stalling") {}
+  SendRight NewObject() { return CreateMemoryObject(7); }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs) override {}
+};
+
+TEST_F(NetTest, PeerDeathResolvesParkedRemoteFaulterQuickly) {
+  // End-to-end crash recovery: a task on a zero-fill host faults against a
+  // remote pager through a partitioned link. The failure detector declares
+  // the peer dead and kills the proxy, whose death notification lets the
+  // kernel resolve the parked faulter immediately — far inside the 5 s
+  // pager timeout it would otherwise burn.
+  Kernel::Config config;
+  config.frames = 96;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.name = "B-zerofill";
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  auto zf_host = std::make_unique<Kernel>(config);
+
+  StallingPager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+
+  NetFaultConfig faults;
+  faults.reliable = true;
+  faults.failure_detector = true;
+  faults.max_retransmits = 1;
+  faults.retransmit_base_ns = 1000;
+  faults.degraded_after_timeouts = 1;
+  faults.dead_after_timeouts = 3;
+  NetLink link(&host_a_->vm(), &zf_host->vm(), &clock_, kUmaLatency, faults);
+  SendRight exported = link.ProxyForB(object);  // Usable on the zero-fill host.
+
+  std::shared_ptr<Task> task = zf_host->CreateTask();
+  Result<VmOffset> addr = task->VmAllocateWithPager(kPage, exported, 0);
+  ASSERT_TRUE(addr.ok());
+
+  link.SetPartitioned(true);
+  const auto started = std::chrono::steady_clock::now();
+  uint64_t out = 0xFFFF'FFFF'FFFF'FFFFull;
+  KernReturn kr = task->Read(addr.value(), &out, sizeof(out));
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_EQ(kr, KernReturn::kSuccess);
+  EXPECT_EQ(out, 0u);  // Zero-fill policy.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));  // Not the 5 s pager timeout.
+  EXPECT_GE(link.peer_dead_events(), 1u);
+  EXPECT_TRUE(exported.IsDead());
+  EXPECT_GE(zf_host->vm().Statistics().manager_deaths, 1u);
+
+  task.reset();
+  pager.Stop();
 }
 
 }  // namespace
