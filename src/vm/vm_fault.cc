@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "src/base/lock_probe.h"
 #include "src/base/log.h"
 #include "src/pager/protocol.h"
 #include "src/vm/vm_system.h"
@@ -21,6 +22,18 @@ namespace mach {
 
 namespace {
 using SteadyClock = std::chrono::steady_clock;
+
+// Accumulates the VM-tier lock acquisitions made on this thread during the
+// enclosing scope (one fault) into the given counter, on every exit path.
+struct LockOpScope {
+  explicit LockOpScope(std::atomic<uint64_t>& target)
+      : target_(target), entry_(lock_probe::Count()) {}
+  ~LockOpScope() {
+    target_.fetch_add(lock_probe::Count() - entry_, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t>& target_;
+  uint64_t entry_;
+};
 }  // namespace
 
 // --- entry resolution -------------------------------------------------------
@@ -37,6 +50,7 @@ Result<VmSystem::EntryRef> VmSystem::LookupEntry(TaskVm& task, VmOffset addr, Vm
   VmOffset local;
   if (out.top->is_share) {
     VmOffset share_addr = out.top->offset + (addr - out.top->start);
+    lock_probe::Note();
     out.share_lock = std::shared_lock<std::shared_mutex>(out.top->share_map->lock());
     out.holder = out.top->share_map->Lookup(share_addr);
     if (out.holder == nullptr) {
@@ -59,6 +73,7 @@ Result<VmSystem::EntryRef> VmSystem::LookupEntry(TaskVm& task, VmOffset addr, Vm
 }
 
 KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
+  lock_probe::Note();
   std::unique_lock<std::shared_mutex> map_lock(task.map->lock());
   MapEntry* top = task.map->Lookup(addr);
   if (top == nullptr) {
@@ -71,6 +86,7 @@ KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
   std::unique_lock<std::shared_mutex> share_lock;
   if (top->is_share) {
     VmOffset share_addr = top->offset + (addr - top->start);
+    lock_probe::Note();
     share_lock = std::unique_lock<std::shared_mutex>(top->share_map->lock());
     holder = top->share_map->Lookup(share_addr);
     if (holder == nullptr) {
@@ -85,6 +101,7 @@ KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
   if (holder->needs_copy && (access & kVmProtWrite) != 0) {
     // Copy-on-write: shadow before the first write (§5.5). The chain lock
     // guards the shadow_children back-pointer update.
+    lock_probe::Note();
     ChainLock chain(chain_mu_);
     MakeShadow(chain, holder);
   }
@@ -109,6 +126,7 @@ void VmSystem::UnpinPage(PagePin& pin) {
   if (pin.page == nullptr) {
     return;
   }
+  lock_probe::Note();
   ObjectLock olk(pin.owner->mu);
   VmPage* page = pin.page;
   assert(page->pin_count > 0);
@@ -128,6 +146,7 @@ void VmSystem::UnpinPage(PagePin& pin) {
 }
 
 void VmSystem::UnpinRaw(const std::shared_ptr<VmObject>& owner, VmPage* page) {
+  lock_probe::Note();
   ObjectLock olk(owner->mu);
   assert(page->pin_count > 0);
   --page->pin_count;
@@ -204,6 +223,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
     std::shared_ptr<VmObject> object = first_object;
     VmOffset offset = first_offset;
     uint64_t depth = 1;
+    lock_probe::Note();
     ObjectLock olk(object->mu);
     bool rescan = false;
     bool need_frames = false;
@@ -297,6 +317,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
           ++page->pin_count;
           std::shared_ptr<VmObject> backing_owner = object;
           olk.unlock();
+          lock_probe::Note();
           ObjectLock top_lk(first_object->mu);
           Result<VmPage*> np =
               PageAllocLocked(first_object.get(), first_offset, shortage_rounds >= 100);
@@ -308,6 +329,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
             } else {
               need_frames = true;
             }
+            lock_probe::Note();
             olk = ObjectLock(first_object->mu);  // Re-establish the invariant.
             object = first_object;
             offset = first_offset;
@@ -461,6 +483,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
         // spliced out from under us mid-step.
         std::shared_ptr<VmObject> parent = object->shadow;
         VmOffset parent_offset = offset + object->shadow_offset;
+        lock_probe::Note();
         ObjectLock plk(parent->mu);
         olk.unlock();
         object = std::move(parent);
@@ -473,6 +496,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
                object->shadow != nullptr) {
           parent = object->shadow;
           parent_offset = offset + object->shadow_offset;
+          lock_probe::Note();
           ObjectLock nlk(parent->mu);
           olk.unlock();
           object = std::move(parent);
@@ -490,6 +514,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
       // page is private to this mapping chain.
       if (object != first_object) {
         olk.unlock();
+        lock_probe::Note();
         olk = ObjectLock(first_object->mu);
         object = first_object;
         offset = first_offset;
@@ -531,12 +556,14 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
 
 KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
   const VmOffset page_addr = TruncPage(addr, page_size());
+  LockOpScope probe(counters_.fault_lock_ops);
   MaybeDrainDeferred();
   for (int attempt = 0; attempt < 64; ++attempt) {
     // Phase 1: resolve the map entry under the map lock(s), shared mode.
     std::shared_ptr<VmObject> object;
     VmOffset object_offset;
     {
+      lock_probe::Note();
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
       Result<EntryRef> re = LookupEntry(task, page_addr, access);
       if (!re.ok()) {
@@ -562,6 +589,7 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
       // against this access, COW pending on a write) falls through to the
       // general three-phase path.
       {
+        lock_probe::Note();
         ObjectLock olk(object->mu);
         VmPage* page = PageLookup(object.get(), object_offset);
         if (page != nullptr && !page->busy && !page->absent && !page->unavailable &&
@@ -596,6 +624,7 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
     // all take it exclusively), closing the classic COW install race.
     bool installed = false;
     {
+      lock_probe::Note();
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
       Result<EntryRef> re = LookupEntry(task, page_addr, access);
       if (re.ok() && !re.value().needs_prepare && re.value().holder->object == object &&

@@ -9,14 +9,21 @@
 //
 // Locking: a page's state fields (busy/absent/error/..., page_lock, dirty,
 // identity and pin_count) are protected by the *owning VmObject's* lock; the
-// queue membership fields (`queue`, queue_link, and the identity fields while
-// a PageRename is in flight) are additionally protected by the VmSystem page-
-// queue lock. Frame contents and hardware bits live in hw::PhysicalMemory
-// under per-frame locks. See the lock-order comment in vm_system.h.
+// queue membership fields (queue_link, and the identity fields while a
+// PageRename is in flight) are additionally protected by the VmSystem page-
+// queue lock. The `queue` tag itself is atomic: it is only *written* under
+// the queue lock, but may be *read* without it, so PageActivate can skip the
+// lock entirely for a page already on the active queue (the overwhelmingly
+// common case on the fault path). A stale read is benign — the slow path
+// re-checks under the lock, and a page that deactivates concurrently is
+// rescued later by its hardware reference bit (second chance). Frame
+// contents and hardware bits live in hw::PhysicalMemory under per-frame
+// locks. See the lock-order comment in vm_system.h.
 
 #ifndef SRC_VM_VM_PAGE_H_
 #define SRC_VM_VM_PAGE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/base/intrusive_list.h"
@@ -60,8 +67,10 @@ struct VmPage {
   // frees it.
   uint16_t pin_count = 0;
 
+  // Written only under the queue lock; readable lock-free (see the header
+  // comment on the activation fast-out).
   enum class Queue : uint8_t { kNone, kActive, kInactive };
-  Queue queue = Queue::kNone;
+  std::atomic<Queue> queue{Queue::kNone};
 
   IntrusiveListNode object_link;  // VmObject::pages
   IntrusiveListNode queue_link;   // VmSystem active/inactive queue
@@ -109,6 +118,12 @@ struct VmStatistics {
                                           // because the coverage metadata
                                           // exceeded Config::collapse_scan_cap
                                           // (also counted in collapse_denied).
+  uint64_t activations_skipped = 0;   // PageActivate calls satisfied by the
+                                      // lock-free queue-tag check (the page
+                                      // was already active; no queue lock).
+  uint64_t fault_lock_ops = 0;        // VM-tier (1-5) lock acquisitions made
+                                      // inside Fault(), via the per-thread
+                                      // probe; / faults = locks per fault.
 };
 
 }  // namespace mach

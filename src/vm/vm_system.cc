@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "src/base/fault_injector.h"
+#include "src/base/lock_probe.h"
 #include "src/base/log.h"
 #include "src/pager/protocol.h"
 
@@ -70,6 +71,7 @@ VmSystem::PageHashShard& VmSystem::ShardFor(const VmObject* object, VmOffset off
 VmPage* VmSystem::PageLookup(VmObject* object, VmOffset offset) {
   counters_.lookups.fetch_add(1, std::memory_order_relaxed);
   PageHashShard& shard = ShardFor(object, offset);
+  lock_probe::Note();
   std::lock_guard<std::mutex> g(shard.mu);
   auto it = shard.map.find(PageKey{object, offset});
   if (it == shard.map.end()) {
@@ -81,6 +83,7 @@ VmPage* VmSystem::PageLookup(VmObject* object, VmOffset offset) {
 
 bool VmSystem::PageResident(const VmObject* object, VmOffset offset) const {
   PageHashShard& shard = ShardFor(object, offset);
+  lock_probe::Note();
   std::lock_guard<std::mutex> g(shard.mu);
   return shard.map.count(PageKey{object, offset}) != 0;
 }
@@ -108,6 +111,7 @@ Result<VmPage*> VmSystem::PageAllocLocked(VmObject* object, VmOffset offset, boo
   page->frame = *frame;
   {
     PageHashShard& shard = ShardFor(object, offset);
+    lock_probe::Note();
     std::lock_guard<std::mutex> g(shard.mu);
     shard.map.emplace(PageKey{object, offset}, page);
   }
@@ -122,6 +126,7 @@ void VmSystem::PageFreeLocked(ObjectLock& olk, VmPage* page) {
   PageRemoveFromQueue(page);
   {
     PageHashShard& shard = ShardFor(page->object, page->offset);
+    lock_probe::Note();
     std::lock_guard<std::mutex> g(shard.mu);
     shard.map.erase(PageKey{page->object, page->offset});
   }
@@ -133,31 +138,44 @@ void VmSystem::PageFreeLocked(ObjectLock& olk, VmPage* page) {
 }
 
 void VmSystem::PageActivate(VmPage* page) {
+  // Lock-free fast-out: on the fault path nearly every activation finds the
+  // page already active. The tag may be stale (a concurrent deactivation is
+  // not yet visible), but that loses nothing — the page's reference bit
+  // rescues it from the inactive queue exactly as if the orders had swapped.
+  if (page->queue.load(std::memory_order_relaxed) == VmPage::Queue::kActive) {
+    counters_.activations_skipped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  lock_probe::Note();
   std::lock_guard<std::mutex> g(queue_mu_);
   PageActivateLocked(page);
 }
 
 void VmSystem::PageActivateLocked(VmPage* page) {
-  if (page->queue == VmPage::Queue::kActive) {
+  if (page->queue.load(std::memory_order_relaxed) == VmPage::Queue::kActive) {
     return;
   }
   PageRemoveFromQueueLocked(page);
-  page->queue = VmPage::Queue::kActive;
+  page->queue.store(VmPage::Queue::kActive, std::memory_order_relaxed);
   active_queue_.PushBack(page);
   ++active_count_;
 }
 
 void VmSystem::PageDeactivate(VmPage* page) {
+  if (page->queue.load(std::memory_order_relaxed) == VmPage::Queue::kInactive) {
+    return;  // Same fast-out rationale as PageActivate.
+  }
+  lock_probe::Note();
   std::lock_guard<std::mutex> g(queue_mu_);
   PageDeactivateLocked(page);
 }
 
 void VmSystem::PageDeactivateLocked(VmPage* page) {
-  if (page->queue == VmPage::Queue::kInactive) {
+  if (page->queue.load(std::memory_order_relaxed) == VmPage::Queue::kInactive) {
     return;
   }
   PageRemoveFromQueueLocked(page);
-  page->queue = VmPage::Queue::kInactive;
+  page->queue.store(VmPage::Queue::kInactive, std::memory_order_relaxed);
   inactive_queue_.PushBack(page);
   ++inactive_count_;
   // Clear the hardware reference bit so a later scan can tell whether the
@@ -166,12 +184,13 @@ void VmSystem::PageDeactivateLocked(VmPage* page) {
 }
 
 void VmSystem::PageRemoveFromQueue(VmPage* page) {
+  lock_probe::Note();
   std::lock_guard<std::mutex> g(queue_mu_);
   PageRemoveFromQueueLocked(page);
 }
 
 void VmSystem::PageRemoveFromQueueLocked(VmPage* page) {
-  switch (page->queue) {
+  switch (page->queue.load(std::memory_order_relaxed)) {
     case VmPage::Queue::kActive:
       active_queue_.Remove(page);
       --active_count_;
@@ -183,7 +202,7 @@ void VmSystem::PageRemoveFromQueueLocked(VmPage* page) {
     case VmPage::Queue::kNone:
       break;
   }
-  page->queue = VmPage::Queue::kNone;
+  page->queue.store(VmPage::Queue::kNone, std::memory_order_relaxed);
 }
 
 void VmSystem::PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset) {
@@ -191,18 +210,21 @@ void VmSystem::PageRename(VmPage* page, VmObject* new_object, VmOffset new_offse
   // page's identity under queue_mu_ alone, so flip it under queue_mu_ too.
   {
     PageHashShard& shard = ShardFor(page->object, page->offset);
+    lock_probe::Note();
     std::lock_guard<std::mutex> g(shard.mu);
     shard.map.erase(PageKey{page->object, page->offset});
   }
   page->object->pages.Remove(page);
   --page->object->resident_count;
   {
+    lock_probe::Note();
     std::lock_guard<std::mutex> g(queue_mu_);
     page->object = new_object;
     page->offset = new_offset;
   }
   {
     PageHashShard& shard = ShardFor(new_object, new_offset);
+    lock_probe::Note();
     std::lock_guard<std::mutex> g(shard.mu);
     shard.map.emplace(PageKey{new_object, new_offset}, page);
   }
@@ -449,6 +471,7 @@ void VmSystem::MaybeCollapse(const std::shared_ptr<VmObject>& object) {
   }
   bool opportunity = false;
   {
+    lock_probe::Note();
     ObjectLock olk(object->mu);
     opportunity =
         object->alive && object->shadow != nullptr &&
@@ -459,6 +482,7 @@ void VmSystem::MaybeCollapse(const std::shared_ptr<VmObject>& object) {
   if (!opportunity) {
     return;
   }
+  lock_probe::Note();
   ChainLock chain(chain_mu_);
   TryCollapse(chain, object);
 }
@@ -919,6 +943,8 @@ VmStatistics VmSystem::Statistics() const {
   st.fast_faults = load(counters_.fast_faults);
   st.spurious_page_wakeups = load(counters_.spurious_page_wakeups);
   st.collapse_denied_scan_cap = load(counters_.collapse_denied_scan_cap);
+  st.activations_skipped = load(counters_.activations_skipped);
+  st.fault_lock_ops = load(counters_.fault_lock_ops);
   return st;
 }
 

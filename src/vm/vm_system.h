@@ -33,7 +33,10 @@
 //   5. queue_mu_: the active/inactive queues, queue counts, each page's
 //      queue field, and page identity while a PageRename is in flight.
 //      Nests inside object locks; the pageout scan, which needs the reverse
-//      direction, only ever try_locks an object from under it.
+//      direction, only ever try_locks an object from under it. The queue
+//      tag itself is an atomic written only under this lock, so
+//      PageActivate / PageDeactivate skip the lock entirely when the tag
+//      already matches (see vm_page.h).
 //   6. Pmap::mu_ and PhysicalMemory frame/free-list locks (hardware tier).
 //   7. Port locks (independent; ports never call back into the kernel).
 //
@@ -309,6 +312,8 @@ class VmSystem {
     std::atomic<uint64_t> fast_faults{0};
     std::atomic<uint64_t> spurious_page_wakeups{0};
     std::atomic<uint64_t> collapse_denied_scan_cap{0};
+    std::atomic<uint64_t> activations_skipped{0};
+    std::atomic<uint64_t> fault_lock_ops{0};
   };
 
   // --- resident page management ---------------------------------------

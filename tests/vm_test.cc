@@ -670,5 +670,40 @@ TEST_F(ShadowCollapseTest, InjectedCollapseFaultDeniesSafely) {
   EXPECT_EQ(survivor->ReadValue<uint64_t>(base).value(), 1u);
 }
 
+// --- fault-path lock budget ---------------------------------------------------
+
+// Regression guard for the fault path's lock cost (EXPERIMENTS E13): a
+// resident read re-fault must stay within its lock budget, and re-activating
+// an already-active page must not touch the queue lock at all.
+TEST_F(VmOpsTest, ResidentRefaultStaysWithinLockBudget) {
+  constexpr int kPages = 16;
+  VmOffset addr = task_->VmAllocate(kPages * kPage).value();
+  std::vector<uint8_t> buf(kPages * kPage, 0x5A);
+  // Warm: fault every page in (zero-fill, write) so each is resident,
+  // settled, and on the active queue.
+  ASSERT_EQ(task_->Write(addr, buf.data(), buf.size()), KernReturn::kSuccess);
+  ASSERT_EQ(task_->Read(addr, buf.data(), buf.size()), KernReturn::kSuccess);
+
+  VmStatistics before = task_->VmStats();
+  // Drop the hardware translations so every access re-faults while the pages
+  // stay resident and active — the pure fast-path re-fault.
+  task_->vm_context().pmap->Remove(addr, addr + kPages * kPage);
+  uint32_t v = 0;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_EQ(task_->Read(addr + i * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  VmStatistics after = task_->VmStats();
+
+  const uint64_t faults = after.faults - before.faults;
+  ASSERT_GE(faults, uint64_t{kPages});
+  // The fast path takes the map shared lock, the object lock, and one hash
+  // shard — the queue lock is skipped by the atomic-tag fast-out. Anything
+  // above 3 locks per fault is a regression.
+  const uint64_t lock_ops = after.fault_lock_ops - before.fault_lock_ops;
+  EXPECT_LE(lock_ops, faults * 3);
+  // Every re-fault found its page already active and skipped the queue lock.
+  EXPECT_GE(after.activations_skipped - before.activations_skipped, uint64_t{kPages});
+}
+
 }  // namespace
 }  // namespace mach
