@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
@@ -143,4 +146,27 @@ BENCHMARK(BM_FaultMtSharedRead)
     ->ThreadRange(1, kMaxThreads)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Scaling numbers from a single-CPU host are not scaling numbers: every
+  // "concurrent" thread is time-sliced, so 2/4/8-thread rows measure the
+  // scheduler, not the lock hierarchy. Flag such runs loudly in both the
+  // human-readable stream and the JSON context so a reader (or a tooling
+  // diff) can discount them.
+  const unsigned cpus = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("single_cpu_host", cpus <= 1 ? "true" : "false");
+  benchmark::AddCustomContext("host_cpus", std::to_string(cpus));
+  if (cpus <= 1) {
+    fprintf(stderr,
+            "*** WARNING: single-CPU host detected (hardware_concurrency=%u).\n"
+            "*** Multi-threaded rows below measure time-slicing, not parallel\n"
+            "*** scaling; treat every thread-count > 1 result as invalid.\n",
+            cpus);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -77,6 +77,15 @@ case "$mode" in
         names="$names ${b##*/bench_}"
       done
     fi
+    # The multi-thread scaling bench and its single-thread ablation are one
+    # experiment: regenerating one without the other leaves the pair of
+    # JSON files describing different kernels.
+    case " $names " in
+      *" fault_mt "*) case " $names " in
+        *" fault_st "*) ;;
+        *) names="$names fault_st" ;;
+      esac ;;
+    esac
     for name in $names; do
       bin="build/bench/bench_${name}"
       if [ ! -x "$bin" ]; then

@@ -1,0 +1,32 @@
+// MACH_DEBUG_ASSERT: invariant checks for debug and sanitizer builds.
+//
+// The tier-1 build is RelWithDebInfo, which defines NDEBUG and compiles
+// plain assert() away. Lock-hierarchy invariants (a drained queue-batch
+// deferral list at fault exit, seqlock generation parity) are exactly the
+// kind of thing the sanitizer lanes exist to catch, so those configurations
+// define MACH_DEBUG_ASSERTS (see CMakeLists.txt) and keep these checks live
+// even under NDEBUG.
+
+#ifndef SRC_BASE_DEBUG_H_
+#define SRC_BASE_DEBUG_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(NDEBUG) || defined(MACH_DEBUG_ASSERTS)
+#define MACH_DEBUG_ASSERT(cond)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::std::fprintf(stderr, "MACH_DEBUG_ASSERT failed: %s at %s:%d\n", \
+                     #cond, __FILE__, __LINE__);                         \
+      ::std::abort();                                                    \
+    }                                                                    \
+  } while (0)
+#else
+#define MACH_DEBUG_ASSERT(cond) \
+  do {                          \
+    (void)sizeof(cond);         \
+  } while (0)
+#endif
+
+#endif  // SRC_BASE_DEBUG_H_

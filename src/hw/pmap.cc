@@ -16,6 +16,21 @@ Pmap::~Pmap() {
 void Pmap::Enter(VmOffset vaddr, uint32_t frame, VmProt prot) {
   VmOffset page_addr = TruncPage(vaddr, phys_->page_size());
   std::lock_guard<std::mutex> g(mu_);
+  EnterLocked(page_addr, frame, prot);
+}
+
+bool Pmap::EnterIf(VmOffset vaddr, uint32_t frame, VmProt prot,
+                   const std::atomic<uint64_t>& gen, uint64_t expected) {
+  VmOffset page_addr = TruncPage(vaddr, phys_->page_size());
+  std::lock_guard<std::mutex> g(mu_);
+  if (gen.load(std::memory_order_acquire) != expected) {
+    return false;
+  }
+  EnterLocked(page_addr, frame, prot);
+  return true;
+}
+
+void Pmap::EnterLocked(VmOffset page_addr, uint32_t frame, VmProt prot) {
   auto it = table_.find(page_addr);
   if (it != table_.end()) {
     if (it->second.frame == frame) {

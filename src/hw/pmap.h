@@ -16,6 +16,7 @@
 #ifndef SRC_HW_PMAP_H_
 #define SRC_HW_PMAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -49,6 +50,18 @@ class Pmap {
   // pmap_enter: installs (or replaces) the translation for the page
   // containing `vaddr`.
   void Enter(VmOffset vaddr, uint32_t frame, VmProt prot);
+
+  // Conditional pmap_enter for optimistic (lock-free) fault installs: the
+  // translation goes in only if `gen` still equals `expected`, checked
+  // under this pmap's lock. A VM-layer mutation bumps its generation before
+  // performing any pmap updates of its own, so an install that validates
+  // here cannot be reordered after a clamp it should have observed: either
+  // the clamp already ran (then the generation changed and we refuse) or it
+  // has not reached this pmap yet (then it serialises behind us on mu_ and
+  // lowers what we installed). Returns whether the translation was
+  // installed.
+  bool EnterIf(VmOffset vaddr, uint32_t frame, VmProt prot,
+               const std::atomic<uint64_t>& gen, uint64_t expected);
 
   // pmap_remove: removes translations for [start, end).
   void Remove(VmOffset start, VmOffset end);
@@ -87,6 +100,7 @@ class Pmap {
     VmProt prot;
   };
 
+  void EnterLocked(VmOffset page_addr, uint32_t frame, VmProt prot);
   void RemoveLocked(VmOffset page_addr);
 
   // Called by PageProtect via the pv list.

@@ -7,6 +7,69 @@
 
 namespace mach {
 
+const MapSnapshotEntry* MapSnapshot::Lookup(VmOffset addr) const {
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), addr,
+      [](VmOffset a, const MapSnapshotEntry& e) { return a < e.start; });
+  if (it == entries.begin()) {
+    return nullptr;
+  }
+  --it;
+  return (addr >= it->start && addr < it->end) ? &*it : nullptr;
+}
+
+AddressMap::~AddressMap() {
+  // No readers can be live here — a SnapshotRef is only ever taken by a
+  // fault against a map its task still owns.
+  delete snapshot_.load(std::memory_order_acquire);
+  for (const MapSnapshot* s : retired_) {
+    delete s;
+  }
+}
+
+void AddressMap::PublishSnapshot() {
+  const uint64_t gen = gen_.load(std::memory_order_acquire);
+  assert((gen & 1) == 0);  // Mutation holds the lock exclusively.
+  auto* snap = new MapSnapshot;
+  snap->gen = gen;
+  snap->entries.reserve(entries_.size());
+  for (const auto& [start, e] : entries_) {
+    (void)start;
+    MapSnapshotEntry se;
+    se.start = e.start;
+    se.end = e.end;
+    se.offset = e.offset;
+    se.protection = e.protection;
+    se.needs_copy = e.needs_copy;
+    se.is_share = e.is_share;
+    se.object = e.object;
+    snap->entries.push_back(std::move(se));
+  }
+  // seq_cst exchange: totally ordered against every reader's pin
+  // (SnapshotRef's fetch_add + load). published_gen_ follows the pointer so
+  // snapshot_current() never claims currency for a not-yet-visible snapshot.
+  const MapSnapshot* old = snapshot_.exchange(snap, std::memory_order_seq_cst);
+  published_gen_.store(gen, std::memory_order_release);
+
+  // Retire the displaced snapshot and reclaim whenever no reader is pinned.
+  // If the count is zero *after* the exchange, any reader pinning later sits
+  // after both operations in the seq_cst total order and must load the new
+  // pointer — nothing can still reference the retired ones. If a reader is
+  // pinned, the retired list just grows by one; it drains on the next
+  // quiescent publish or in the destructor, so growth is bounded by the
+  // (brief) reader critical sections, not by churn.
+  std::lock_guard<std::mutex> g(retired_mu_);
+  if (old != nullptr) {
+    retired_.push_back(old);
+  }
+  if (snap_readers_.load(std::memory_order_seq_cst) == 0) {
+    for (const MapSnapshot* s : retired_) {
+      delete s;
+    }
+    retired_.clear();
+  }
+}
+
 MapEntry* AddressMap::Lookup(VmOffset addr) {
   auto it = entries_.upper_bound(addr);
   if (it == entries_.begin()) {

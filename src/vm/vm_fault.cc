@@ -74,7 +74,7 @@ Result<VmSystem::EntryRef> VmSystem::LookupEntry(TaskVm& task, VmOffset addr, Vm
 
 KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
   lock_probe::Note();
-  std::unique_lock<std::shared_mutex> map_lock(task.map->lock());
+  MapMutation map_lock(*task.map);
   MapEntry* top = task.map->Lookup(addr);
   if (top == nullptr) {
     return KernReturn::kInvalidAddress;
@@ -554,10 +554,78 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
 
 // --- the fault entry point --------------------------------------------------
 
+bool VmSystem::TryOptimisticFault(TaskVm& task, VmOffset page_addr, VmProt access) {
+  // The ref pins the snapshot — and the shared_ptr<VmObject> inside its
+  // entries — against reclamation for the rest of this function.
+  AddressMap::SnapshotRef ref(*task.map);
+  const MapSnapshot* snap = ref.get();
+  if (snap == nullptr) {
+    return false;  // Nothing published yet; the locked path will publish.
+  }
+  if (task.map->generation() != snap->gen) {
+    // A mutation landed (or is in flight) since the snapshot was built.
+    counters_.map_lookup_retries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const MapSnapshotEntry* e = snap->Lookup(page_addr);
+  if (e == nullptr || e->is_share || e->object == nullptr) {
+    // Invalid address, a two-level (sharing map) entry, or a lazy
+    // zero-fill entry: all need the locked path — and invalid-address is a
+    // *verdict*, which we never return from a snapshot.
+    return false;
+  }
+  VmProt prot = e->protection;
+  if (e->needs_copy) {
+    prot &= ~kVmProtWrite;  // A write here is a COW push: locked path.
+  }
+  if ((access & ~prot) != 0) {
+    return false;
+  }
+  const VmOffset object_offset =
+      TruncPage(e->offset + (page_addr - e->start), page_size());
+  // The snapshot's shared_ptr keeps the object's memory alive; its `alive`
+  // flag is re-checked under its lock, exactly like the locked fast path.
+  lock_probe::Note();
+  ObjectLock olk(e->object->mu);
+  if (!e->object->alive) {
+    return false;
+  }
+  VmPage* page = PageLookupRaw(e->object.get(), object_offset);
+  if (page == nullptr || page->busy || page->absent || page->unavailable ||
+      page->error) {
+    return false;  // Unsettled (or missing) pages are locked-path work.
+  }
+  prot &= ~page->page_lock;
+  if ((access & ~prot) != 0) {
+    return false;
+  }
+  // Install with the generation validated inside the pmap lock (see
+  // Pmap::EnterIf for why that closes the stale-install race). The object
+  // lock keeps the page and its frame stable across the install, matching
+  // the object→pmap order the locked fast path uses.
+  if (!task.pmap->EnterIf(page_addr, page->frame, prot,
+                          task.map->generation_word(), snap->gen)) {
+    counters_.map_lookup_retries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  PageActivate(page);
+  counters_.fast_faults.fetch_add(1, std::memory_order_relaxed);
+  counters_.faults.fetch_add(1, std::memory_order_relaxed);
+  counters_.map_lookups_optimistic.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
   const VmOffset page_addr = TruncPage(addr, page_size());
   LockOpScope probe(counters_.fault_lock_ops);
+  QueueBatchDrainedCheck batch_check;
   MaybeDrainDeferred();
+  // Tier 0: the lock-free resolution. Touches no map lock at all — two
+  // locks total (object + pmap, plus the page-hash shard) for the common
+  // resident re-fault.
+  if (config_.optimistic_map_lookup && TryOptimisticFault(task, page_addr, access)) {
+    return KernReturn::kSuccess;
+  }
   for (int attempt = 0; attempt < 64; ++attempt) {
     // Phase 1: resolve the map entry under the map lock(s), shared mode.
     std::shared_ptr<VmObject> object;
@@ -565,6 +633,12 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
     {
       lock_probe::Note();
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
+      // Refresh the published snapshot while we are here anyway: under the
+      // shared lock the generation is stable (mutators take it exclusive),
+      // so concurrent publishers race benignly toward identical snapshots.
+      if (config_.optimistic_map_lookup && !task.map->snapshot_current()) {
+        task.map->PublishSnapshot();
+      }
       Result<EntryRef> re = LookupEntry(task, page_addr, access);
       if (!re.ok()) {
         return re.status();
@@ -687,9 +761,12 @@ KernReturn VmSystem::UserAccess(TaskVm& task, VmOffset addr, void* buf, VmSize l
 
 KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize len) {
   // vm_read: kernel-mediated, faults pages in via the object layer without
-  // touching the task's pmap.
+  // touching the task's pmap. Pins ride a PinBatch so each page's
+  // activation lands in one batched queue_mu_ acquisition instead of one
+  // per page.
   auto* out = static_cast<std::byte*>(buf);
   const VmSize ps = page_size();
+  PinBatch batch(this);
   while (len > 0) {
     VmOffset page_addr = TruncPage(addr, ps);
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
@@ -718,18 +795,18 @@ KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize l
       return rp.status();
     }
     phys_->ReadFrame(rp.value().page->frame, addr - page_addr, out, chunk);
-    PageActivate(rp.value().page);
-    UnpinPage(rp.value());
+    batch.Add(std::move(rp.value()));
     addr += chunk;
     out += chunk;
     len -= chunk;
   }
-  return KernReturn::kSuccess;
+  return KernReturn::kSuccess;  // ~PinBatch flushes and unpins.
 }
 
 KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, VmSize len) {
   const auto* in = static_cast<const std::byte*>(buf);
   const VmSize ps = page_size();
+  PinBatch batch(this);
   while (len > 0) {
     VmOffset page_addr = TruncPage(addr, ps);
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
@@ -779,13 +856,12 @@ KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, V
       UnpinPage(pin);
       continue;
     }
-    PageActivate(pin.page);
-    UnpinPage(pin);
+    batch.Add(std::move(pin));
     addr += chunk;
     in += chunk;
     len -= chunk;
   }
-  return KernReturn::kSuccess;
+  return KernReturn::kSuccess;  // ~PinBatch flushes and unpins.
 }
 
 // --- vm_copy and flat-byte conversion ---------------------------------------
@@ -799,7 +875,7 @@ KernReturn VmSystem::Copy(TaskVm& task, VmOffset src, VmSize size, VmOffset dst)
   if (!copy.ok()) {
     return copy.status();
   }
-  std::unique_lock<std::shared_mutex> map_lock(task.map->lock());
+  MapMutation map_lock(*task.map);
   // vm_copy overwrites an existing destination region.
   if (!task.map->RangeFullyCovered(dst, size)) {
     return KernReturn::kInvalidAddress;
@@ -849,6 +925,9 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyFromBytes(const void* data, VmS
       np = PageAllocLocked(object.get(), off, rounds >= 100);
     }
     if (!np.ok()) {
+      // Apply the deferred activations before freeing: PageFreeLocked
+      // unqueues, and the batch must never hold a dangling page.
+      FlushQueueBatch();
       object->pages.ForEach([&](VmPage* page) { PageFreeLocked(olk, page); });
       return np.status();
     }
@@ -860,8 +939,11 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyFromBytes(const void* data, VmS
       phys_->WriteFrame(np.value()->frame, 0, in + off, n);
     }
     np.value()->dirty = true;  // No backing store yet.
-    PageActivate(np.value());
+    // Defer the activation: the object is private (unpublished) and its
+    // lock is held, so the page stays stable until the flush below.
+    PageActivateDeferred(np.value());
   }
+  FlushQueueBatch();
   olk.unlock();
   auto copy = std::make_shared<VmMapCopy>(this, rounded);
   VmMapCopy::Segment seg;
@@ -878,6 +960,7 @@ Result<std::vector<std::byte>> VmSystem::CopyAsBytes(const std::shared_ptr<VmMap
     return KernReturn::kInvalidArgument;
   }
   std::vector<std::byte> out(copy->size());
+  PinBatch batch(this);
   VmSize cursor = 0;
   for (const VmMapCopy::Segment& seg : copy->segments()) {
     if (seg.object == nullptr) {
@@ -892,7 +975,7 @@ Result<std::vector<std::byte>> VmSystem::CopyAsBytes(const std::shared_ptr<VmMap
       }
       VmSize n = std::min<VmSize>(page_size(), seg.size - off);
       phys_->ReadFrame(rp.value().page->frame, 0, out.data() + cursor + off, n);
-      UnpinPage(rp.value());
+      batch.Add(std::move(rp.value()));
     }
     cursor += seg.size;
   }

@@ -124,6 +124,20 @@ struct VmStatistics {
   uint64_t fault_lock_ops = 0;        // VM-tier (1-5) lock acquisitions made
                                       // inside Fault(), via the per-thread
                                       // probe; / faults = locks per fault.
+  uint64_t map_lookups_optimistic = 0;  // Faults resolved end to end through
+                                        // the lock-free (seqlock) map
+                                        // lookup: no map lock taken at all.
+  uint64_t map_lookup_retries = 0;    // Optimistic lookups abandoned because
+                                      // the map generation moved (stale
+                                      // snapshot, or an EnterIf rejection);
+                                      // page-level misses and entries the
+                                      // fast path refuses on principle
+                                      // (sharing maps, pending COW) are not
+                                      // counted — only genuine races are.
+  uint64_t queue_batch_flushes = 0;   // Deferred page-queue batches applied;
+                                      // each flush is one queue_mu_
+                                      // acquisition covering up to
+                                      // QueueBatch::kCapacity activations.
 };
 
 }  // namespace mach

@@ -384,7 +384,10 @@ void VmSystem::HandleDataProvided(const std::shared_ptr<VmObject>& object, VmOff
         page->absent = false;
         page->unavailable = false;
         page->dirty = false;
-        PageActivate(page);
+        // Batched: the object lock (held to the end) keeps the page stable
+        // until the flush below, and a multi-page provision pays for one
+        // queue lock instead of one per page.
+        PageActivateDeferred(page);
         counters_.pageins.fetch_add(1, std::memory_order_relaxed);
       }
       // Already-resident data: duplicate provision is ignored.
@@ -404,9 +407,10 @@ void VmSystem::HandleDataProvided(const std::shared_ptr<VmObject>& object, VmOff
     phys_->ClearModify(np.value()->frame);
     phys_->ClearReference(np.value()->frame);
     np.value()->page_lock = lock_value;
-    PageActivate(np.value());
+    PageActivateDeferred(np.value());
     counters_.pageins.fetch_add(1, std::memory_order_relaxed);
   }
+  FlushQueueBatch();
   object->cv.notify_all();
 }
 
@@ -552,7 +556,7 @@ void VmSystem::HandlePagerDeath(ChainLock& chain, std::shared_ptr<VmObject> obje
         page->absent = false;
         page->unavailable = false;
         page->dirty = true;  // No backing copy of the zeroes exists.
-        PageActivate(page);
+        PageActivateDeferred(page);  // Stable: olk held until the flush.
         counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
       } else {
         page->error = true;
@@ -565,6 +569,7 @@ void VmSystem::HandlePagerDeath(ChainLock& chain, std::shared_ptr<VmObject> obje
     page->page_lock = kVmProtNone;
     page->unlock_pending = false;
   }
+  FlushQueueBatch();
   if (zero_fill) {
     // Sever the association with the dead manager cleanly. The object
     // lives on as an internal one: future non-resident faults zero-fill,

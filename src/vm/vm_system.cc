@@ -9,6 +9,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/base/debug.h"
 #include "src/base/fault_injector.h"
 #include "src/base/lock_probe.h"
 #include "src/base/log.h"
@@ -20,6 +21,10 @@ VmSystem::VmSystem(PhysicalMemory* phys, Config config) : phys_(phys), config_(c
   uint32_t frames = phys_->frame_count();
   free_target_ = config.free_target != 0 ? config.free_target : std::max<uint32_t>(frames / 8, 4);
   reserved_ = config.reserved != 0 ? config.reserved : std::max<uint32_t>(frames / 64, 2);
+  // A PinBatch may hold this many frames pinned at once; keep it a small
+  // fraction of physical memory so batching can never starve reclaim.
+  pin_batch_cap_ = std::min<size_t>(QueueBatch::kCapacity,
+                                    std::max<size_t>(1, frames / 8));
   // Death notifications are delivered with non-blocking sends; a roomy
   // backlog keeps a burst of port deaths from dropping any.
   PortPair death = PortAllocate("pager-death-notify");
@@ -79,6 +84,17 @@ VmPage* VmSystem::PageLookup(VmObject* object, VmOffset offset) {
   }
   counters_.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second;
+}
+
+VmPage* VmSystem::PageLookupRaw(const VmObject* object, VmOffset offset) const {
+  // The optimistic fault path's probe: identical to PageLookup minus the
+  // lookups/hits counter traffic (two contended xadds the lock-free path
+  // exists to avoid; the optimistic counters already tell the story).
+  PageHashShard& shard = ShardFor(object, offset);
+  lock_probe::Note();
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.map.find(PageKey{object, offset});
+  return it == shard.map.end() ? nullptr : it->second;
 }
 
 bool VmSystem::PageResident(const VmObject* object, VmOffset offset) const {
@@ -203,6 +219,75 @@ void VmSystem::PageRemoveFromQueueLocked(VmPage* page) {
       break;
   }
   page->queue.store(VmPage::Queue::kNone, std::memory_order_relaxed);
+}
+
+VmSystem::QueueBatch& VmSystem::ThreadQueueBatch() {
+  // Per-thread, but shared across VmSystem instances (a process can run two
+  // kernels, e.g. the migration demo) — hence the drain-before-return
+  // discipline asserted by QueueBatchDrainedCheck: a batch never survives
+  // past the operation that filled it, so it can never flush pages into the
+  // wrong kernel's queues.
+  static thread_local QueueBatch batch;
+  return batch;
+}
+
+void VmSystem::PageActivateDeferred(VmPage* page) {
+  if (page->queue.load(std::memory_order_relaxed) == VmPage::Queue::kActive) {
+    counters_.activations_skipped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  QueueBatch& batch = ThreadQueueBatch();
+  batch.pages[batch.count++] = page;
+  if (batch.count == QueueBatch::kCapacity) {
+    FlushQueueBatch();
+  }
+}
+
+void VmSystem::FlushQueueBatch() {
+  QueueBatch& batch = ThreadQueueBatch();
+  if (batch.empty()) {
+    return;
+  }
+  lock_probe::Note();
+  std::lock_guard<std::mutex> g(queue_mu_);
+  for (size_t i = 0; i < batch.count; ++i) {
+    PageActivateLocked(batch.pages[i]);
+  }
+  batch.count = 0;
+  counters_.queue_batch_flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+VmSystem::QueueBatchDrainedCheck::QueueBatchDrainedCheck() {
+  MACH_DEBUG_ASSERT(ThreadQueueBatch().empty());
+}
+
+VmSystem::QueueBatchDrainedCheck::~QueueBatchDrainedCheck() {
+  MACH_DEBUG_ASSERT(ThreadQueueBatch().empty());
+}
+
+VmSystem::PinBatch::PinBatch(VmSystem* vm) : vm_(vm), cap_(vm->pin_batch_cap_) {
+  MACH_DEBUG_ASSERT(ThreadQueueBatch().empty());
+  pins_.reserve(cap_);
+}
+
+VmSystem::PinBatch::~PinBatch() { Drain(); }
+
+void VmSystem::PinBatch::Add(PagePin&& pin) {
+  vm_->PageActivateDeferred(pin.page);
+  pins_.push_back(std::move(pin));
+  if (pins_.size() >= cap_) {
+    Drain();
+  }
+}
+
+void VmSystem::PinBatch::Drain() {
+  // Flush activations *before* unpinning: the pin is what keeps a deferred
+  // page stable (unfreed, unrenamed) until its queue entry is applied.
+  vm_->FlushQueueBatch();
+  for (PagePin& pin : pins_) {
+    vm_->UnpinPage(pin);
+  }
+  pins_.clear();
 }
 
 void VmSystem::PageRename(VmPage* page, VmObject* new_object, VmOffset new_offset) {
@@ -658,9 +743,15 @@ size_t VmSystem::ShadowChainLength(TaskVm& task, VmOffset addr) {
 }
 
 void VmSystem::MaybeDrainDeferred() {
+  // Nothing-pending is the common case on the fault path; answer it from
+  // the flag without touching deferred_mu_.
+  if (!deferred_pending_.load(std::memory_order_acquire)) {
+    return;
+  }
   std::vector<std::shared_ptr<VmObject>> pending;
   {
     std::lock_guard<std::mutex> g(deferred_mu_);
+    deferred_pending_.store(false, std::memory_order_relaxed);
     if (deferred_releases_.empty()) {
       return;
     }
@@ -710,7 +801,7 @@ Result<VmOffset> VmSystem::Allocate(TaskVm& task, VmOffset addr, VmSize size, bo
     return KernReturn::kInvalidArgument;
   }
   MaybeDrainDeferred();
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   size = RoundPage(size, page_size());
   if (anywhere) {
     Result<VmOffset> found = task.map->FindSpace(size, addr);
@@ -781,7 +872,7 @@ Result<VmOffset> VmSystem::AllocateWithPager(TaskVm& task, VmOffset addr, VmSize
   }
   VmOffset result_addr = 0;
   {
-    std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+    MapMutation mlk(*task.map);
     if (anywhere) {
       Result<VmOffset> found = task.map->FindSpace(size, addr);
       if (!found.ok()) {
@@ -830,7 +921,7 @@ KernReturn VmSystem::Deallocate(TaskVm& task, VmOffset addr, VmSize size) {
     return KernReturn::kInvalidArgument;
   }
   MaybeDrainDeferred();
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   std::vector<MapEntry> removed = task.map->RemoveRange(start, end);
@@ -850,7 +941,7 @@ KernReturn VmSystem::Protect(TaskVm& task, VmOffset addr, VmSize size, bool set_
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   if (!task.map->RangeFullyCovered(start, end - start)) {
@@ -877,7 +968,7 @@ KernReturn VmSystem::Inherit(TaskVm& task, VmOffset addr, VmSize size, VmInherit
   if (size == 0) {
     return KernReturn::kInvalidArgument;
   }
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   VmOffset start = TruncPage(addr, page_size());
   VmOffset end = RoundPage(addr + size, page_size());
   if (!task.map->RangeFullyCovered(start, end - start)) {
@@ -945,6 +1036,9 @@ VmStatistics VmSystem::Statistics() const {
   st.collapse_denied_scan_cap = load(counters_.collapse_denied_scan_cap);
   st.activations_skipped = load(counters_.activations_skipped);
   st.fault_lock_ops = load(counters_.fault_lock_ops);
+  st.map_lookups_optimistic = load(counters_.map_lookups_optimistic);
+  st.map_lookup_retries = load(counters_.map_lookup_retries);
+  st.queue_batch_flushes = load(counters_.queue_batch_flushes);
   return st;
 }
 
@@ -954,8 +1048,8 @@ void VmSystem::ForkMap(TaskVm& parent, TaskVm& child) {
   MaybeDrainDeferred();
   // Parent before child (the documented map order). The child map is fresh
   // and unpublished, but holding its lock keeps the discipline uniform.
-  std::unique_lock<std::shared_mutex> plk(parent.map->lock());
-  std::unique_lock<std::shared_mutex> clk(child.map->lock());
+  MapMutation plk(*parent.map);
+  MapMutation clk(*child.map);
   // Snapshot entry ranges first: share conversion mutates entries in place
   // but not the map's structure.
   std::vector<VmOffset> starts;
@@ -1051,7 +1145,7 @@ Result<std::shared_ptr<VmMapCopy>> VmSystem::CopyIn(TaskVm& task, VmOffset addr,
     return KernReturn::kInvalidArgument;
   }
   MaybeDrainDeferred();
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   if (!task.map->RangeFullyCovered(addr, size)) {
     return KernReturn::kInvalidAddress;
   }
@@ -1097,7 +1191,7 @@ Result<VmOffset> VmSystem::CopyOut(TaskVm& task, const std::shared_ptr<VmMapCopy
     return KernReturn::kInvalidArgument;
   }
   MaybeDrainDeferred();
-  std::unique_lock<std::shared_mutex> mlk(task.map->lock());
+  MapMutation mlk(*task.map);
   if (copy->segments().empty() && copy->size() != 0) {
     return KernReturn::kInvalidArgument;  // Already consumed.
   }
@@ -1136,6 +1230,9 @@ VmMapCopy::~VmMapCopy() {
     }
   }
   segments_.clear();
+  if (!system_->deferred_releases_.empty()) {
+    system_->deferred_pending_.store(true, std::memory_order_release);
+  }
 }
 
 }  // namespace mach

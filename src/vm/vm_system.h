@@ -22,6 +22,12 @@
 //   1. AddressMap locks (reader-writer): shared on the fault path, exclusive
 //      for structural mutation. A top-level map lock may be held while
 //      taking a sharing map's lock; ForkMap orders parent before child.
+//      Above the lock sits an optimistic tier: each map publishes an
+//      immutable snapshot guarded by a seqlock-style generation counter, so
+//      the resident-fault fast path resolves its entry with no map lock at
+//      all and validates the generation inside the pmap lock at install
+//      time (see address_map.h for the protocol; gated by
+//      Config::optimistic_map_lookup).
 //   2. chain_mu_: shadow-chain structure (shadow pointers, shadow_children),
 //      object lifecycle (terminate / cache / registries) and map_refs
 //      decrements. Witness type: ChainLock.
@@ -130,6 +136,13 @@ class VmSystem {
     // examine. Bypasses declined by the cap are counted in both
     // collapse_denied and collapse_denied_scan_cap.
     size_t collapse_scan_cap = 1u << 20;
+
+    // Lock-free (seqlock snapshot) address-map lookup on the fault path.
+    // Off = every fault resolves its entry under the map's shared lock (the
+    // lock-hierarchy-only behaviour, kept for the ablation bench). The
+    // queue-tag fast-out and batched queue operations are unconditional;
+    // only the map tier is gated.
+    bool optimistic_map_lookup = true;
 
     // Optional fault injection: the kFaultCollapse point randomly
     // suppresses collapse opportunities so chaos soaks cover both collapsed
@@ -281,39 +294,51 @@ class VmSystem {
   using ObjectLock = std::unique_lock<std::mutex>;
 
   // The resident-page hash (§5.3), sharded: each shard is an independent
-  // bucket map under its own lock so concurrent faults on distinct objects
-  // touch distinct cache lines.
+  // bucket map under its own lock, and each is padded to a cache-line
+  // multiple, so concurrent faults on distinct objects touch distinct
+  // cache lines — in the shard data and in the locks themselves.
   static constexpr size_t kPageHashShards = 64;
-  struct PageHashShard {
+  struct alignas(64) PageHashShard {
     std::mutex mu;
     std::unordered_map<PageKey, VmPage*, PageKeyHash> map;
+  };
+
+  // A cache-line-padded atomic counter. The systemwide counters are bumped
+  // from every CPU on every fault; unpadded, neighbouring counters share a
+  // line and every fetch_add drags that line between cores (false sharing).
+  // Inheriting from std::atomic keeps every call site unchanged.
+  struct alignas(64) PaddedAtomicU64 : std::atomic<uint64_t> {
+    using std::atomic<uint64_t>::atomic;
   };
 
   // Systemwide VM event counters, atomically maintained; Statistics()
   // snapshots them into the plain VmStatistics wire struct.
   struct Counters {
-    std::atomic<uint64_t> faults{0};
-    std::atomic<uint64_t> zero_fill_count{0};
-    std::atomic<uint64_t> cow_faults{0};
-    std::atomic<uint64_t> pageins{0};
-    std::atomic<uint64_t> pageouts{0};
-    std::atomic<uint64_t> reactivations{0};
-    std::atomic<uint64_t> lookups{0};
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> unlock_requests{0};
-    std::atomic<uint64_t> parked_pageouts{0};
-    std::atomic<uint64_t> manager_deaths{0};
-    std::atomic<uint64_t> death_resolved_pages{0};
-    std::atomic<uint64_t> shadow_collapses{0};
-    std::atomic<uint64_t> shadow_bypasses{0};
-    std::atomic<uint64_t> pages_migrated{0};
-    std::atomic<uint64_t> collapse_denied{0};
-    std::atomic<uint64_t> chain_depth_max{0};
-    std::atomic<uint64_t> fast_faults{0};
-    std::atomic<uint64_t> spurious_page_wakeups{0};
-    std::atomic<uint64_t> collapse_denied_scan_cap{0};
-    std::atomic<uint64_t> activations_skipped{0};
-    std::atomic<uint64_t> fault_lock_ops{0};
+    PaddedAtomicU64 faults{0};
+    PaddedAtomicU64 zero_fill_count{0};
+    PaddedAtomicU64 cow_faults{0};
+    PaddedAtomicU64 pageins{0};
+    PaddedAtomicU64 pageouts{0};
+    PaddedAtomicU64 reactivations{0};
+    PaddedAtomicU64 lookups{0};
+    PaddedAtomicU64 hits{0};
+    PaddedAtomicU64 unlock_requests{0};
+    PaddedAtomicU64 parked_pageouts{0};
+    PaddedAtomicU64 manager_deaths{0};
+    PaddedAtomicU64 death_resolved_pages{0};
+    PaddedAtomicU64 shadow_collapses{0};
+    PaddedAtomicU64 shadow_bypasses{0};
+    PaddedAtomicU64 pages_migrated{0};
+    PaddedAtomicU64 collapse_denied{0};
+    PaddedAtomicU64 chain_depth_max{0};
+    PaddedAtomicU64 fast_faults{0};
+    PaddedAtomicU64 spurious_page_wakeups{0};
+    PaddedAtomicU64 collapse_denied_scan_cap{0};
+    PaddedAtomicU64 activations_skipped{0};
+    PaddedAtomicU64 fault_lock_ops{0};
+    PaddedAtomicU64 map_lookups_optimistic{0};
+    PaddedAtomicU64 map_lookup_retries{0};
+    PaddedAtomicU64 queue_batch_flushes{0};
   };
 
   // --- resident page management ---------------------------------------
@@ -323,6 +348,10 @@ class VmSystem {
   // Hash probe with lookup statistics. Caller holds the owner's mu (which
   // keeps the returned page alive and its state stable).
   VmPage* PageLookup(VmObject* object, VmOffset offset);
+  // Probe without the lookups/hits counters: coverage checks (which must
+  // not skew the hit rate) and the optimistic fault path (which trades the
+  // two shared-counter xadds for raw single-thread speed).
+  VmPage* PageLookupRaw(const VmObject* object, VmOffset offset) const;
   // Raw membership probe without statistics (coverage checks).
   bool PageResident(const VmObject* object, VmOffset offset) const;
 
@@ -343,6 +372,57 @@ class VmSystem {
   void PageActivateLocked(VmPage* page);
   void PageDeactivateLocked(VmPage* page);
   void PageRemoveFromQueueLocked(VmPage* page);
+
+  // --- batched queue operations ----------------------------------------
+
+  struct PagePin;  // Defined below (fault machinery).
+
+  // The per-thread deferral list for page activations: multi-page
+  // operations (vm_read / vm_write / pager data arrival / death
+  // resolution) accumulate pages here and apply the whole batch under one
+  // queue_mu_ acquisition instead of locking per page. Discipline: a page
+  // in the batch must be kept stable — pinned, or its object's mu held —
+  // until the flush, and every operation drains the batch before it
+  // returns (Fault() asserts this at entry and exit, so a leak cannot
+  // silently carry pages into an unrelated operation or another kernel
+  // instance).
+  struct QueueBatch {
+    static constexpr size_t kCapacity = 16;
+    std::array<VmPage*, kCapacity> pages;
+    size_t count = 0;
+    bool empty() const { return count == 0; }
+  };
+  static QueueBatch& ThreadQueueBatch();
+
+  // Defers activation of `page` into the thread batch (tag fast-out first,
+  // like PageActivate); flushes inline if the batch is full.
+  void PageActivateDeferred(VmPage* page);
+  // Applies and empties the thread batch under one queue_mu_ acquisition.
+  void FlushQueueBatch();
+
+  // Debug guard asserting the thread batch is drained at construction and
+  // destruction (fault entry and exit; see MACH_DEBUG_ASSERT).
+  struct QueueBatchDrainedCheck {
+    QueueBatchDrainedCheck();
+    ~QueueBatchDrainedCheck();
+  };
+
+  // Pins held across a multi-page kernel-mediated access so each page's
+  // activation can ride the thread queue batch: the pin keeps the deferred
+  // page stable until the flush. Drained (flush, then unpin) at a capacity
+  // scaled to physical memory — so batched pins can never hold enough
+  // frames to starve reclaim — and on every exit path via the destructor.
+  struct PinBatch {
+    explicit PinBatch(VmSystem* vm);
+    ~PinBatch();
+    PinBatch(const PinBatch&) = delete;
+    PinBatch& operator=(const PinBatch&) = delete;
+    void Add(PagePin&& pin);
+    void Drain();
+    VmSystem* vm_;
+    size_t cap_;
+    std::vector<PagePin> pins_;
+  };
 
   // Re-homes a page into `new_object` (collapse migration). Caller holds
   // both objects' locks; identity flips under queue_mu_ so the pageout scan
@@ -382,6 +462,15 @@ class VmSystem {
 
   // Read-only resolution; caller holds task.map->lock() (either mode).
   Result<EntryRef> LookupEntry(TaskVm& task, VmOffset addr, VmProt access);
+
+  // The lock-free fault fast path (Config::optimistic_map_lookup): resolves
+  // `page_addr` against the map's published snapshot and installs the
+  // translation with the generation validated inside the pmap lock. Handles
+  // only the exact analogue of the in-lock fast path — a settled page
+  // resident in the entry's own object with sufficient protection; returns
+  // false (fall back to the locked path) for everything else, including
+  // every would-be error verdict: errors are never decided from a snapshot.
+  bool TryOptimisticFault(TaskVm& task, VmOffset page_addr, VmProt access);
 
   // Performs the mutations LookupEntry flagged (lazy zero-fill object,
   // copy-on-write shadow) under exclusive map locks. Takes no other locks
@@ -508,8 +597,10 @@ class VmSystem {
   // Tier 4: the sharded resident-page hash.
   mutable std::array<PageHashShard, kPageHashShards> page_shards_;
 
-  // Tier 5: pageout queues and page queue-membership.
-  mutable std::mutex queue_mu_;
+  // Tier 5: pageout queues and page queue-membership. The alignas walls the
+  // queue word group (mutex + heads + counts) off from neighbouring members
+  // so fault-path activations and free-list traffic do not false-share.
+  alignas(64) mutable std::mutex queue_mu_;
   PageQueue active_queue_;
   PageQueue inactive_queue_;
   uint32_t active_count_ = 0;
@@ -518,7 +609,7 @@ class VmSystem {
   // Free-frame waiters (fault path under memory pressure). Notified after
   // every frame free; waiters use bounded slices so a missed notify only
   // costs one slice.
-  std::mutex free_mu_;
+  alignas(64) std::mutex free_mu_;
   std::condition_variable free_cv_;
 
   // Pageout daemon control.
@@ -547,8 +638,15 @@ class VmSystem {
 
   mutable Counters counters_;
 
+  // Cap on pins a PinBatch may hold at once; sized against the frame pool
+  // in the constructor so batched pins can never starve reclaim in
+  // small-memory configurations.
+  size_t pin_batch_cap_ = 16;
+
   // Object references dropped by VmMapCopy destructors (possibly on threads
-  // that must not take VM locks); drained opportunistically.
+  // that must not take VM locks); drained opportunistically. The atomic
+  // flag lets MaybeDrainDeferred skip the mutex on the (hot, empty) path.
+  std::atomic<bool> deferred_pending_{false};
   std::mutex deferred_mu_;
   std::vector<std::shared_ptr<VmObject>> deferred_releases_;
 };

@@ -696,13 +696,93 @@ TEST_F(VmOpsTest, ResidentRefaultStaysWithinLockBudget) {
 
   const uint64_t faults = after.faults - before.faults;
   ASSERT_GE(faults, uint64_t{kPages});
-  // The fast path takes the map shared lock, the object lock, and one hash
-  // shard — the queue lock is skipped by the atomic-tag fast-out. Anything
-  // above 3 locks per fault is a regression.
+  // The optimistic path takes the object lock and one hash shard — no map
+  // lock and no queue lock at all. Anything above 2 locks per fault (plus a
+  // little slack for a stale-snapshot fallback) is a regression.
   const uint64_t lock_ops = after.fault_lock_ops - before.fault_lock_ops;
-  EXPECT_LE(lock_ops, faults * 3);
+  EXPECT_LE(lock_ops, faults * 2 + 8);
+  // The warm-up's last locked fault published a current snapshot and nothing
+  // has mutated the map since, so every re-fault resolves lock-free.
+  EXPECT_GE(after.map_lookups_optimistic - before.map_lookups_optimistic,
+            uint64_t{kPages});
   // Every re-fault found its page already active and skipped the queue lock.
   EXPECT_GE(after.activations_skipped - before.activations_skipped, uint64_t{kPages});
+}
+
+TEST_F(VmOpsTest, MapMutationInvalidatesOptimisticLookup) {
+  VmOffset addr = task_->VmAllocate(kPage).value();
+  uint32_t v = 0x1234;
+  ASSERT_EQ(task_->Write(addr, &v, sizeof(v)), KernReturn::kSuccess);
+
+  // Re-fault once so the snapshot is definitely published and current.
+  task_->vm_context().pmap->Remove(addr, addr + kPage);
+  ASSERT_EQ(task_->Read(addr, &v, sizeof(v)), KernReturn::kSuccess);
+
+  // Any map mutation moves the generation and strands the snapshot.
+  VmOffset scratch = task_->VmAllocate(kPage).value();
+  ASSERT_EQ(task_->VmDeallocate(scratch, kPage), KernReturn::kSuccess);
+
+  VmStatistics before = task_->VmStats();
+  task_->vm_context().pmap->Remove(addr, addr + kPage);
+  ASSERT_EQ(task_->Read(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  VmStatistics mid = task_->VmStats();
+  // The stale snapshot was detected (a retry), the fault fell back to the
+  // locked path, and that path republished the snapshot…
+  EXPECT_GE(mid.map_lookup_retries - before.map_lookup_retries, uint64_t{1});
+  EXPECT_EQ(mid.map_lookups_optimistic, before.map_lookups_optimistic);
+
+  // …so the next re-fault resolves lock-free again.
+  task_->vm_context().pmap->Remove(addr, addr + kPage);
+  ASSERT_EQ(task_->Read(addr, &v, sizeof(v)), KernReturn::kSuccess);
+  VmStatistics after = task_->VmStats();
+  EXPECT_GE(after.map_lookups_optimistic - mid.map_lookups_optimistic, uint64_t{1});
+}
+
+TEST(VmConfigTest, OptimisticLookupOffUsesLockedPathOnly) {
+  Kernel::Config config;
+  config.frames = 128;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.optimistic_map_lookup = false;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+
+  constexpr int kPages = 8;
+  VmOffset addr = task->VmAllocate(kPages * kPage).value();
+  std::vector<uint8_t> buf(kPages * kPage, 0x5A);
+  ASSERT_EQ(task->Write(addr, buf.data(), buf.size()), KernReturn::kSuccess);
+
+  task->vm_context().pmap->Remove(addr, addr + kPages * kPage);
+  VmStatistics before = task->VmStats();
+  uint32_t v = 0;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_EQ(task->Read(addr + i * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  VmStatistics st = task->VmStats();
+  // The ablation config never takes the lock-free tier…
+  EXPECT_EQ(st.map_lookups_optimistic, 0u);
+  EXPECT_EQ(st.map_lookup_retries, 0u);
+  // …but the in-lock fast path still bounds a resident re-fault at 3 locks
+  // (map shared + object + hash shard; queue skipped by the tag fast-out).
+  const uint64_t faults = st.faults - before.faults;
+  ASSERT_GE(faults, uint64_t{kPages});
+  EXPECT_LE(st.fault_lock_ops - before.fault_lock_ops, faults * 3);
+}
+
+TEST_F(VmOpsTest, KernelReadBatchesQueueOperations) {
+  // vm_read across many freshly zero-filled pages: each page's activation
+  // rides the per-thread batch, so the whole sweep pays for at most
+  // ceil(pages / QueueBatch::kCapacity) queue-lock acquisitions, observable
+  // as queue_batch_flushes.
+  constexpr int kPages = 20;
+  VmOffset addr = task_->VmAllocate(kPages * kPage).value();
+  std::vector<std::byte> buf(kPages * kPage);
+  VmStatistics before = task_->VmStats();
+  ASSERT_EQ(kernel_->vm().ReadMemory(task_->vm_context(), addr, buf.data(), buf.size()),
+            KernReturn::kSuccess);
+  VmStatistics after = task_->VmStats();
+  EXPECT_GE(after.queue_batch_flushes - before.queue_batch_flushes, uint64_t{1});
+  EXPECT_GE(after.zero_fill_count - before.zero_fill_count, uint64_t{kPages});
 }
 
 }  // namespace
