@@ -52,10 +52,10 @@ case "$mode" in
     # the concurrency-heavy binaries — TSan is ~10x, and the full suite
     # runs in the other lanes.
     export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}
-    tsan_suites='^(vm_test|vm_concurrent_test|property_test|ipc_property_test)$'
+    tsan_suites='^(vm_test|vm_concurrent_test|property_test|ipc_property_test|shm_test|shm_property_test)$'
     cmake -B build-tsan -S . -DMACH_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" --target \
-      vm_test vm_concurrent_test property_test ipc_property_test
+      vm_test vm_concurrent_test property_test ipc_property_test shm_test shm_property_test
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R "$tsan_suites"
     ;;
   all)
@@ -93,10 +93,11 @@ case "$mode" in
         exit 2
       fi
       echo "=== bench_${name} -> BENCH_${name}.json"
-      if [ "$name" = migration ]; then
-        # bench_migration is a plain sweep driver that writes its own JSON
-        # document to stdout (drop-rate x latency grid; human table on
-        # stderr), not a google-benchmark binary.
+      if [ "$name" = migration ] || [ "$name" = shm_coherence ]; then
+        # bench_migration and bench_shm_coherence are plain sweep drivers
+        # that write their own JSON document to stdout (drop-rate x latency
+        # grid / centralised-vs-sharded ablation; human table on stderr),
+        # not google-benchmark binaries.
         "$bin" > "BENCH_${name}.json"
       else
         "$bin" --benchmark_format=json --benchmark_out_format=json > "BENCH_${name}.json"

@@ -1,250 +1,21 @@
 #include "src/managers/shm/shm_server.h"
 
-#include <algorithm>
-
-#include "src/base/log.h"
-
 namespace mach {
 
-namespace {
-// How long to wait for recalled data before concluding the writer's copy
-// was clean (its kernel flushes a clean page silently).
-constexpr std::chrono::milliseconds kRecallDeadline{150};
-}  // namespace
-
-SharedMemoryServer::SharedMemoryServer(VmSize page_size)
-    : DataManager("shm"), page_size_(page_size) {}
+SharedMemoryServer::SharedMemoryServer(ShmOptions options)
+    : ShmShard("shm", std::move(options)) {}
 
 SendRight SharedMemoryServer::GetRegion(const std::string& name, VmSize size) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = regions_.find(name);
-  if (it != regions_.end()) {
-    return it->second.object;
-  }
-  Region region;
-  region.cookie = next_cookie_++;
-  region.size = RoundPage(size, page_size_);
-  region.object = CreateMemoryObject(region.cookie, "shm:" + name);
-  SendRight object = region.object;
-  regions_.emplace(name, std::move(region));
-  return object;
-}
-
-SharedMemoryServer::Region* SharedMemoryServer::RegionByCookie(uint64_t cookie) {
-  for (auto& [name, region] : regions_) {
-    if (region.cookie == cookie) {
-      return &region;
+  uint64_t region_id = 0;
+  {
+    std::lock_guard<std::mutex> g(names_mu_);
+    auto it = names_.find(name);
+    if (it == names_.end()) {
+      it = names_.emplace(name, next_region_id_++).first;
     }
+    region_id = it->second;
   }
-  return nullptr;
-}
-
-SharedMemoryServer::PageState& SharedMemoryServer::PageAt(Region* region, VmOffset offset) {
-  auto it = region->pages.find(offset);
-  if (it == region->pages.end()) {
-    PageState fresh;
-    fresh.data.assign(page_size_, std::byte{0});
-    it = region->pages.emplace(offset, std::move(fresh)).first;
-  }
-  return it->second;
-}
-
-void SharedMemoryServer::OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) {
-  std::lock_guard<std::mutex> g(mu_);
-  Region* region = RegionByCookie(cookie);
-  if (region == nullptr) {
-    return;
-  }
-  // Record this use of the region: each kernel mapping it has its own
-  // request port (§4.2 "distinct request and name ports for each kernel").
-  region->uses.emplace(args.pager_request_port.id(), args.pager_request_port);
-}
-
-void SharedMemoryServer::InvalidateReaders(PageState& page, VmOffset offset, uint64_t except_id) {
-  for (const SendRight& reader : page.reader_ports) {
-    if (reader.id() == except_id) {
-      continue;
-    }
-    FlushRequest(reader, offset, page_size_);
-    ++invalidations_;
-  }
-  page.reader_ports.clear();
-  page.reader_ids.clear();
-}
-
-void SharedMemoryServer::GrantRead(PageState& page, const SendRight& req, VmOffset offset) {
-  // Count before providing: ProvideData wakes the faulting thread, which
-  // may observe the statistics immediately.
-  ++read_grants_;
-  if (page.reader_ids.insert(req.id()).second) {
-    page.reader_ports.push_back(req);
-  }
-  // Multiple readers are fine; the data goes out write-locked so a write
-  // attempt must come back through pager_data_unlock (§4.2).
-  ProvideData(req, offset, page.data, kVmProtWrite);
-}
-
-void SharedMemoryServer::GrantWrite(Region* region, PageState& page, const SendRight& req,
-                                    VmOffset offset, bool requester_has_copy) {
-  InvalidateReaders(page, offset, req.id());
-  page.writer = req.id();
-  page.writer_port = req;
-  ++write_grants_;
-  if (requester_has_copy) {
-    // The kernel already holds the (read-locked) data: just drop the lock.
-    LockData(req, offset, page_size_, kVmProtNone);
-  } else {
-    ProvideData(req, offset, page.data, kVmProtNone);
-  }
-}
-
-void SharedMemoryServer::ServePending(Region* region, VmOffset offset, PageState& page) {
-  while (!page.pending.empty() && page.writer == 0) {
-    PendingRequest pr = std::move(page.pending.front());
-    page.pending.erase(page.pending.begin());
-    if ((pr.access & kVmProtWrite) != 0) {
-      GrantWrite(region, page, pr.request_port, offset, /*requester_has_copy=*/false);
-      if (!page.pending.empty()) {
-        // More waiters behind the new writer: recall immediately.
-        FlushRequest(page.writer_port, offset, page_size_);
-        ++recalls_;
-        for (PendingRequest& rest : page.pending) {
-          rest.deadline = std::chrono::steady_clock::now() + kRecallDeadline;
-        }
-      }
-      return;
-    }
-    GrantRead(page, pr.request_port, offset);
-  }
-}
-
-void SharedMemoryServer::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
-                                       PagerDataRequestArgs args) {
-  std::lock_guard<std::mutex> g(mu_);
-  Region* region = RegionByCookie(cookie);
-  if (region == nullptr) {
-    DataUnavailable(args.pager_request_port, args.offset, args.length);
-    return;
-  }
-  for (VmOffset off = TruncPage(args.offset, page_size_); off < args.offset + args.length;
-       off += page_size_) {
-    PageState& page = PageAt(region, off);
-    if (page.writer != 0 && page.writer != args.pager_request_port.id()) {
-      // Another kernel holds write access: recall the page. The dirty data
-      // arrives as pager_data_write (FIFO on the object port guarantees it
-      // precedes any later request from that kernel); a clean copy is
-      // flushed silently, which the deadline in OnIdle resolves.
-      FlushRequest(page.writer_port, off, page_size_);
-      ++recalls_;
-      page.pending.push_back(PendingRequest{args.pager_request_port, args.desired_access,
-                                            std::chrono::steady_clock::now() + kRecallDeadline});
-      continue;
-    }
-    if (page.writer == args.pager_request_port.id()) {
-      // The writer's kernel lost its copy (evicted). Any dirty data already
-      // arrived (FIFO); our stored copy is current again.
-      page.writer = 0;
-      page.writer_port = SendRight();
-    }
-    if ((args.desired_access & kVmProtWrite) != 0) {
-      GrantWrite(region, page, args.pager_request_port, off, /*requester_has_copy=*/false);
-    } else {
-      GrantRead(page, args.pager_request_port, off);
-    }
-  }
-}
-
-void SharedMemoryServer::OnDataUnlock(uint64_t object_port_id, uint64_t cookie,
-                                      PagerDataUnlockArgs args) {
-  std::lock_guard<std::mutex> g(mu_);
-  Region* region = RegionByCookie(cookie);
-  if (region == nullptr) {
-    return;
-  }
-  for (VmOffset off = TruncPage(args.offset, page_size_); off < args.offset + args.length;
-       off += page_size_) {
-    PageState& page = PageAt(region, off);
-    uint64_t requester = args.pager_request_port.id();
-    if (page.writer == requester) {
-      LockData(args.pager_request_port, off, page_size_, kVmProtNone);  // Duplicate.
-      continue;
-    }
-    if (page.writer != 0) {
-      FlushRequest(page.writer_port, off, page_size_);
-      ++recalls_;
-      page.pending.push_back(PendingRequest{args.pager_request_port,
-                                            args.desired_access | kVmProtWrite,
-                                            std::chrono::steady_clock::now() + kRecallDeadline});
-      continue;
-    }
-    // Reader upgrading to writer: invalidate the *other* readers, then
-    // unlock the requester's copy in place (§4.2's final frame).
-    InvalidateReaders(page, off, requester);
-    page.writer = requester;
-    page.writer_port = args.pager_request_port;
-    ++write_grants_;
-    LockData(args.pager_request_port, off, page_size_, kVmProtNone);
-  }
-}
-
-void SharedMemoryServer::OnDataWrite(uint64_t object_port_id, uint64_t cookie,
-                                     PagerDataWriteArgs args) {
-  std::lock_guard<std::mutex> g(mu_);
-  Region* region = RegionByCookie(cookie);
-  if (region == nullptr) {
-    return;
-  }
-  const size_t pages = args.data.size() / page_size_;
-  for (size_t p = 0; p < pages; ++p) {
-    VmOffset off = args.offset + p * page_size_;
-    PageState& page = PageAt(region, off);
-    page.data.assign(args.data.begin() + p * page_size_,
-                     args.data.begin() + (p + 1) * page_size_);
-    // The writer's copy is gone (recalled or evicted): data settles here.
-    page.writer = 0;
-    page.writer_port = SendRight();
-    ServePending(region, off, page);
-  }
-}
-
-void SharedMemoryServer::OnIdle() {
-  std::lock_guard<std::mutex> g(mu_);
-  auto now = std::chrono::steady_clock::now();
-  for (auto& [name, region] : regions_) {
-    for (auto& [off, page] : region.pages) {
-      if (page.writer != 0 && !page.pending.empty() && page.pending.front().deadline <= now) {
-        // The recalled writer never sent data: its copy was clean, so the
-        // stored data is still authoritative.
-        page.writer = 0;
-        page.writer_port = SendRight();
-      }
-      if (page.writer == 0 && !page.pending.empty()) {
-        ServePending(&region, off, page);
-      }
-    }
-  }
-}
-
-void SharedMemoryServer::OnPortDeath(uint64_t port_id) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto& [name, region] : regions_) {
-    region.uses.erase(port_id);
-    for (auto& [off, page] : region.pages) {
-      if (page.writer == port_id) {
-        // The writing kernel released the region (or died) holding write
-        // access; whatever it wrote back last is what survives.
-        page.writer = 0;
-        page.writer_port = SendRight();
-      }
-      if (page.reader_ids.erase(port_id) != 0) {
-        page.reader_ports.erase(
-            std::remove_if(page.reader_ports.begin(), page.reader_ports.end(),
-                           [&](const SendRight& r) { return r.id() == port_id; }),
-            page.reader_ports.end());
-      }
-      ServePending(&region, off, page);
-    }
-  }
+  return RegionObject(region_id, size, "shm:" + name);
 }
 
 }  // namespace mach

@@ -1,109 +1,54 @@
-// Consistent network shared memory (§4.2): a data manager that gives tasks
-// on multiple hosts a coherent read/write shared memory region, using only
-// the external memory management interface — the software analogue of a
-// multiprocessor's consistent caches (§7, after Li & Hudak).
+// SharedMemoryServer: the centralised shared-memory manager of §4.2 — now a
+// thin compatibility front end over a single ShmDirectory shard.
 //
-// Protocol, per page (single writer / multiple readers):
-//   * read fault  -> pager_data_request(read): the server returns the data
-//     write-locked (lock_value = WRITE) and records the kernel as a reader.
-//   * write fault on a read copy -> pager_data_unlock: the server
-//     invalidates every other reader (pager_flush_request), then grants
-//     write access (pager_data_lock with no lock); the kernel becomes the
-//     (sole) writer.
-//   * write fault with no copy -> pager_data_request(write): the server
-//     recalls the page from the current writer if any (flush; the dirty
-//     data comes back as pager_data_write), invalidates readers, and
-//     provides the data unlocked.
-//
-// The server's authoritative copy of a page is valid only while no kernel
-// holds write access; while a writer exists, requests queue until the
-// recalled data arrives (or a short deadline passes — a writer that never
-// dirtied the page is flushed silently by its kernel, which sends nothing).
+// Historically this class *was* the protocol: one port, one lock, one
+// steady_clock deadline per recall. The protocol now lives in ShmDirectory
+// (owner hints, forwarding, virtual-time deadlines) so the centralised
+// server and every shard of a ShmBroker run the byte-identical state
+// machine; what remains here is the name → memory-object resolution the
+// existing tests and benchmarks use. New code that wants scale should speak
+// to a ShmBroker instead — this class is the "1 shard" arm of the
+// centralised-vs-sharded ablation.
 
 #ifndef SRC_MANAGERS_SHM_SHM_SERVER_H_
 #define SRC_MANAGERS_SHM_SHM_SERVER_H_
 
-#include <chrono>
 #include <cstdint>
-#include <atomic>
 #include <map>
 #include <mutex>
-#include <set>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
-#include "src/pager/data_manager.h"
+#include "src/managers/shm/shm_shard.h"
 
 namespace mach {
 
-class SharedMemoryServer : public DataManager {
+class SharedMemoryServer : public ShmShard {
  public:
-  explicit SharedMemoryServer(VmSize page_size);
+  explicit SharedMemoryServer(VmSize page_size) : SharedMemoryServer(MakeOptions(page_size)) {}
+  explicit SharedMemoryServer(ShmOptions options);
 
   // Returns the memory object for the named region, creating it on first
   // use (§4.2: the server returns the same object X to every client).
   // Remote hosts should receive a NetLink proxy of this right.
   SendRight GetRegion(const std::string& name, VmSize size);
 
-  // Statistics for the coherence benchmarks. Read from client threads
-  // while the server thread grants, hence atomic.
-  uint64_t read_grants() const { return read_grants_.load(std::memory_order_relaxed); }
-  uint64_t write_grants() const { return write_grants_.load(std::memory_order_relaxed); }
-  uint64_t invalidations() const { return invalidations_.load(std::memory_order_relaxed); }
-  uint64_t recalls() const { return recalls_.load(std::memory_order_relaxed); }
-
- protected:
-  void OnInit(uint64_t object_port_id, uint64_t cookie, PagerInitArgs args) override;
-  void OnDataRequest(uint64_t object_port_id, uint64_t cookie, PagerDataRequestArgs args) override;
-  void OnDataUnlock(uint64_t object_port_id, uint64_t cookie, PagerDataUnlockArgs args) override;
-  void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) override;
-  void OnPortDeath(uint64_t port_id) override;
-  void OnIdle() override;
+  // Statistics for the coherence benchmarks (legacy accessors; the full
+  // set is directory().counters()).
+  uint64_t read_grants() const { return directory().counters().read_grants; }
+  uint64_t write_grants() const { return directory().counters().write_grants; }
+  uint64_t invalidations() const { return directory().counters().invalidations; }
+  uint64_t recalls() const { return directory().counters().recalls; }
 
  private:
-  struct PendingRequest {
-    SendRight request_port;
-    VmProt access = kVmProtNone;
-    std::chrono::steady_clock::time_point deadline;
-  };
+  static ShmOptions MakeOptions(VmSize page_size) {
+    ShmOptions options;
+    options.page_size = page_size;
+    return options;
+  }
 
-  struct PageState {
-    std::vector<std::byte> data;      // Authoritative while writer == 0.
-    uint64_t writer = 0;              // Request-port id of the sole writer.
-    SendRight writer_port;
-    std::set<uint64_t> reader_ids;
-    std::vector<SendRight> reader_ports;
-    std::vector<PendingRequest> pending;
-  };
-
-  struct Region {
-    uint64_t cookie = 0;
-    VmSize size = 0;
-    SendRight object;
-    // Every kernel ("use") of this region: request port id -> send right.
-    std::unordered_map<uint64_t, SendRight> uses;
-    std::map<VmOffset, PageState> pages;
-  };
-
-  Region* RegionByCookie(uint64_t cookie);
-  PageState& PageAt(Region* region, VmOffset offset);
-  // Grants the front-of-queue access(es) for a page whose data is settled.
-  void ServePending(Region* region, VmOffset offset, PageState& page);
-  void GrantRead(PageState& page, const SendRight& req, VmOffset offset);
-  void GrantWrite(Region* region, PageState& page, const SendRight& req, VmOffset offset,
-                  bool requester_has_copy);
-  void InvalidateReaders(PageState& page, VmOffset offset, uint64_t except_id);
-
-  const VmSize page_size_;
-  std::mutex mu_;
-  std::map<std::string, Region> regions_;
-  uint64_t next_cookie_ = 1;
-
-  std::atomic<uint64_t> read_grants_{0};
-  std::atomic<uint64_t> write_grants_{0};
-  std::atomic<uint64_t> invalidations_{0};
-  std::atomic<uint64_t> recalls_{0};
+  std::mutex names_mu_;
+  std::map<std::string, uint64_t> names_;  // region name -> region id
+  uint64_t next_region_id_ = 1;
 };
 
 }  // namespace mach

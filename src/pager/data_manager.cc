@@ -99,7 +99,7 @@ void DataManager::ServiceLoop() {
     if (got.ok()) {
       Dispatch(got.value().port_id, std::move(got.value().message));
     }
-    OnIdle();
+    OnServiceTick(got.ok());
   }
 }
 
@@ -137,6 +137,13 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
       Result<PagerDataUnlockArgs> args = DecodePagerDataUnlock(msg);
       if (args.ok()) {
         OnDataUnlock(port_id, cookie, std::move(args).value());
+      }
+      break;
+    }
+    case kMsgPagerLockCompleted: {
+      Result<PagerLockCompletedArgs> args = DecodePagerLockCompleted(msg);
+      if (args.ok()) {
+        OnLockCompleted(port_id, cookie, std::move(args).value());
       }
       break;
     }
@@ -190,9 +197,13 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
       }
       break;
     }
-    default:
-      MACH_LOG(kWarn) << name_ << ": unknown message id " << msg.id();
+    default: {
+      const MsgId id = msg.id();
+      if (!OnMessage(port_id, std::move(msg))) {
+        MACH_LOG(kWarn) << name_ << ": unknown message id " << id;
+      }
       break;
+    }
   }
 }
 
@@ -234,6 +245,17 @@ KernReturn DataManager::CleanRequest(const SendRight& request_port, VmOffset off
 KernReturn DataManager::SetCaching(const SendRight& request_port, bool may_cache) {
   return MsgSend(request_port, EncodePagerCache(PagerCacheArgs{may_cache}),
                  std::chrono::milliseconds(2000));
+}
+
+KernReturn DataManager::DowngradeToRead(const SendRight& request_port, VmOffset offset,
+                                        VmSize length) {
+  KernReturn kr = CleanRequest(request_port, offset, length);
+  if (kr != KernReturn::kSuccess) {
+    return kr;
+  }
+  // FIFO on the request port: the kernel cleans (writes back dirty data)
+  // before it sees the write lock, so no dirty byte is stranded behind it.
+  return LockData(request_port, offset, length, kVmProtWrite);
 }
 
 }  // namespace mach

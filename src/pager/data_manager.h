@@ -76,6 +76,10 @@ class DataManager {
   static KernReturn FlushRequest(const SendRight& request_port, VmOffset offset, VmSize length);
   static KernReturn CleanRequest(const SendRight& request_port, VmOffset offset, VmSize length);
   static KernReturn SetCaching(const SendRight& request_port, bool may_cache);
+  // Demote a writer to reader: clean (write back dirty, keep the copy) then
+  // re-lock the kept copy against writes. Used by the shm directory's
+  // downgrade-on-read path.
+  static KernReturn DowngradeToRead(const SendRight& request_port, VmOffset offset, VmSize length);
 
  protected:
   // --- Table 3-5 upcalls (kernel -> manager) ----------------------------
@@ -88,6 +92,11 @@ class DataManager {
   virtual void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) {}
   virtual void OnDataUnlock(uint64_t object_port_id, uint64_t cookie,
                             PagerDataUnlockArgs args) {}
+  // A kernel finished processing a flush/clean request. Dirty data (if any)
+  // was written back before this on the same port, so a completion with no
+  // preceding data_write means the kernel's copy was clean.
+  virtual void OnLockCompleted(uint64_t object_port_id, uint64_t cookie,
+                               PagerLockCompletedArgs args) {}
   // pager_create (default pager only): `adopted_port_id` is the id of the
   // newly adopted memory object port.
   virtual void OnCreate(uint64_t adopted_port_id, PagerCreateArgs args) {}
@@ -104,6 +113,14 @@ class DataManager {
   // Called on the service thread after each message (or receive timeout);
   // managers use it for deadline/maintenance work.
   virtual void OnIdle() {}
+  // Called once per service pass with whether the pass delivered a message.
+  // Managers running on virtual time (the shm directory) override this to
+  // advance their clock only on idle passes — a deadline then cannot expire
+  // while work is still queued. Default preserves the per-pass OnIdle.
+  virtual void OnServiceTick(bool serviced) { OnIdle(); }
+  // Non-pager messages (e.g. the shm broker's control protocol) land here.
+  // Return true if handled; false logs the unknown-message warning.
+  virtual bool OnMessage(uint64_t port_id, Message&& msg) { return false; }
 
   // Drops the manager's receive right for `object_port_id` (the port dies;
   // remaining senders observe kPortDead). The usual response to OnNoSenders

@@ -93,6 +93,28 @@ Result<PagerDataUnlockArgs> DecodePagerDataUnlock(Message& msg) {
   return args;
 }
 
+Message EncodePagerLockCompleted(const PagerLockCompletedArgs& args) {
+  Message msg(kMsgPagerLockCompleted);
+  msg.PushPort(args.pager_request_port);
+  msg.PushU64(args.offset);
+  msg.PushU64(args.length);
+  return msg;
+}
+
+Result<PagerLockCompletedArgs> DecodePagerLockCompleted(Message& msg) {
+  PagerLockCompletedArgs args;
+  Result<SendRight> req = msg.TakePort();
+  Result<uint64_t> off = msg.TakeU64();
+  Result<uint64_t> len = msg.TakeU64();
+  if (!req.ok() || !off.ok() || !len.ok()) {
+    return KernReturn::kInvalidArgument;
+  }
+  args.pager_request_port = std::move(req).value();
+  args.offset = off.value();
+  args.length = len.value();
+  return args;
+}
+
 Message EncodePagerCreate(PagerCreateArgs args) {
   Message msg(kMsgPagerCreate);
   msg.PushReceive(std::move(args.new_memory_object));
@@ -224,6 +246,60 @@ Result<PagerDataUnavailableArgs> DecodePagerDataUnavailable(Message& msg) {
     return KernReturn::kInvalidArgument;
   }
   return PagerDataUnavailableArgs{off.value(), size.value()};
+}
+
+Message EncodeShmGetRegion(const ShmGetRegionArgs& args) {
+  Message msg(kMsgShmGetRegion);
+  msg.PushString(args.name);
+  msg.PushU64(args.size);
+  return msg;
+}
+
+Result<ShmGetRegionArgs> DecodeShmGetRegion(Message& msg) {
+  ShmGetRegionArgs args;
+  Result<std::string> name = msg.TakeString();
+  Result<uint64_t> size = msg.TakeU64();
+  if (!name.ok() || !size.ok()) {
+    return KernReturn::kInvalidArgument;
+  }
+  args.name = std::move(name).value();
+  args.size = size.value();
+  return args;
+}
+
+Message EncodeShmRegionInfo(const ShmRegionInfoArgs& args) {
+  Message msg(kMsgShmRegionInfo);
+  msg.PushU64(args.region_id);
+  msg.PushU64(args.size);
+  msg.PushU64(args.page_size);
+  msg.PushU64(args.shard_objects.size());
+  for (const SendRight& shard : args.shard_objects) {
+    msg.PushPort(shard);
+  }
+  return msg;
+}
+
+Result<ShmRegionInfoArgs> DecodeShmRegionInfo(Message& msg) {
+  ShmRegionInfoArgs args;
+  Result<uint64_t> id = msg.TakeU64();
+  Result<uint64_t> size = msg.TakeU64();
+  Result<uint64_t> page_size = msg.TakeU64();
+  Result<uint64_t> count = msg.TakeU64();
+  if (!id.ok() || !size.ok() || !page_size.ok() || !count.ok()) {
+    return KernReturn::kInvalidArgument;
+  }
+  args.region_id = id.value();
+  args.size = size.value();
+  args.page_size = page_size.value();
+  args.shard_objects.reserve(count.value());
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    Result<SendRight> shard = msg.TakePort();
+    if (!shard.ok()) {
+      return KernReturn::kInvalidArgument;
+    }
+    args.shard_objects.push_back(std::move(shard).value());
+  }
+  return args;
 }
 
 }  // namespace mach

@@ -16,6 +16,7 @@
 #define SRC_PAGER_PROTOCOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/base/kern_return.h"
@@ -31,6 +32,12 @@ inline constexpr MsgId kMsgPagerDataRequest = 0x50000002;
 inline constexpr MsgId kMsgPagerDataWrite = 0x50000003;
 inline constexpr MsgId kMsgPagerDataUnlock = 0x50000004;
 inline constexpr MsgId kMsgPagerCreate = 0x50000005;
+// pager_lock_completed (after Mach's memory_object_lock_completed): sent by
+// the kernel once a pager_flush_request / pager_clean_request has been fully
+// processed. Any dirty data was written back *first* on the same port, so a
+// manager seeing lock_completed with no preceding pager_data_write knows the
+// kernel's copy was clean — without resorting to a timeout.
+inline constexpr MsgId kMsgPagerLockCompleted = 0x50000006;
 
 // Data manager → kernel (Table 3-6):
 inline constexpr MsgId kMsgPagerDataProvided = 0x60000001;
@@ -39,6 +46,13 @@ inline constexpr MsgId kMsgPagerFlushRequest = 0x60000003;
 inline constexpr MsgId kMsgPagerCleanRequest = 0x60000004;
 inline constexpr MsgId kMsgPagerCache = 0x60000005;
 inline constexpr MsgId kMsgPagerDataUnavailable = 0x60000006;
+
+// Shared-memory broker control (§4.2 region resolution): shm_get_region is
+// sent to the broker's service port with a reply port; the broker answers
+// with shm_region_info. Remote hosts talk to a NetLink proxy of the service
+// port — the shard rights in the reply are proxied automatically.
+inline constexpr MsgId kMsgShmGetRegion = 0x70000001;
+inline constexpr MsgId kMsgShmRegionInfo = 0x70000002;
 
 // --- Decoded message bodies ---------------------------------------------
 
@@ -71,6 +85,14 @@ struct PagerDataUnlockArgs {
   VmOffset offset = 0;
   VmSize length = 0;
   VmProt desired_access = kVmProtNone;
+};
+
+// pager_lock_completed(memory_object, pager_request_port, offset, length).
+// The request port identifies which kernel finished the flush/clean.
+struct PagerLockCompletedArgs {
+  SendRight pager_request_port;
+  VmOffset offset = 0;
+  VmSize length = 0;
 };
 
 // pager_create(old_memory_object, new_memory_object, new_request_port,
@@ -116,12 +138,30 @@ struct PagerDataUnavailableArgs {
   VmSize size = 0;
 };
 
+// shm_get_region(broker_service_port, name, size) — resolve (creating on
+// first use) the named shared region.
+struct ShmGetRegionArgs {
+  std::string name;
+  VmSize size = 0;
+};
+
+// shm_region_info: the region's identity plus one memory object per
+// directory shard. Page index p of region r lives in
+// shard_objects[HashCombine64(r, p) % shard_objects.size()].
+struct ShmRegionInfoArgs {
+  uint64_t region_id = 0;
+  VmSize size = 0;
+  VmSize page_size = 0;
+  std::vector<SendRight> shard_objects;
+};
+
 // --- Encoders (build a Message) ------------------------------------------
 
 Message EncodePagerInit(const PagerInitArgs& args);
 Message EncodePagerDataRequest(const PagerDataRequestArgs& args);
 Message EncodePagerDataWrite(const PagerDataWriteArgs& args);
 Message EncodePagerDataUnlock(const PagerDataUnlockArgs& args);
+Message EncodePagerLockCompleted(const PagerLockCompletedArgs& args);
 Message EncodePagerCreate(PagerCreateArgs args);
 Message EncodePagerDataProvided(const PagerDataProvidedArgs& args);
 Message EncodePagerDataLock(const PagerDataLockArgs& args);
@@ -129,6 +169,8 @@ Message EncodePagerFlushRequest(const PagerRangeArgs& args);
 Message EncodePagerCleanRequest(const PagerRangeArgs& args);
 Message EncodePagerCache(const PagerCacheArgs& args);
 Message EncodePagerDataUnavailable(const PagerDataUnavailableArgs& args);
+Message EncodeShmGetRegion(const ShmGetRegionArgs& args);
+Message EncodeShmRegionInfo(const ShmRegionInfoArgs& args);
 
 // --- Decoders (consume a Message's items) ---------------------------------
 
@@ -136,6 +178,7 @@ Result<PagerInitArgs> DecodePagerInit(Message& msg);
 Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg);
 Result<PagerDataWriteArgs> DecodePagerDataWrite(Message& msg);
 Result<PagerDataUnlockArgs> DecodePagerDataUnlock(Message& msg);
+Result<PagerLockCompletedArgs> DecodePagerLockCompleted(Message& msg);
 Result<PagerCreateArgs> DecodePagerCreate(Message& msg);
 Result<PagerDataProvidedArgs> DecodePagerDataProvided(Message& msg);
 Result<PagerDataLockArgs> DecodePagerDataLock(Message& msg);
@@ -143,6 +186,8 @@ Result<PagerRangeArgs> DecodePagerFlushRequest(Message& msg);
 Result<PagerRangeArgs> DecodePagerCleanRequest(Message& msg);
 Result<PagerCacheArgs> DecodePagerCache(Message& msg);
 Result<PagerDataUnavailableArgs> DecodePagerDataUnavailable(Message& msg);
+Result<ShmGetRegionArgs> DecodeShmGetRegion(Message& msg);
+Result<ShmRegionInfoArgs> DecodeShmRegionInfo(Message& msg);
 
 }  // namespace mach
 

@@ -118,6 +118,10 @@ struct VmStatistics {
                                           // because the coverage metadata
                                           // exceeded Config::collapse_scan_cap
                                           // (also counted in collapse_denied).
+  uint64_t collapse_denied_external = 0;  // Splices declined because the
+                                          // shadow is an external manager's
+                                          // object (never collapsed: its
+                                          // holdings can't be enumerated).
   uint64_t activations_skipped = 0;   // PageActivate calls satisfied by the
                                       // lock-free queue-tag check (the page
                                       // was already active; no queue lock).

@@ -489,6 +489,14 @@ void VmSystem::HandleFlush(const std::shared_ptr<VmObject>& object, VmOffset off
     }
     PageFreeLocked(olk, page);
   }
+  // Acknowledge (memory_object_lock_completed): dirty data, if any, went
+  // out above on the same port, so the manager can distinguish "copy was
+  // clean" from "flush still in flight" without a timeout.
+  if (object->pager.valid()) {
+    MsgSend(object->pager,
+            EncodePagerLockCompleted(PagerLockCompletedArgs{object->request_send, offset, length}),
+            kPoll);
+  }
   object->cv.notify_all();
 }
 
@@ -521,6 +529,11 @@ void VmSystem::HandleClean(const std::shared_ptr<VmObject>& object, VmOffset off
       object->paged_offsets.insert(page->offset);
     }
     // On failure the page simply stays dirty; pageout retries later.
+  }
+  if (object->pager.valid()) {
+    MsgSend(object->pager,
+            EncodePagerLockCompleted(PagerLockCompletedArgs{object->request_send, offset, length}),
+            kPoll);
   }
   object->cv.notify_all();
 }

@@ -596,6 +596,7 @@ void VmSystem::TryCollapse(ChainLock& chain, const std::shared_ptr<VmObject>& ob
     // it at termination (which a bypass release still does), not be stolen
     // into the child.
     if (!s->internal && s->pager.valid()) {
+      counters_.collapse_denied_external.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     ObjectLock slk(s->mu);
@@ -1034,6 +1035,7 @@ VmStatistics VmSystem::Statistics() const {
   st.fast_faults = load(counters_.fast_faults);
   st.spurious_page_wakeups = load(counters_.spurious_page_wakeups);
   st.collapse_denied_scan_cap = load(counters_.collapse_denied_scan_cap);
+  st.collapse_denied_external = load(counters_.collapse_denied_external);
   st.activations_skipped = load(counters_.activations_skipped);
   st.fault_lock_ops = load(counters_.fault_lock_ops);
   st.map_lookups_optimistic = load(counters_.map_lookups_optimistic);

@@ -334,6 +334,7 @@ class VmSystem {
     PaddedAtomicU64 fast_faults{0};
     PaddedAtomicU64 spurious_page_wakeups{0};
     PaddedAtomicU64 collapse_denied_scan_cap{0};
+    PaddedAtomicU64 collapse_denied_external{0};
     PaddedAtomicU64 activations_skipped{0};
     PaddedAtomicU64 fault_lock_ops{0};
     PaddedAtomicU64 map_lookups_optimistic{0};

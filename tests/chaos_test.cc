@@ -30,6 +30,7 @@
 #include "src/kernel/task.h"
 #include "src/managers/camelot/recovery_manager.h"
 #include "src/managers/migrate/migration_manager.h"
+#include "src/managers/shm/shm_broker.h"
 #include "src/net/net_link.h"
 #include "src/pager/data_manager.h"
 
@@ -134,6 +135,11 @@ class ChaosSoak {
     // Suppress a random 30% of shadow-chain collapse opportunities: denial
     // must be purely a performance event, never a correctness one.
     faults_.SetProbability(VmSystem::kFaultCollapse, 0.3);
+    // Sharded shm directory faults: hint repairs lost at ownership transfer
+    // (the next forward chases through the stale hint) and forwards eaten
+    // on the wire (the virtual-time deadline retries them).
+    faults_.SetProbability(ShmDirectory::kFaultStaleHint, 0.3);
+    faults_.SetProbability(ShmDirectory::kFaultForwardDrop, 0.1);
 
     Kernel::Config config;
     config.name = "chaos-a";
@@ -176,6 +182,7 @@ class ChaosSoak {
     ForkChurnUnderCollapseFaults();
     RpcOverLossyLink();
     PartitionAndHeal();
+    ShardedShmShardHostDeathAndHeal();
     ManagerDeathMidFault();
     MigrationOverLossyLink();
     PartitionWithMigrationInFlight();
@@ -196,6 +203,10 @@ class ChaosSoak {
         << "net.reorder never consulted";
     EXPECT_GT(faults_.Evaluations(VmSystem::kFaultCollapse), 0u)
         << "no collapse opportunity ever reached the injector";
+    EXPECT_GT(faults_.Evaluations(ShmDirectory::kFaultStaleHint), 0u)
+        << "shm.stale_hint never consulted";
+    EXPECT_GT(faults_.Evaluations(ShmDirectory::kFaultForwardDrop), 0u)
+        << "shm.forward_drop never consulted";
     EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultEnqueue), 0u) << "ipc.enqueue never consulted";
     EXPECT_GT(ipc_faults_.Evaluations(kIpcFaultRightTransfer), 0u)
         << "ipc.right_transfer never consulted";
@@ -327,6 +338,94 @@ class ChaosSoak {
     Result<Message> got = MsgReceive(sink.receive, std::chrono::seconds(10));
     ASSERT_TRUE(got.ok());
     EXPECT_EQ(got.value().id(), 8u);
+  }
+
+  // Two hosts write-share a sharded region with the shm.* points armed and
+  // all of B's coherence traffic on the lossy reliable wire: stale hints
+  // chase, dropped forwards retry on the virtual-time deadline, and every
+  // transition still converges. Then the link partitions — the shard host
+  // is dead from B's point of view — and a faulter parked on the wire must
+  // resolve via the peer-dead proxy kill in a fraction of the 5 s pager
+  // timeout. After the heal, B re-resolves the region through fresh proxies
+  // and sharing resumes.
+  void ShardedShmShardHostDeathAndHeal() {
+    ShmOptions options;
+    options.injector = &faults_;
+    ShmBroker broker("chaos-shm", 4, options);
+    broker.Start();
+    const VmSize pages = 5;  // Pages 0-3 ping-pong; page 4 stays unfetched.
+    ShmRegionInfoArgs local = broker.GetRegion("chaos-region", pages * kPage);
+    std::shared_ptr<Task> task_a = host_a_->CreateTask(nullptr, "shm-a");
+    VmOffset a = ShmBroker::MapRegion(*task_a, local).value();
+    Result<ShmRegionInfoArgs> remote = ShmBroker::GetRegionVia(
+        link_->ProxyForB(broker.service_port()), "chaos-region", pages * kPage);
+    ASSERT_TRUE(remote.ok()) << KernReturnName(remote.status());
+    std::shared_ptr<Task> task_b = host_b_->CreateTask(nullptr, "shm-b");
+    VmOffset b = ShmBroker::MapRegion(*task_b, remote.value()).value();
+
+    auto sees = [](Task& task, VmOffset addr, uint64_t expect) {
+      auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(15);
+      while (std::chrono::steady_clock::now() < deadline) {
+        uint64_t v = ~0ull;
+        if (IsOk(task.Read(addr, &v, sizeof(v))) && v == expect) {
+          return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return false;
+    };
+    for (uint64_t round = 0; round < 3; ++round) {
+      for (VmOffset p = 0; p + 1 < pages; ++p) {
+        uint64_t va = Stamp(seed_, 7000 + round * 16 + p);
+        ASSERT_EQ(task_a->Write(a + p * kPage, &va, sizeof(va)), KernReturn::kSuccess);
+        ASSERT_TRUE(sees(*task_b, b + p * kPage, va)) << "round " << round << " page " << p;
+        uint64_t vb = va ^ 0xFFFF;
+        ASSERT_EQ(task_b->Write(b + p * kPage, &vb, sizeof(vb)), KernReturn::kSuccess);
+        ASSERT_TRUE(sees(*task_a, a + p * kPage, vb)) << "round " << round << " page " << p;
+      }
+    }
+    ShmCounters c = broker.aggregate_counters();
+    EXPECT_GT(c.forwards, 0u);
+    EXPECT_GT(c.ownership_transfers, 0u);
+    EXPECT_GT(c.hint_hits, 0u) << "no forward was ever answered by the hinted owner";
+
+    // The "shard host death": B's proxies die with the partition. A fault
+    // parked on the dead wire (page 4 was never fetched) must resolve by
+    // B's zero-fill policy via the proxy kill, not the 5 s timeout.
+    uint64_t dead_before = link_->peer_dead_events();
+    link_->SetPartitioned(true);
+    auto start = std::chrono::steady_clock::now();
+    uint64_t out = ~0ull;
+    ASSERT_EQ(task_b->Read(b + 4 * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(out, 0u);
+    EXPECT_LT(elapsed.count(), 4000) << "parked shm faulter burned the pager timeout";
+    EXPECT_GT(link_->peer_dead_events(), dead_before);
+    task_b.reset();
+
+    // Heal: fresh proxies, fresh mapping, sharing resumes against the
+    // directory's authoritative state.
+    link_->SetPartitioned(false);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((link_->a_to_b_status().health != LinkHealth::kUp ||
+            link_->b_to_a_status().health != LinkHealth::kUp) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(link_->a_to_b_status().health, LinkHealth::kUp);
+    ASSERT_EQ(link_->b_to_a_status().health, LinkHealth::kUp);
+    Result<ShmRegionInfoArgs> fresh = ShmBroker::GetRegionVia(
+        link_->ProxyForB(broker.service_port()), "chaos-region", pages * kPage);
+    ASSERT_TRUE(fresh.ok()) << KernReturnName(fresh.status());
+    std::shared_ptr<Task> task_b2 = host_b_->CreateTask(nullptr, "shm-b2");
+    VmOffset b2 = ShmBroker::MapRegion(*task_b2, fresh.value()).value();
+    uint64_t heal_v = Stamp(seed_, 7999);
+    ASSERT_EQ(task_a->Write(a + kPage, &heal_v, sizeof(heal_v)), KernReturn::kSuccess);
+    ASSERT_TRUE(sees(*task_b2, b2 + kPage, heal_v)) << "post-heal sharing never converged";
+    task_b2.reset();
+    task_a.reset();
+    broker.Stop();
   }
 
   // Kill a manager while a fault is parked on it: the faulter must resolve

@@ -8,11 +8,13 @@
 #include <atomic>
 #include <memory>
 #include <random>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
+#include "src/managers/shm/shm_broker.h"
 #include "src/managers/shm/shm_server.h"
 #include "src/net/net_link.h"
 
@@ -31,6 +33,21 @@ std::unique_ptr<Kernel> MakeHost(const std::string& name) {
   return std::make_unique<Kernel>(config);
 }
 
+// Polls until `task` observes `expect` at `addr` (coherence actions are
+// asynchronous messages).
+bool EventuallySees(Task& task, VmOffset addr, uint32_t expect,
+                    std::chrono::milliseconds budget = std::chrono::milliseconds(5000)) {
+  auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    uint32_t v = 0;
+    if (IsOk(task.Read(addr, &v, sizeof(v))) && v == expect) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
 class ShmTest : public ::testing::Test {
  protected:
   ShmTest() {
@@ -45,21 +62,6 @@ class ShmTest : public ::testing::Test {
     task_a_.reset();
     task_b_.reset();
     server_->Stop();
-  }
-
-  // Polls until `task` observes `expect` at `addr` (coherence actions are
-  // asynchronous messages).
-  bool EventuallySees(Task& task, VmOffset addr, uint32_t expect,
-                      std::chrono::milliseconds budget = std::chrono::milliseconds(5000)) {
-    auto deadline = std::chrono::steady_clock::now() + budget;
-    while (std::chrono::steady_clock::now() < deadline) {
-      uint32_t v = 0;
-      if (IsOk(task.Read(addr, &v, sizeof(v))) && v == expect) {
-        return true;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    return false;
   }
 
   std::unique_ptr<Kernel> host_a_;
@@ -237,6 +239,155 @@ TEST_F(ShmOverNetTest, LocalityKeepsTrafficLow) {
     ASSERT_EQ(task_b_->Read(b, &v, sizeof(v)), KernReturn::kSuccess);
   }
   EXPECT_EQ(link.messages_forwarded(), msgs_before);  // All cache hits.
+}
+
+// --- the sharded manager: broker front end + directory shards ---------------
+
+class ShmShardedTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kShards = 4;
+
+  ShmShardedTest() {
+    host_a_ = MakeHost("shard-host-a");
+    host_b_ = MakeHost("shard-host-b");
+    broker_ = std::make_unique<ShmBroker>("shmb", kShards, ShmOptions{});
+    broker_->Start();
+    task_a_ = host_a_->CreateTask(nullptr, "client-a");
+    task_b_ = host_b_->CreateTask(nullptr, "client-b");
+  }
+  ~ShmShardedTest() override {
+    task_a_.reset();
+    task_b_.reset();
+    broker_->Stop();
+  }
+
+  std::unique_ptr<Kernel> host_a_;
+  std::unique_ptr<Kernel> host_b_;
+  std::unique_ptr<ShmBroker> broker_;
+  std::shared_ptr<Task> task_a_;
+  std::shared_ptr<Task> task_b_;
+};
+
+TEST_F(ShmShardedTest, GetRegionIsStableAndPartitionsThePageSpace) {
+  ShmRegionInfoArgs info = broker_->GetRegion("grid", 16 * kPage);
+  ShmRegionInfoArgs again = broker_->GetRegion("grid", 16 * kPage);
+  EXPECT_EQ(info.region_id, again.region_id);
+  ASSERT_EQ(info.shard_objects.size(), kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(info.shard_objects[s].id(), again.shard_objects[s].id());
+  }
+  // The avalanche hash spreads the page space: no shard inherits a hot
+  // contiguous run, and several shards serve every realistic region.
+  std::set<size_t> used;
+  for (uint64_t p = 0; p < 16; ++p) {
+    used.insert(ShmBroker::ShardOfPage(info.region_id, p, kShards));
+  }
+  EXPECT_GE(used.size(), 3u);
+}
+
+TEST_F(ShmShardedTest, WritesVisibleAcrossHostsOnBrokerMappedRegion) {
+  ShmRegionInfoArgs info = broker_->GetRegion("grid", 8 * kPage);
+  VmOffset a = ShmBroker::MapRegion(*task_a_, info).value();
+  VmOffset b = ShmBroker::MapRegion(*task_b_, info).value();
+  for (uint32_t p = 0; p < 8; ++p) {
+    uint32_t v = 0xA000 + p;
+    ASSERT_EQ(task_a_->Write(a + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_TRUE(EventuallySees(*task_b_, b + p * kPage, 0xA000 + p)) << "page " << p;
+  }
+  // Reverse direction: ownership of every page migrates to B.
+  for (uint32_t p = 0; p < 8; ++p) {
+    uint32_t v = 0xB000 + p;
+    ASSERT_EQ(task_b_->Write(b + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_TRUE(EventuallySees(*task_a_, a + p * kPage, 0xB000 + p)) << "page " << p;
+  }
+  // The coherence load really spread across shards.
+  size_t active = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    ShmCounters c = broker_->shard(s).directory().counters();
+    active += (c.read_grants + c.write_grants) > 0 ? 1 : 0;
+  }
+  EXPECT_GE(active, 2u);
+}
+
+TEST_F(ShmShardedTest, PingPongMigratesOwnershipThroughTheHintChain) {
+  ShmRegionInfoArgs info = broker_->GetRegion("pingpong", kPage);
+  VmOffset a = ShmBroker::MapRegion(*task_a_, info).value();
+  VmOffset b = ShmBroker::MapRegion(*task_b_, info).value();
+  for (uint32_t round = 1; round <= 10; ++round) {
+    uint32_t va = round * 2;
+    ASSERT_EQ(task_a_->Write(a, &va, sizeof(va)), KernReturn::kSuccess);
+    ASSERT_TRUE(EventuallySees(*task_b_, b, va)) << "round " << round;
+    uint32_t vb = round * 2 + 1;
+    ASSERT_EQ(task_b_->Write(b, &vb, sizeof(vb)), KernReturn::kSuccess);
+    ASSERT_TRUE(EventuallySees(*task_a_, a, vb)) << "round " << round;
+  }
+  ShmCounters c = broker_->aggregate_counters();
+  EXPECT_GT(c.forwards, 0u);
+  EXPECT_GT(c.ownership_transfers, 0u);
+  // The directory's owner hint pointed at the host that actually answered
+  // with data — every transfer kept it repaired.
+  EXPECT_GT(c.hint_hits, 0u);
+  // The lock-completed ack path resolves every recall in a healthy run;
+  // the virtual-time deadline is strictly a dead-host backstop.
+  EXPECT_EQ(c.recall_timeouts, 0u);
+}
+
+TEST_F(ShmShardedTest, RemoteHostResolvesRegionThroughProxiedBroker) {
+  // The broker and its shards live on host A; host B resolves the region
+  // with an shm_get_region RPC through a NORMA proxy of the service port.
+  // The reply's shard rights cross the link, so B's coherence traffic does
+  // too — per shard, on distinct proxied objects.
+  SimClock net_clock;
+  NetLink link(&host_a_->vm(), &host_b_->vm(), &net_clock, kNormaLatency);
+  ShmRegionInfoArgs local = broker_->GetRegion("wan", 4 * kPage);
+  VmOffset a = ShmBroker::MapRegion(*task_a_, local).value();
+  SendRight remote_service = link.ProxyForB(broker_->service_port());
+  Result<ShmRegionInfoArgs> remote = ShmBroker::GetRegionVia(remote_service, "wan", 4 * kPage);
+  ASSERT_TRUE(remote.ok()) << KernReturnName(remote.status());
+  EXPECT_EQ(remote.value().region_id, local.region_id);
+  ASSERT_EQ(remote.value().shard_objects.size(), kShards);
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_NE(remote.value().shard_objects[s].id(), local.shard_objects[s].id())
+        << "shard " << s << " right did not come back as a link proxy";
+  }
+  VmOffset b = ShmBroker::MapRegion(*task_b_, remote.value()).value();
+  uint32_t v = 4242;
+  ASSERT_EQ(task_a_->Write(a, &v, sizeof(v)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_b_, b, 4242));
+  uint32_t v2 = 4343;
+  ASSERT_EQ(task_b_->Write(b + kPage, &v2, sizeof(v2)), KernReturn::kSuccess);
+  EXPECT_TRUE(EventuallySees(*task_a_, a + kPage, 4343));
+  EXPECT_GT(link.messages_forwarded(), 0u);
+}
+
+TEST_F(ShmShardedTest, DeadShardFailsItsPagesButLeavesOtherShardsServing) {
+  // Shards fail independently: killing one shard's object resolves faults
+  // on its pages quickly (death fast path, no 5 s pager-timeout burn) while
+  // every other shard keeps serving.
+  ShmRegionInfoArgs info = broker_->GetRegion("blast", 8 * kPage);
+  VmOffset b = ShmBroker::MapRegion(*task_b_, info).value();
+  const size_t victim_shard = ShmBroker::ShardOfPage(info.region_id, 0, kShards);
+  uint64_t other_page = 0;
+  for (uint64_t p = 1; p < 8; ++p) {
+    if (ShmBroker::ShardOfPage(info.region_id, p, kShards) != victim_shard) {
+      other_page = p;
+      break;
+    }
+  }
+  ASSERT_NE(other_page, 0u) << "every page hashed to one shard; grow the region";
+  broker_->shard(victim_shard).DestroyMemoryObject(info.shard_objects[victim_shard]);
+  auto start = std::chrono::steady_clock::now();
+  uint32_t out = 0;
+  EXPECT_NE(task_b_->Read(b, &out, sizeof(out)), KernReturn::kSuccess);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 2000) << "dead-shard fault burned the pager timeout";
+  EXPECT_EQ(task_b_->Read(b + other_page * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+  EXPECT_EQ(out, 0u);
 }
 
 }  // namespace

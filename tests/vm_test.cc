@@ -13,6 +13,7 @@
 #include "src/base/fault_injector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
+#include "src/pager/data_manager.h"
 #include "src/vm/address_map.h"
 #include "src/vm/vm_system.h"
 
@@ -668,6 +669,64 @@ TEST_F(ShadowCollapseTest, InjectedCollapseFaultDeniesSafely) {
   EXPECT_GT(inj.Injected(VmSystem::kFaultCollapse), 0u);
   EXPECT_GE(kernel->vm().ShadowChainLength(survivor->vm_context(), base), 8u);
   EXPECT_EQ(survivor->ReadValue<uint64_t>(base).value(), 1u);
+}
+
+// Serves every page filled with a per-page stamp byte, so reads that truly
+// reach the manager are distinguishable from zero fill and from COW copies.
+class PatternPager : public DataManager {
+ public:
+  PatternPager() : DataManager("pattern-pager") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+  static uint8_t StampFor(VmOffset offset) {
+    return static_cast<uint8_t>(0xA0 + (offset / kPage));
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    std::vector<std::byte> data(args.length, std::byte{StampFor(args.offset)});
+    ProvideData(args.pager_request_port, args.offset, std::move(data), kVmProtNone);
+  }
+};
+
+TEST_F(ShadowCollapseTest, ExternalPagerBackedShadowIsNeverSpliced) {
+  // A chain of dying forks over an external-pager-backed region: the
+  // intermediate anonymous shadows collapse away as usual, but the pager's
+  // own object must never be spliced into a child — the manager's holdings
+  // can't be enumerated, so a splice would silently drop data the manager
+  // still owns. The chain bottoms out at the pager object, unwritten pages
+  // keep reading through to the manager, and the denial is observable.
+  auto kernel = MakeKernel(true);
+  PatternPager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  auto task = kernel->CreateTask(nullptr, "gen0");
+  VmOffset base = task->VmAllocateWithPager(4 * kPage, object, 0).value();
+  for (int g = 1; g <= 6; ++g) {
+    auto child = kernel->CreateTask(task);
+    // Pages 1-3 get COW writes; page 0 is only ever read through the chain.
+    VmOffset p = 1 + (g % 3);
+    ASSERT_EQ(child->WriteValue<uint64_t>(base + p * kPage, 100 + g), KernReturn::kSuccess);
+    task = child;  // The parent dies: a collapse opportunity each time.
+  }
+  VmStatistics st = kernel->vm().Statistics();
+  // The anonymous shadows above the pager object did collapse...
+  EXPECT_GE(st.shadow_collapses, 1u);
+  // ...but every walk that reached the pager object declined the splice.
+  EXPECT_GE(st.collapse_denied_external, 1u);
+  // Survivor shadow -> pager object, nothing shorter: the pager object was
+  // never absorbed even though its only mapping reference is the survivor.
+  EXPECT_EQ(kernel->vm().ShadowChainLength(task->vm_context(), base), 2u);
+  // Page 0 still reads through to the manager (stamp pattern, not zeros,
+  // not a stolen copy)...
+  uint8_t byte = 0;
+  ASSERT_EQ(task->Read(base + 17, &byte, 1), KernReturn::kSuccess);
+  EXPECT_EQ(byte, PatternPager::StampFor(0));
+  // ...and the last COW write to each written page survives in the chain.
+  EXPECT_EQ(task->ReadValue<uint64_t>(base + kPage).value(), 106u);
+  EXPECT_EQ(task->ReadValue<uint64_t>(base + 2 * kPage).value(), 104u);
+  EXPECT_EQ(task->ReadValue<uint64_t>(base + 3 * kPage).value(), 105u);
+  task.reset();
+  pager.Stop();
 }
 
 // --- fault-path lock budget ---------------------------------------------------
