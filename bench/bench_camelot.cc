@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_env.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/task.h"
 #include "src/managers/camelot/recovery_manager.h"
@@ -19,31 +20,7 @@ using namespace mach;
 
 constexpr VmSize kPage = 4096;
 
-struct Env {
-  explicit Env(uint32_t frames) {
-    Kernel::Config config;
-    config.frames = frames;
-    config.page_size = kPage;
-    config.disk_latency = DiskLatencyModel{0, 0};
-    kernel = std::make_unique<Kernel>(config);
-    data_disk = std::make_unique<SimDisk>(4096, kPage, &kernel->clock(),
-                                          DiskLatencyModel{10'000'000, 500});
-    log_disk = std::make_unique<SimDisk>(65536, 512, &kernel->clock(),
-                                         DiskLatencyModel{10'000'000, 500});
-    rm = std::make_unique<RecoveryManager>(data_disk.get(), log_disk.get(), kPage);
-    rm->Start();
-    task = kernel->CreateTask();
-  }
-  ~Env() {
-    task.reset();
-    rm->Stop();
-  }
-  std::unique_ptr<Kernel> kernel;
-  std::unique_ptr<SimDisk> data_disk;
-  std::unique_ptr<SimDisk> log_disk;
-  std::unique_ptr<RecoveryManager> rm;
-  std::shared_ptr<Task> task;
-};
+using Env = BenchEnv;
 
 }  // namespace
 

@@ -1,0 +1,53 @@
+// Shared scaffolding for the Camelot-flavoured benchmarks: one simulated
+// host (kernel + zero-latency paging disk) with a RecoveryManager over a
+// pair of 10 ms / 500 ns-per-block simulated disks, all charging the
+// host's virtual clock. Used by bench_camelot and bench_tenant_serving so
+// the disk/clock setup is written once.
+
+#ifndef BENCH_BENCH_ENV_H_
+#define BENCH_BENCH_ENV_H_
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/task.h"
+#include "src/managers/camelot/recovery_manager.h"
+
+namespace mach {
+
+struct BenchEnv {
+  static constexpr VmSize kPage = 4096;
+
+  explicit BenchEnv(uint32_t frames, VmSystem::Config vm = {}) {
+    Kernel::Config config;
+    config.frames = frames;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.vm = vm;
+    kernel = std::make_unique<Kernel>(config);
+    data_disk = std::make_unique<SimDisk>(4096, kPage, &kernel->clock(),
+                                          DiskLatencyModel{10'000'000, 500});
+    log_disk = std::make_unique<SimDisk>(65536, 512, &kernel->clock(),
+                                         DiskLatencyModel{10'000'000, 500});
+    rm = std::make_unique<RecoveryManager>(data_disk.get(), log_disk.get(), kPage);
+    rm->Start();
+    task = kernel->CreateTask();
+  }
+  ~BenchEnv() {
+    task.reset();
+    rm->Stop();
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+  std::unique_ptr<Kernel> kernel;
+  std::unique_ptr<SimDisk> data_disk;
+  std::unique_ptr<SimDisk> log_disk;
+  std::unique_ptr<RecoveryManager> rm;
+  std::shared_ptr<Task> task;
+};
+
+}  // namespace mach
+
+#endif  // BENCH_BENCH_ENV_H_

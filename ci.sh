@@ -93,11 +93,13 @@ case "$mode" in
         exit 2
       fi
       echo "=== bench_${name} -> BENCH_${name}.json"
-      if [ "$name" = migration ] || [ "$name" = shm_coherence ]; then
-        # bench_migration and bench_shm_coherence are plain sweep drivers
-        # that write their own JSON document to stdout (drop-rate x latency
-        # grid / centralised-vs-sharded ablation; human table on stderr),
-        # not google-benchmark binaries.
+      if [ "$name" = migration ] || [ "$name" = shm_coherence ] ||
+         [ "$name" = tenant_serving ]; then
+        # bench_migration, bench_shm_coherence, and bench_tenant_serving are
+        # plain sweep drivers that write their own JSON document to stdout
+        # (drop-rate x latency grid / centralised-vs-sharded ablation /
+        # multi-tenant serving arms with the pageout-clustering ablation;
+        # human table on stderr), not google-benchmark binaries.
         "$bin" > "BENCH_${name}.json"
       else
         "$bin" --benchmark_format=json --benchmark_out_format=json > "BENCH_${name}.json"

@@ -1,0 +1,108 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mach {
+
+namespace {
+
+// Position of the highest set bit (value > 0).
+inline uint32_t HighBit(uint64_t value) {
+  return 63u - static_cast<uint32_t>(__builtin_clzll(value));
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);  // Exact, width-1 buckets.
+  }
+  const uint32_t e = HighBit(value);           // 2^e <= value < 2^(e+1).
+  const uint32_t octave = e - kSubBucketBits;  // 0-based octave above linear.
+  const uint64_t sub = (value >> octave) - kSubBuckets;  // [0, kSubBuckets).
+  return kSubBuckets + octave * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLow(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const size_t g = index - kSubBuckets;
+  const uint32_t octave = static_cast<uint32_t>(g / kSubBuckets);
+  const uint64_t sub = g % kSubBuckets;
+  return (kSubBuckets + sub) << octave;
+}
+
+uint64_t Histogram::BucketHigh(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const uint32_t octave = static_cast<uint32_t>((index - kSubBuckets) / kSubBuckets);
+  return BucketLow(index) + ((uint64_t{1} << octave) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted sample, 1-based.
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5);
+  target = std::clamp<uint64_t>(target, 1, count_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cum += buckets_[i];
+    if (cum >= target) {
+      // Interpolate linearly inside the bucket, clamped to the recorded
+      // extremes so tiny populations don't report values never seen.
+      const uint64_t low = BucketLow(i);
+      const uint64_t high = BucketHigh(i);
+      const uint64_t rank_in = target - (cum - buckets_[i]);  // [1, n].
+      const uint64_t v =
+          low + (high - low) * (rank_in - 1) / std::max<uint64_t>(buckets_[i], 1);
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"min\": %llu, \"mean\": %llu, \"p50\": %llu, "
+                "\"p99\": %llu, \"p999\": %llu, \"max\": %llu}",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(Mean()),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(P999()),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace mach

@@ -1,0 +1,74 @@
+// A small HDR-style log-bucketed histogram for latency samples.
+//
+// Values (virtual nanoseconds, typically) land in buckets that grow
+// geometrically: each power-of-two range is split into kSubBuckets linear
+// sub-buckets, so relative quantile error is bounded by 1/kSubBuckets
+// (~1.6%) at any magnitude while the whole table stays a few KiB. Records
+// are O(1) with no allocation; percentiles interpolate within the winning
+// bucket. Not thread-safe — record into per-thread instances and Merge().
+
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mach {
+
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 6;  // 64 sub-buckets per octave.
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+  // Octaves above the linear range; covers values up to 2^(6+58) — more
+  // than any virtual-time span this repo can produce.
+  static constexpr uint32_t kOctaves = 58;
+  static constexpr size_t kBuckets = kSubBuckets + kOctaves * kSubBuckets;
+
+  Histogram() = default;
+
+  // Adds one sample. Values have no unit baked in; callers pick one
+  // (nanoseconds throughout this repo) and stay consistent.
+  void Record(uint64_t value);
+
+  // Adds every sample of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  // Truncating integer mean (0 when empty).
+  uint64_t Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Value at quantile q in [0, 1]: the smallest recorded magnitude v such
+  // that at least ceil(q * count) samples are <= v's bucket, interpolated
+  // linearly inside the bucket. 0 when empty.
+  uint64_t Percentile(double q) const;
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
+
+  // One JSON object: {"count":N,"min":..,"mean":..,"p50":..,"p99":..,
+  // "p999":..,"max":..}. Flat scalars only, so it nests anywhere.
+  std::string ToJson() const;
+
+ private:
+  // Bucket index for a value; the first kSubBuckets buckets are exact
+  // (width 1), after which widths double every octave.
+  static size_t BucketIndex(uint64_t value);
+  // Inclusive value range covered by bucket `index`.
+  static uint64_t BucketLow(size_t index);
+  static uint64_t BucketHigh(size_t index);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mach
+
+#endif  // SRC_BASE_HISTOGRAM_H_

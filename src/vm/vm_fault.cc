@@ -412,16 +412,26 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
         VmPage* placeholder = np.value();
         placeholder->busy = true;
         placeholder->absent = true;
+        // Pin across the request-and-wait window: busy alone stops
+        // protecting the placeholder the instant a handler settles it, and
+        // a flush/clean/pageout sweeping the object in the gap before we
+        // re-check would free the page out from under our raw pointer.
+        ++placeholder->pin_count;
         KernReturn kr = RequestDataFromPager(olk, object, offset, fault_type);
         // The object lock was dropped during the send. We still own the
-        // placeholder (only handlers settle busy+absent pages, and they do
-        // so without freeing), but the object may have died.
+        // placeholder (handlers settle busy+absent pages without freeing,
+        // and the pin keeps every sweeper away), but the object may have
+        // died — then TerminateObject orphaned the pinned page for us, its
+        // last holder, to free.
         if (!object->alive) {
+          --placeholder->pin_count;
           PageFreeLocked(olk, placeholder);
           object->cv.notify_all();
           return KernReturn::kMemoryFailure;
         }
         if (!placeholder->absent || placeholder->error || placeholder->unavailable) {
+          --placeholder->pin_count;
+          object->cv.notify_all();
           rescan = true;  // Data (or a verdict) arrived already.
           continue;
         }
@@ -433,20 +443,23 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
             placeholder->busy = false;
             placeholder->absent = false;
             placeholder->dirty = true;  // Not backed by the manager.
+            --placeholder->pin_count;
             counters_.zero_fill_count.fetch_add(1, std::memory_order_relaxed);
             object->cv.notify_all();
             rescan = true;
             continue;
           }
+          --placeholder->pin_count;
           PageFreeLocked(olk, placeholder);
           object->cv.notify_all();
           return KernReturn::kMemoryFailure;
         }
-        // Wait for pager_data_provided / pager_data_unavailable. Handlers
-        // never free the placeholder, so the pointer stays valid while the
-        // object lives; the object's death is the one exit we must handle.
+        // Wait for pager_data_provided / pager_data_unavailable. The pin
+        // keeps the pointer valid while the object lives; the object's
+        // death is the one exit we must handle.
         for (;;) {
           if (!object->alive) {
+            --placeholder->pin_count;
             PageFreeLocked(olk, placeholder);
             object->cv.notify_all();
             return KernReturn::kMemoryFailure;
@@ -466,6 +479,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
               object->cv.notify_all();
               break;
             }
+            --placeholder->pin_count;
             PageFreeLocked(olk, placeholder);
             object->cv.notify_all();
             return KernReturn::kMemoryFailure;
@@ -474,6 +488,8 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
             counters_.spurious_page_wakeups.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        --placeholder->pin_count;
+        object->cv.notify_all();
         rescan = true;
         continue;
       }

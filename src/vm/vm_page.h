@@ -142,6 +142,12 @@ struct VmStatistics {
                                       // each flush is one queue_mu_
                                       // acquisition covering up to
                                       // QueueBatch::kCapacity activations.
+  uint64_t pageout_runs = 0;          // pager_data_write messages sent by the
+                                      // pageout/flush/clean paths; each
+                                      // message carries one contiguous run
+                                      // (always 1 page with clustering off).
+  uint64_t pageout_run_pages = 0;     // Pages carried by those messages;
+                                      // / pageout_runs = mean pages per run.
 };
 
 }  // namespace mach

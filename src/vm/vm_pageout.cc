@@ -4,7 +4,10 @@
 // The pageout daemon keeps a pool of free frames by aging pages from the
 // active queue through the inactive queue (second-chance on the hardware
 // reference bit) and writing dirty victims back to their data managers with
-// pager_data_write. All sends on this path are non-blocking: a manager that
+// pager_data_write. A dirty victim is clustered with its object's
+// contiguous dirty neighbours so one message carries the whole run
+// (Config::pageout_clustering; runs split at non-contiguous, clean, busy or
+// pinned pages). All sends on this path are non-blocking: a manager that
 // cannot accept its dirty data promptly has the data *parked* with the
 // trusted default pager instead (§6.2.2), so an errant manager can never
 // wedge the kernel's memory pool.
@@ -16,8 +19,10 @@
 // under the object lock alone. Manager handlers run under the owning
 // object's lock and finish with a targeted cv broadcast.
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 #include "src/base/log.h"
 #include "src/pager/protocol.h"
@@ -125,9 +130,7 @@ uint32_t VmSystem::ReclaimPass(uint32_t want) {
     }
     PageRemoveFromQueueLocked(page);
     qlk.unlock();
-    if (PageoutPageLocked(olk, object, page)) {
-      ++freed;
-    }
+    freed += PageoutPageLocked(olk, object, page);
     olk.unlock();
     qlk.lock();
   }
@@ -182,8 +185,8 @@ bool VmSystem::EnsureInternalPager(ChainLock& chain, ObjectLock& olk,
   return true;
 }
 
-bool VmSystem::PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
-                                 VmPage* page) {
+uint32_t VmSystem::PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
+                                     VmPage* page) {
   for (;;) {
     // Invalidate all hardware mappings first, then sample the modify bit:
     // no access can slip in after the sample. (The loop re-runs this after
@@ -193,7 +196,7 @@ bool VmSystem::PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject
     if (!dirty) {
       // Clean data: the manager (or a zero fill) can reproduce it.
       PageFreeLocked(olk, page);
-      return true;
+      return 1;
     }
     if (object->pager.valid()) {
       break;
@@ -216,51 +219,152 @@ bool VmSystem::PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject
       if (page->pin_count == 0 && !page->busy) {
         PageFreeLocked(olk, page);
         object->cv.notify_all();
-        return true;
+        return 1;
       }
       object->cv.notify_all();
-      return false;
+      return 0;
     }
     if (page->busy || page->pin_count > 0) {
       // A fault claimed the page during the gap: no longer a victim.
       PageActivate(page);
       object->cv.notify_all();
-      return false;
+      return 0;
     }
     if (!have_pager) {
       PageActivate(page);  // Try again later.
-      return false;
+      return 0;
     }
     // A mapping may have been re-established during the gap; loop to
     // re-protect and resample so no modification is lost.
   }
-  // Dirty: the data must reach backing storage (pager_data_write).
-  std::vector<std::byte> data(page_size());
-  phys_->ReadFrame(page->frame, 0, data.data(), page_size());
+  // Dirty: the data must reach backing storage (pager_data_write). Gather
+  // the object's contiguous dirty neighbours so one message carries the
+  // whole run instead of one per page.
+  std::vector<VmPage*> run = CollectPageoutClusterLocked(object.get(), page);
+  switch (WritePageoutRun(olk, object, run, /*park_on_failure=*/true)) {
+    case RunWriteResult::kWritten:
+    case RunWriteResult::kParked:
+      for (VmPage* p : run) {
+        PageFreeLocked(olk, p);
+      }
+      return static_cast<uint32_t>(run.size());
+    case RunWriteResult::kFailed:
+      break;
+  }
+  // Unprotected mode (ablation): give up on these pages for now.
+  for (VmPage* p : run) {
+    PageActivate(p);
+  }
+  return 0;
+}
+
+std::vector<VmPage*> VmSystem::CollectPageoutClusterLocked(VmObject* object, VmPage* seed) {
+  std::vector<VmPage*> run{seed};
+  if (!config_.pageout_clustering || config_.pageout_cluster_max <= 1) {
+    return run;
+  }
+  const VmSize ps = page_size();
+  const size_t cap = config_.pageout_cluster_max;
+  // Claims the page at `off` for the run if it is a settled dirty
+  // neighbour that is already aging out (on the inactive queue, like the
+  // seed was): stealing a hot active neighbour would save one message now
+  // at the price of a near-certain refault. Sample the modify bit first so
+  // clean pages keep their mappings, then protect-and-resample like the
+  // seed: a page dirty before the protect stays dirty, and no access can
+  // slip in after it.
+  auto claim = [&](VmOffset off) -> VmPage* {
+    VmPage* p = PageLookupRaw(object, off);
+    if (p == nullptr || p->busy || p->pin_count > 0 ||
+        p->queue.load(std::memory_order_relaxed) != VmPage::Queue::kInactive) {
+      return nullptr;
+    }
+    if (!p->dirty && !phys_->IsModified(p->frame)) {
+      return nullptr;  // Clean: the run splits here.
+    }
+    Pmap::PageProtect(phys_, p->frame, kVmProtNone);
+    p->dirty = true;
+    PageRemoveFromQueue(p);
+    return p;
+  };
+  std::vector<VmPage*> below;
+  for (VmOffset off = seed->offset; off >= ps && run.size() + below.size() < cap;) {
+    off -= ps;
+    VmPage* p = claim(off);
+    if (p == nullptr) {
+      break;
+    }
+    below.push_back(p);
+  }
+  std::reverse(below.begin(), below.end());
+  below.insert(below.end(), run.begin(), run.end());
+  run = std::move(below);
+  for (VmOffset off = seed->offset + ps; run.size() < cap; off += ps) {
+    VmPage* p = claim(off);
+    if (p == nullptr) {
+      break;
+    }
+    run.push_back(p);
+  }
+  return run;
+}
+
+std::vector<std::vector<VmPage*>> VmSystem::BuildPageoutRuns(
+    std::vector<VmPage*> dirty_sorted) const {
+  const VmSize ps = page_size();
+  const size_t cap = (config_.pageout_clustering && config_.pageout_cluster_max > 0)
+                         ? config_.pageout_cluster_max
+                         : 1;
+  std::vector<std::vector<VmPage*>> runs;
+  for (VmPage* p : dirty_sorted) {
+    if (!runs.empty() && runs.back().size() < cap &&
+        runs.back().back()->offset + ps == p->offset) {
+      runs.back().push_back(p);
+    } else {
+      runs.push_back({p});
+    }
+  }
+  return runs;
+}
+
+VmSystem::RunWriteResult VmSystem::WritePageoutRun(ObjectLock& olk,
+                                                   const std::shared_ptr<VmObject>& object,
+                                                   const std::vector<VmPage*>& run,
+                                                   bool park_on_failure) {
+  (void)olk;
+  const VmSize ps = page_size();
   PagerDataWriteArgs args;
-  args.offset = page->offset;
-  args.data = data;  // Copy: we may still need it for the parking fallback.
-  KernReturn kr = MsgSend(object->pager, EncodePagerDataWrite(args), kPoll);
-  if (IsOk(kr)) {
-    counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
-    // The pager now holds this offset: chain collapse must account for it
-    // even though no page is resident.
-    object->paged_offsets.insert(page->offset);
-    PageFreeLocked(olk, page);
-    return true;
+  args.offset = run.front()->offset;
+  // Copy (rather than move into the message): the parking fallback below
+  // may still need the data.
+  args.data.resize(run.size() * ps);
+  for (size_t i = 0; i < run.size(); ++i) {
+    phys_->ReadFrame(run[i]->frame, 0, args.data.data() + i * ps, ps);
+  }
+  counters_.pageout_runs.fetch_add(1, std::memory_order_relaxed);
+  counters_.pageout_run_pages.fetch_add(run.size(), std::memory_order_relaxed);
+  if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
+    counters_.pageouts.fetch_add(run.size(), std::memory_order_relaxed);
+    // The pager now holds these offsets: chain collapse must account for
+    // them even though no pages are resident.
+    for (VmPage* p : run) {
+      object->paged_offsets.insert(p->offset);
+    }
+    return RunWriteResult::kWritten;
   }
   // The manager did not accept the data (queue full / port dead).
-  if (config_.errant_manager_protection && parking_ != nullptr) {
-    // §6.2.2: divert to the default pager so pageout is never starved.
-    parking_->Park(object->id(), page->offset, std::move(data));
-    object->parked_offsets[page->offset] = true;
-    counters_.parked_pageouts.fetch_add(1, std::memory_order_relaxed);
-    PageFreeLocked(olk, page);
-    return true;
+  if (park_on_failure && config_.errant_manager_protection && parking_ != nullptr) {
+    // §6.2.2: divert to the default pager so pageout is never starved. The
+    // parking store is per-page; the run is split back up for it.
+    for (size_t i = 0; i < run.size(); ++i) {
+      std::vector<std::byte> page_data(args.data.begin() + static_cast<ptrdiff_t>(i * ps),
+                                       args.data.begin() + static_cast<ptrdiff_t>((i + 1) * ps));
+      parking_->Park(object->id(), run[i]->offset, std::move(page_data));
+      object->parked_offsets[run[i]->offset] = true;
+    }
+    counters_.parked_pageouts.fetch_add(run.size(), std::memory_order_relaxed);
+    return RunWriteResult::kParked;
   }
-  // Unprotected mode (ablation): give up on this page for now.
-  PageActivate(page);
-  return false;
+  return RunWriteResult::kFailed;
 }
 
 // --- data manager -> kernel calls (Table 3-6) -------------------------------
@@ -469,24 +573,27 @@ void VmSystem::HandleFlush(const std::shared_ptr<VmObject>& object, VmOffset off
       victims.push_back(page);
     }
   }
+  // Invalidate every victim's mappings first, then sample: the dirty ones
+  // go back to the manager in contiguous multi-page runs before anything
+  // is freed (invalidation writes back modifications first, §3.4.1).
+  std::vector<VmPage*> dirty;
   for (VmPage* page : victims) {
     Pmap::PageProtect(phys_, page->frame, kVmProtNone);
-    bool dirty = page->dirty || phys_->IsModified(page->frame);
-    if (dirty && object->pager.valid()) {
-      // Invalidation writes back modifications first (§3.4.1).
-      PagerDataWriteArgs args;
-      args.offset = page->offset;
-      args.data.resize(ps);
-      phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
-      if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
-        counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
-        object->paged_offsets.insert(page->offset);
-      } else if (config_.errant_manager_protection && parking_ != nullptr) {
-        parking_->Park(object->id(), page->offset, std::move(args.data));
-        object->parked_offsets[page->offset] = true;
-        counters_.parked_pageouts.fetch_add(1, std::memory_order_relaxed);
-      }
+    if (page->dirty || phys_->IsModified(page->frame)) {
+      page->dirty = true;
+      dirty.push_back(page);
     }
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const VmPage* a, const VmPage* b) { return a->offset < b->offset; });
+  if (object->pager.valid()) {
+    for (const std::vector<VmPage*>& run : BuildPageoutRuns(std::move(dirty))) {
+      // kFailed (unprotected mode) leaves the run unwritten; the victims
+      // are discarded below either way, exactly as the per-page path did.
+      WritePageoutRun(olk, object, run, /*park_on_failure=*/true);
+    }
+  }
+  for (VmPage* page : victims) {
     PageFreeLocked(olk, page);
   }
   // Acknowledge (memory_object_lock_completed): dirty data, if any, went
@@ -507,6 +614,7 @@ void VmSystem::HandleClean(const std::shared_ptr<VmObject>& object, VmOffset off
   if (!object->alive) {
     return;
   }
+  std::vector<VmPage*> dirty;
   for (VmPage* page : object->pages) {
     if (page->offset < TruncPage(offset, ps) || page->offset >= offset + length ||
         page->busy || page->pin_count > 0) {
@@ -514,21 +622,23 @@ void VmSystem::HandleClean(const std::shared_ptr<VmObject>& object, VmOffset off
     }
     // Write-protect before sampling so no modification slips past the copy.
     Pmap::PageProtect(phys_, page->frame, kVmProtRead | kVmProtExecute);
-    bool dirty = page->dirty || phys_->IsModified(page->frame);
-    if (!dirty || !object->pager.valid()) {
-      continue;
+    if (page->dirty || phys_->IsModified(page->frame)) {
+      dirty.push_back(page);
     }
-    PagerDataWriteArgs args;
-    args.offset = page->offset;
-    args.data.resize(ps);
-    phys_->ReadFrame(page->frame, 0, args.data.data(), ps);
-    if (IsOk(MsgSend(object->pager, EncodePagerDataWrite(args), kPoll))) {
-      page->dirty = false;
-      phys_->ClearModify(page->frame);
-      counters_.pageouts.fetch_add(1, std::memory_order_relaxed);
-      object->paged_offsets.insert(page->offset);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const VmPage* a, const VmPage* b) { return a->offset < b->offset; });
+  if (object->pager.valid()) {
+    for (const std::vector<VmPage*>& run : BuildPageoutRuns(std::move(dirty))) {
+      if (WritePageoutRun(olk, object, run, /*park_on_failure=*/false) ==
+          RunWriteResult::kWritten) {
+        for (VmPage* page : run) {
+          page->dirty = false;
+          phys_->ClearModify(page->frame);
+        }
+      }
+      // On failure the run's pages simply stay dirty; pageout retries later.
     }
-    // On failure the page simply stays dirty; pageout retries later.
   }
   if (object->pager.valid()) {
     MsgSend(object->pager,
@@ -548,13 +658,23 @@ void VmSystem::HandleCache(const std::shared_ptr<VmObject>& object, bool may_cac
 }
 
 void VmSystem::HandlePagerDeath(ChainLock& chain, std::shared_ptr<VmObject> object) {
-  (void)chain;
+  const bool zero_fill = config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill;
+  if (zero_fill && object->cached) {
+    // A §3.4.1 cache entry has no map references: the pager registries are
+    // the only thing keeping it alive, so the severing below would drop
+    // the last reference to an object that still owns resident pages —
+    // and nothing could ever map the re-homed internal object anyway.
+    // Terminate instead; the dead pager takes no write-backs, so the
+    // cached copies are simply discarded.
+    counters_.manager_deaths.fetch_add(1, std::memory_order_relaxed);
+    TerminateObject(chain, object);
+    return;
+  }
   ObjectLock olk(object->mu);
   if (!object->alive) {
     return;
   }
   counters_.manager_deaths.fetch_add(1, std::memory_order_relaxed);
-  const bool zero_fill = config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill;
   for (VmPage* page : object->pages) {
     if (page->busy && page->absent) {
       // In-flight placeholder: the requested data can never arrive. Resolve

@@ -1041,6 +1041,8 @@ VmStatistics VmSystem::Statistics() const {
   st.map_lookups_optimistic = load(counters_.map_lookups_optimistic);
   st.map_lookup_retries = load(counters_.map_lookup_retries);
   st.queue_batch_flushes = load(counters_.queue_batch_flushes);
+  st.pageout_runs = load(counters_.pageout_runs);
+  st.pageout_run_pages = load(counters_.pageout_run_pages);
   return st;
 }
 

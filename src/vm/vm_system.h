@@ -144,6 +144,17 @@ class VmSystem {
     // only the map tier is gated.
     bool optimistic_map_lookup = true;
 
+    // Clustered dirty pageout: when a dirty victim is written back, the
+    // daemon gathers the object's contiguous dirty neighbours into one run
+    // and sends a single multi-page pager_data_write instead of one message
+    // per page. Runs split at non-contiguous, clean, busy or pinned pages.
+    // Off = page-at-a-time write-back (the pre-clustering behaviour, kept
+    // for the ablation bench).
+    bool pageout_clustering = true;
+
+    // Upper bound on pages per clustered write-back run.
+    uint32_t pageout_cluster_max = 16;
+
     // Optional fault injection: the kFaultCollapse point randomly
     // suppresses collapse opportunities so chaos soaks cover both collapsed
     // and uncollapsed chains. Not owned.
@@ -340,6 +351,8 @@ class VmSystem {
     PaddedAtomicU64 map_lookups_optimistic{0};
     PaddedAtomicU64 map_lookup_retries{0};
     PaddedAtomicU64 queue_batch_flushes{0};
+    PaddedAtomicU64 pageout_runs{0};
+    PaddedAtomicU64 pageout_run_pages{0};
   };
 
   // --- resident page management ---------------------------------------
@@ -556,9 +569,29 @@ class VmSystem {
   // freed. Takes queue_mu_ and object locks (try_lock) internally; no locks
   // held on entry.
   uint32_t ReclaimPass(uint32_t want);
-  // Writes one unqueued, settled page back to its manager (or parks it).
-  // Caller holds the owner's mu; returns true if the frame was freed.
-  bool PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object, VmPage* page);
+  // Writes one unqueued, settled page back to its manager (or parks it),
+  // clustering the object's contiguous dirty neighbours into the same
+  // pager_data_write run when Config::pageout_clustering is on. Caller
+  // holds the owner's mu; returns the number of frames freed.
+  uint32_t PageoutPageLocked(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
+                             VmPage* page);
+  // Grows a write-back run around `seed` with the object's contiguous dirty
+  // neighbours (each unqueued and write-protected as it is claimed). The
+  // result is sorted by offset, contains `seed`, and every member is
+  // settled: !busy, pin_count == 0, dirty. Caller holds the owner's mu.
+  std::vector<VmPage*> CollectPageoutClusterLocked(VmObject* object, VmPage* seed);
+  // Splits sorted settled dirty pages of one object into contiguous runs of
+  // at most Config::pageout_cluster_max pages (always single-page runs when
+  // clustering is off).
+  std::vector<std::vector<VmPage*>> BuildPageoutRuns(std::vector<VmPage*> dirty_sorted) const;
+  // Sends one pager_data_write covering `run` (contiguous, same object).
+  // kWritten: accepted, paged_offsets updated. kParked: the manager did not
+  // take the message and every page's data went to the §6.2.2 parking
+  // store. kFailed: not written and not parked (unprotected mode); the
+  // pages stay dirty. Caller holds the owner's mu.
+  enum class RunWriteResult { kWritten, kParked, kFailed };
+  RunWriteResult WritePageoutRun(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
+                                 const std::vector<VmPage*>& run, bool park_on_failure);
 
   // Drains deferred VmMapCopy releases if any are pending. Callers must
   // hold no VM locks.

@@ -10,6 +10,7 @@
 
 #include "src/base/fault_injector.h"
 #include "src/base/hash.h"
+#include "src/base/histogram.h"
 #include "src/base/intrusive_list.h"
 #include "src/base/kern_return.h"
 #include "src/base/sim_clock.h"
@@ -335,6 +336,100 @@ TEST(HashTest, PageKeyPatternSpreadsAcrossBuckets) {
   // vanishing. Generous slack keeps this deterministic check robust.
   EXPECT_LT(max_load, mean * 3.0) << "hash clusters structured page keys";
   EXPECT_LT(empties, kBuckets / 20) << "hash leaves buckets unreachable";
+}
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.P999(), 0u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // The first 64 buckets have width 1: small samples come back exactly.
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 63u);
+  // The 32nd-smallest of 0..63: exactly half the samples are <= 31.
+  EXPECT_EQ(h.P50(), 31u);
+}
+
+TEST(HistogramTest, PercentilesBoundedRelativeError) {
+  // Log-bucketing promises ~1/64 relative error at any magnitude.
+  Histogram h;
+  constexpr uint64_t kN = 100'000;
+  for (uint64_t i = 1; i <= kN; ++i) {
+    h.Record(i * 1000);  // 1 µs .. 100 ms in ns, uniform.
+  }
+  EXPECT_EQ(h.count(), kN);
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = q * static_cast<double>(kN) * 1000.0;
+    const double got = static_cast<double>(h.Percentile(q));
+    EXPECT_NEAR(got, exact, exact / 32.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), kN * 1000);
+  EXPECT_LE(h.Percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryQuantile) {
+  Histogram h;
+  h.Record(123'456'789);
+  EXPECT_EQ(h.P50(), 123'456'789u);
+  EXPECT_EQ(h.P99(), 123'456'789u);
+  EXPECT_EQ(h.P999(), 123'456'789u);
+  EXPECT_EQ(h.Mean(), 123'456'789u);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram both;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    uint64_t va = 100 + i * 7;
+    uint64_t vb = 1'000'000 + i * 31;
+    a.Record(va);
+    b.Record(vb);
+    both.Record(va);
+    both.Record(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.Mean(), both.Mean());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.Percentile(q), both.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, JsonCarriesTheSummary) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 30"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": 20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": 20"), std::string::npos) << json;
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
 }
 
 }  // namespace

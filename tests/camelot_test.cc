@@ -233,6 +233,49 @@ TEST_F(CamelotTest, LogDiskFaultDefersPageoutInsteadOfViolatingWal) {
   }
 }
 
+TEST_F(CamelotTest, WalForceFailureDefersWholeClusteredRunAndServesRereads) {
+  // Clustered pageout hands the manager multi-page pager_data_write runs.
+  // When the WAL force fails, every page of the run must land in the
+  // deferred stash — a partially-applied run would put some pages on the
+  // data disk while the log records describing them are still volatile.
+  RecoverableSegment seg =
+      RecoverableSegment::Map(rm_.get(), task_.get(), "runs", 128 * kPage).value();
+  FaultInjector inj(11);
+  inj.SetProbability(SimDisk::kFaultWrite, 1.0);
+  log_disk_->set_fault_injector(&inj);
+  VmStatistics before = kernel_->vm().Statistics();
+  Transaction txn(rm_.get());
+  for (VmOffset p = 0; p < 128; ++p) {
+    uint64_t v = 0x2015'0000'0000ull + p;
+    ASSERT_EQ(txn.Write(seg, p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  VmStatistics after = kernel_->vm().Statistics();
+  // The sequential dirty sweep through the 96-frame pool sent genuinely
+  // clustered write-backs (more pages than messages)...
+  ASSERT_GT(after.pageout_runs, before.pageout_runs);
+  EXPECT_GT(after.pageout_run_pages - before.pageout_run_pages,
+            after.pageout_runs - before.pageout_runs);
+  // ...and with the log unforceable, no page of any run reached the data
+  // disk; each was stashed individually.
+  EXPECT_EQ(rm_->pageout_count(), 0u);
+  EXPECT_GT(rm_->deferred_pageout_count(), 1u);
+  // Every page — whichever run carried it out — re-reads correctly from
+  // the stash while the fault is still armed and the disk holds nothing.
+  for (VmOffset p = 0; p < 128; ++p) {
+    ASSERT_EQ(task_->ReadValue<uint64_t>(seg.base() + p * kPage).value(),
+              0x2015'0000'0000ull + p)
+        << "page " << p;
+  }
+  // Heal and commit: the stash drains and the data is durable.
+  log_disk_->set_fault_injector(nullptr);
+  ASSERT_EQ(txn.Commit(), KernReturn::kSuccess);
+  EXPECT_GT(rm_->pageout_count(), 0u);
+  for (VmOffset p = 0; p < 128; ++p) {
+    ASSERT_EQ(task_->ReadValue<uint64_t>(seg.base() + p * kPage).value(),
+              0x2015'0000'0000ull + p);
+  }
+}
+
 TEST_F(CamelotTest, CrashRecoveryRedoesCommittedTransactions) {
   {
     RecoverableSegment seg =

@@ -33,6 +33,7 @@
 #include "src/managers/shm/shm_broker.h"
 #include "src/net/net_link.h"
 #include "src/pager/data_manager.h"
+#include "tests/workload/tenant_workload.h"
 
 namespace mach {
 namespace {
@@ -791,6 +792,32 @@ class ChaosSoak {
   std::unique_ptr<Kernel> host_b_;
   std::unique_ptr<NetLink> link_;
 };
+
+// The E15 tenant-serving workload in miniature: two hosts, four tenants,
+// chaos armed (data-disk + wire + shm faults, mid-run manager crash and
+// link partition/heal), ten seeds. Per seed the driver's built-in oracle
+// must hold — every committed transaction survives the final crash+recover
+// exactly once, every abort leaves no trace — and teardown must return to
+// baseline on both frames and ports.
+TEST(TenantServingSoakTest, TenSeedsCommitExactlyOnceAndTearDownClean) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TenantWorkloadOptions options;
+    options.hosts = 2;
+    options.tenants = 4;
+    options.txns_per_tenant = 8;
+    options.server_frames = 48;  // Small pool: clustering pageout runs fire.
+    options.chaos = true;
+    options.seed = seed;
+    TenantWorkloadResult r = RunTenantWorkload(options);
+    EXPECT_GT(r.committed, 0u) << "no transaction ever committed";
+    EXPECT_TRUE(r.oracle_ok) << r.slot_mismatches
+                             << " ledger slots diverged from the committed model";
+    EXPECT_GT(r.camelot_recover_ns, 0u) << "the mid-run crash never recovered";
+    EXPECT_TRUE(r.frames_drained) << "server frames leaked after teardown";
+    EXPECT_EQ(r.ports_leaked, 0) << "ports leaked across the workload";
+  }
+}
 
 TEST(ChaosSoakTest, TenSeedsSurviveDiskLinkAndPagerFaults) {
   for (uint64_t seed : kSeeds) {

@@ -28,6 +28,7 @@ class TestPager : public DataManager {
     kProvide,       // Normal: answer with data.
     kUnavailable,   // Answer pager_data_unavailable.
     kSilent,        // Never answer (errant manager, §6.1).
+    kManual,        // Park requests; AnswerPending() serves them later.
   };
 
   TestPager() : DataManager("test-pager") {}
@@ -71,6 +72,22 @@ class TestPager : public DataManager {
   VmOffset last_write_offset() const {
     std::lock_guard<std::mutex> g(mu_);
     return last_write_offset_;
+  }
+
+  int pending_count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return static_cast<int>(pending_.size());
+  }
+  // Serve every request parked by Mode::kManual, resolving their busy pages.
+  void AnswerPending() {
+    std::vector<PagerDataRequestArgs> pending;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      pending.swap(pending_);
+    }
+    for (PagerDataRequestArgs& req : pending) {
+      Provide(req);
+    }
   }
 
   bool WaitForWrites(int n, Timeout timeout = std::chrono::milliseconds(5000)) {
@@ -123,22 +140,30 @@ class TestPager : public DataManager {
       case Mode::kUnavailable:
         DataUnavailable(args.pager_request_port, args.offset, args.length);
         return;
-      case Mode::kProvide: {
-        std::vector<std::byte> data(args.length);
-        {
-          std::lock_guard<std::mutex> g(mu_);
-          auto it = store_.find(args.offset);
-          if (it != store_.end()) {
-            std::memset(data.data(), it->second, data.size());
-          } else {
-            uint64_t stamp = Stamp(args.offset);
-            std::memcpy(data.data(), &stamp, sizeof(stamp));
-          }
-        }
-        ProvideData(args.pager_request_port, args.offset, std::move(data), provide_lock);
+      case Mode::kManual: {
+        std::lock_guard<std::mutex> g(mu_);
+        pending_.push_back(std::move(args));
         return;
       }
+      case Mode::kProvide:
+        Provide(args);
+        return;
     }
+  }
+
+  void Provide(const PagerDataRequestArgs& args) {
+    std::vector<std::byte> data(args.length);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = store_.find(args.offset);
+      if (it != store_.end()) {
+        std::memset(data.data(), it->second, data.size());
+      } else {
+        uint64_t stamp = Stamp(args.offset);
+        std::memcpy(data.data(), &stamp, sizeof(stamp));
+      }
+    }
+    ProvideData(args.pager_request_port, args.offset, std::move(data), provide_lock);
   }
 
   void OnDataWrite(uint64_t object_port_id, uint64_t cookie, PagerDataWriteArgs args) override {
@@ -172,6 +197,7 @@ class TestPager : public DataManager {
   uint64_t next_cookie_ = 0;
   std::map<VmOffset, uint8_t> store_;
   std::vector<SendRight> request_ports_;
+  std::vector<PagerDataRequestArgs> pending_;
   std::vector<std::byte> last_write_data_;
   VmOffset last_write_offset_ = 0;
   std::atomic<int> init_count_{0};
@@ -332,7 +358,10 @@ TEST_F(ExternalPagerTest, DirtyEvictionSendsDataWrite) {
   }
   EXPECT_TRUE(pager_.WaitForWrites(1));
   EXPECT_GT(pager_.write_count(), 0);
-  EXPECT_EQ(pager_.last_write_data().size(), kPage);
+  // Clustered pageout: each pager_data_write carries one contiguous run of
+  // dirty pages — a whole number of pages, never a partial one.
+  ASSERT_GT(pager_.last_write_data().size(), 0u);
+  EXPECT_EQ(pager_.last_write_data().size() % kPage, 0u);
 }
 
 TEST_F(ExternalPagerTest, FlushRequestWritesBackAndInvalidates) {
@@ -355,6 +384,64 @@ TEST_F(ExternalPagerTest, FlushRequestWritesBackAndInvalidates) {
   uint64_t out = 0;
   ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
   EXPECT_GT(pager_.request_count(), requests_before);
+}
+
+TEST_F(ExternalPagerTest, FlushRunSplitsAtBusyPage) {
+  // A page whose data is in transit (busy placeholder) must never be
+  // swept into a clustered write-back run: its frame holds no data yet.
+  // The same guard covers pinned pages — both are rejected at victim
+  // collection, so a busy page in the middle of a dirty range splits the
+  // range into two runs around it. The busy window is held open
+  // explicitly (Mode::kManual + a long pager timeout), not by racing a
+  // wall clock.
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.pager_timeout = std::chrono::seconds(60);
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task->VmAllocateWithPager(5 * kPage, object, 0).value();
+  std::vector<std::byte> warm(5 * kPage);
+  ASSERT_EQ(task->Read(addr, warm.data(), warm.size()), KernReturn::kSuccess);
+
+  // Dirty page 2 and evict it; the write-back confirms the (async)
+  // eviction completed before the re-fault below.
+  uint64_t marker = 0xB052'2222ull;
+  ASSERT_EQ(task->Write(addr + 2 * kPage, &marker, sizeof(marker)), KernReturn::kSuccess);
+  int writes_before = pager_.write_count();
+  ASSERT_EQ(DataManager::FlushRequest(pager_.last_request_port(), 2 * kPage, kPage),
+            KernReturn::kSuccess);
+  ASSERT_TRUE(pager_.WaitForWrites(writes_before + 1));
+
+  // Re-fault page 2 with the manager parking requests: the fault installs
+  // a busy placeholder and blocks until AnswerPending() below.
+  pager_.mode = TestPager::Mode::kManual;
+  std::thread faulter([&] {
+    uint64_t v = 0;
+    task->Read(addr + 2 * kPage, &v, sizeof(v));
+  });
+  while (pager_.pending_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (VmOffset p : {0, 1, 3, 4}) {
+    uint64_t v = 0xB052'0000ull + p;
+    ASSERT_EQ(task->Write(addr + p * kPage, &v, sizeof(v)), KernReturn::kSuccess);
+  }
+  writes_before = pager_.write_count();
+  ASSERT_EQ(DataManager::FlushRequest(pager_.last_request_port(), 0, 5 * kPage),
+            KernReturn::kSuccess);
+  // Two runs — [0,2) and [3,5) — not one five-page (or four-page) message.
+  ASSERT_TRUE(pager_.WaitForWrites(writes_before + 2));
+  EXPECT_EQ(pager_.write_count(), writes_before + 2);
+  EXPECT_EQ(pager_.last_write_offset(), 3 * kPage);
+  EXPECT_EQ(pager_.last_write_data().size(), 2 * kPage);
+
+  pager_.mode = TestPager::Mode::kProvide;
+  pager_.AnswerPending();
+  faulter.join();
 }
 
 TEST_F(ExternalPagerTest, CleanRequestWritesBackButKeepsCache) {
@@ -512,6 +599,40 @@ TEST_F(ExternalPagerTest, TrimObjectCacheReclaims) {
   kernel_->vm().TrimObjectCache();
   EXPECT_LT(kernel_->vm().object_count(), objects_before);
   EXPECT_TRUE(pager_.WaitForDeaths(1));
+}
+
+TEST_F(ExternalPagerTest, PagerDeathOfCachedObjectFreesItsPages) {
+  // A §3.4.1 cache entry is kept alive only by the kernel's pager
+  // registries. When its manager dies under the zero-fill policy, the
+  // object must be terminated outright — severing the registries (the
+  // live-object path) would drop the last reference while its pages are
+  // still resident, dangling them until kernel teardown.
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  const uint64_t free_baseline = kernel.phys().free_frames();
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task->VmAllocateWithPager(2 * kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  ASSERT_EQ(task->Read(addr + kPage, &out, sizeof(out)), KernReturn::kSuccess);
+  ASSERT_EQ(DataManager::SetCaching(pager_.last_request_port(), true), KernReturn::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(task->VmDeallocate(addr, 2 * kPage), KernReturn::kSuccess);
+  EXPECT_LT(kernel.phys().free_frames(), free_baseline);  // Cached pages resident.
+
+  pager_.DestroyMemoryObject(object);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (kernel.phys().free_frames() < free_baseline &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(kernel.phys().free_frames(), free_baseline);
+  EXPECT_EQ(kernel.vm().object_count(), 0u);
 }
 
 TEST_F(ExternalPagerTest, ManagerDeathFailsFaults) {

@@ -61,7 +61,9 @@ class ShmPropertyTest : public ::testing::TestWithParam<std::tuple<int, uint32_t
   // Reads `page` on host `h`, polling until it equals `expect` or a budget
   // elapses; returns the final value seen.
   uint64_t PollRead(int h, VmOffset page, uint64_t expect) {
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    // Generous: polls return on success, and under an oversubscribed
+    // sanitizer run 5 wall seconds can hold very little actual progress.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
     uint64_t v = 0;
     while (std::chrono::steady_clock::now() < deadline) {
       v = hosts_[h].task->ReadValue<uint64_t>(hosts_[h].base + page * kPage).value_or(~0ull);

@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -228,6 +230,111 @@ TEST(VmConcurrentTest, DisjointZeroFillFaultsAreIndependent) {
 
   task.reset();
   ExpectTeardownToBaseline(*kernel, free_baseline);
+}
+
+// Remembers writes and serves them back, so evicted pages survive the
+// round trip — the oracle below depends on it.
+class EchoStorePager : public DataManager {
+ public:
+  EchoStorePager() : DataManager("echo-store") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+
+ protected:
+  void OnDataRequest(uint64_t id, uint64_t cookie, PagerDataRequestArgs args) override {
+    std::lock_guard<std::mutex> g(mu_);
+    for (VmOffset off = args.offset; off < args.offset + args.length; off += kPage) {
+      auto it = store_.find(off);
+      if (it == store_.end()) {
+        DataUnavailable(args.pager_request_port, off, kPage);
+      } else {
+        ProvideData(args.pager_request_port, off, it->second, kVmProtNone);
+      }
+    }
+  }
+  void OnDataWrite(uint64_t id, uint64_t cookie, PagerDataWriteArgs args) override {
+    std::lock_guard<std::mutex> g(mu_);
+    for (VmOffset delta = 0; delta + kPage <= args.data.size(); delta += kPage) {
+      store_[args.offset + delta] = std::vector<std::byte>(
+          args.data.begin() + delta, args.data.begin() + delta + kPage);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<VmOffset, std::vector<std::byte>> store_;
+};
+
+TEST(VmConcurrentTest, ClusteredPageoutRacesFaultsOnOneObject) {
+  // Clustered write-back walks an object's page list claiming contiguous
+  // dirty neighbours — pages other threads dirtied and are about to fault
+  // back in. Threads own interleaved stripes (thread t owns pages where
+  // p % kThreads == t), so every run the clusterer builds spans pages
+  // belonging to all eight threads while those threads concurrently
+  // re-fault and re-dirty them. The assertions are content-only: after the
+  // storm, each page holds exactly its owner's final sweep value.
+  constexpr int kSweeps = 6;
+  auto kernel = MakeKernel(96);  // << 192-page region: eviction throughout.
+  const uint64_t free_baseline = kernel->phys().free_frames();
+  EchoStorePager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  auto task = kernel->CreateTask(nullptr, "cluster-race");
+  const VmOffset base =
+      task->VmAllocateWithPager(VmSize{kWrittenPages} * kPage, object, 0).value();
+
+  auto value_for = [](int t, int p, int sweep) {
+    return (static_cast<uint64_t>(0xA0 + t) << 48) |
+           (static_cast<uint64_t>(sweep) << 32) | static_cast<uint64_t>(p);
+  };
+  std::vector<std::thread> workers;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int sweep = 0; sweep < kSweeps; ++sweep) {
+        for (int p = t; p < kWrittenPages; p += kThreads) {
+          const VmOffset addr = base + static_cast<VmSize>(p) * kPage;
+          if (task->WriteValue<uint64_t>(addr, value_for(t, p, sweep)) !=
+              KernReturn::kSuccess) {
+            ++errors;
+            continue;
+          }
+          // Read back a neighbour from the *previous* sweep: it may be
+          // mid-flight inside a clustered run right now, and must still
+          // read as one whole write, never torn or rolled back.
+          if (sweep > 0) {
+            const int q = (p + kThreads) % kWrittenPages;
+            auto got = task->ReadValue<uint64_t>(base + static_cast<VmSize>(q) * kPage);
+            if (got.ok() && got.value() != 0 &&
+                (got.value() & 0xFFFFFFFFull) != static_cast<uint64_t>(q)) {
+              ++errors;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+
+  // Oracle: the final sweep's value, for every page, through whatever
+  // evict/re-fault history the clusterer gave it.
+  for (int p = 0; p < kWrittenPages; ++p) {
+    auto got = task->ReadValue<uint64_t>(base + static_cast<VmSize>(p) * kPage);
+    ASSERT_TRUE(got.ok()) << "page " << p;
+    ASSERT_EQ(got.value(), value_for(p % kThreads, p, kSweeps - 1)) << "page " << p;
+  }
+
+  VmStatistics stats = kernel->vm().Statistics();
+  EXPECT_GT(stats.pageouts, 0u) << "no eviction pressure: the race never ran";
+  EXPECT_GT(stats.pageout_runs, 0u);
+  EXPECT_GE(stats.pageout_run_pages, stats.pageout_runs);
+
+  task.reset();
+  object = SendRight();
+  ExpectTeardownToBaseline(*kernel, free_baseline);
+  pager.Stop();
 }
 
 TEST(VmConcurrentTest, OptimisticLookupSurvivesRegionChurn) {
