@@ -295,6 +295,106 @@ void BM_RpcOverLossyLink(benchmark::State& state) {
   state.counters["lost"] = static_cast<double>(link.messages_lost());
 }
 
+// --- adaptive fault-ahead over the wire (E16) -------------------------------
+
+// Serves per-page stamps for whole runs through the PagerRunBuilder,
+// counting wire messages in both directions.
+class RemoteRunPager : public DataManager {
+ public:
+  RemoteRunPager() : DataManager("remote-runs") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  uint64_t provide_messages() const { return provides_.load(std::memory_order_relaxed); }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    PagerRunBuilder run(std::move(args.pager_request_port));
+    for (VmOffset off = args.offset; off < args.offset + args.length; off += kPage) {
+      std::vector<std::byte> page(kPage, std::byte{0x5C});
+      run.AddData(off, std::move(page), kVmProtNone);
+    }
+    run.Flush();
+    provides_.fetch_add(run.messages_sent(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> provides_{0};
+};
+
+// A 64-page read whose pager sits across a NetLink in reliable mode.
+// Sequential scans batch into multi-page data requests — fewer messages per
+// page — while random access must stay single-page. Args: {fault_ahead
+// on/off, fragment drop % on the wire}. The counters report message economy
+// (req_per_page, msgs_per_page) and the speculation waste (fa_unused) so
+// the E16 ledger stays honest.
+void RemoteReadOverLink(benchmark::State& state, bool sequential) {
+  const bool fault_ahead = state.range(0) != 0;
+  const double frag_drop = static_cast<double>(state.range(1)) / 100.0;
+  constexpr VmSize kScanPages = 64;
+
+  Kernel::Config config;
+  config.frames = 8192;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.name = "remote-a";
+  auto host_a = std::make_unique<Kernel>(config);
+  config.name = "remote-b";
+  config.vm.fault_ahead = fault_ahead;  // The ablation under test (client side).
+  auto host_b = std::make_unique<Kernel>(config);
+
+  FaultInjector inj(42);
+  inj.SetProbability(NetLink::kFaultFragDrop, frag_drop);
+  SimClock net_clock;
+  NetFaultConfig faults;
+  faults.injector = frag_drop > 0 ? &inj : nullptr;
+  faults.reliable = true;
+  NetLink link(&host_a->vm(), &host_b->vm(), &net_clock, kNormaLatency, faults);
+
+  RemoteRunPager pager;
+  pager.Start();
+  auto task = host_b->CreateTask(nullptr, "remote-scan");
+
+  // 37 is coprime to 64 and never yields a +1 successor, so the random
+  // order defeats the sequentiality detector by construction.
+  VmOffset order[kScanPages];
+  for (VmOffset i = 0; i < kScanPages; ++i) {
+    order[i] = sequential ? i : (i * 37) % kScanPages;
+  }
+
+  uint8_t b = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SendRight object = pager.NewObject();
+    VmOffset base =
+        task->VmAllocateWithPager(kScanPages * kPage, link.ProxyForB(object), 0).value();
+    state.ResumeTiming();
+    for (VmOffset i = 0; i < kScanPages; ++i) {
+      task->Read(base + order[i] * kPage, &b, 1);
+    }
+    state.PauseTiming();
+    task->VmDeallocate(base, kScanPages * kPage);
+    pager.DestroyMemoryObject(object);
+    state.ResumeTiming();
+  }
+  const double pages = static_cast<double>(state.iterations()) * kScanPages;
+  state.SetItemsProcessed(static_cast<int64_t>(pages));
+  VmStatistics stats = host_b->vm().Statistics();
+  state.counters["req_per_page"] = static_cast<double>(pager.requests()) / pages;
+  state.counters["msgs_per_page"] =
+      static_cast<double>(pager.requests() + pager.provide_messages()) / pages;
+  state.counters["fa_requests"] = static_cast<double>(stats.fault_ahead_requests);
+  state.counters["fa_pages"] = static_cast<double>(stats.fault_ahead_pages);
+  state.counters["fa_unused"] = static_cast<double>(stats.fault_ahead_unused);
+  state.counters["retransmits"] = static_cast<double>(link.retransmits());
+  task.reset();
+  pager.Stop();
+}
+
+void BM_RemoteSequentialScan(benchmark::State& state) { RemoteReadOverLink(state, true); }
+void BM_RemoteRandomScan(benchmark::State& state) { RemoteReadOverLink(state, false); }
+
 }  // namespace
 
 BENCHMARK(BM_ResidentAccess);
@@ -305,5 +405,21 @@ BENCHMARK(BM_ExternalPagerFetch);
 BENCHMARK(BM_PagerDeathRecovery)->Iterations(50)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PagingUnderDiskFaults);
 BENCHMARK(BM_RpcOverLossyLink);
+BENCHMARK(BM_RemoteSequentialScan)
+    ->ArgNames({"fault_ahead", "frag_drop_pct"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 5})
+    ->Args({1, 5})
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RemoteRandomScan)
+    ->ArgNames({"fault_ahead", "frag_drop_pct"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 5})
+    ->Args({1, 5})
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

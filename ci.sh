@@ -2,8 +2,9 @@
 # CI entry point: tier-1 verification plus an optional sanitizer pass.
 #
 #   ./ci.sh            # tier-1: configure, build, ctest, plus the IPC
-#                      # port/right suites re-run under ASan with leak
-#                      # detection (cycle reclamation must be leak-clean)
+#                      # port/right suites and the fault-ahead suites re-run
+#                      # under ASan with leak detection (cycle reclamation
+#                      # and speculative-placeholder sweeps must be leak-clean)
 #   ./ci.sh asan       # tier-1 under ASan+UBSan (-DMACH_SANITIZE=address)
 #   ./ci.sh tsan       # VM/IPC concurrency suites under ThreadSanitizer
 #   ./ci.sh all        # all of the above, sequentially
@@ -33,11 +34,25 @@ ipc_leak_lane() {
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -R '^(ipc_test|ipc_property_test)$'
 }
 
+# The fault-ahead read path allocates speculative placeholder pages that the
+# faulter's sweep must free on every early exit (partial provide, pager
+# death, teardown): run its suites leak-checked in the fast lane so an
+# unreleased placeholder or message buffer cannot land silently.
+fault_ahead_leak_lane() {
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1}
+  export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1}
+  cmake -B build-asan -S . -DMACH_SANITIZE=address
+  cmake --build build-asan -j "$jobs" --target vm_test pager_test
+  ./build-asan/tests/vm_test --gtest_filter='FaultAheadTest.*'
+  ./build-asan/tests/pager_test --gtest_filter='FaultAheadPagerTest.*:PagerProtocolValidationTest.*:ExternalPagerTest.ForgedOversizeDataRequestIsRejectedAtTheWire'
+}
+
 mode=${1:-tier1}
 case "$mode" in
   tier1)
     run_suite build
     ipc_leak_lane
+    fault_ahead_leak_lane
     ;;
   asan)
     # Chaos and soak tests allocate aggressively; keep ASan strict but let

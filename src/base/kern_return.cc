@@ -48,6 +48,8 @@ const char* KernReturnName(KernReturn kr) {
       return "KERN_ALREADY_EXISTS";
     case KernReturn::kMigrationAborted:
       return "KERN_MIGRATION_ABORTED";
+    case KernReturn::kProtocolViolation:
+      return "KERN_PROTOCOL_VIOLATION";
   }
   return "KERN_UNKNOWN";
 }

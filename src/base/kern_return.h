@@ -41,6 +41,10 @@ enum class KernReturn : int32_t {
 
   // Service-level errors (no historical Mach equivalent).
   kMigrationAborted = 200,  // The transport to the destination died mid-migration.
+  kProtocolViolation = 201, // A wire message was structurally decodable but
+                            // violated a protocol invariant (e.g. a
+                            // pager_data_request length that is zero, not a
+                            // page multiple, or beyond the run cap).
 };
 
 // Human-readable enumerator name, for logs and test failure messages.

@@ -179,27 +179,29 @@ void RecoveryManager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
     DataUnavailable(args.pager_request_port, args.offset, args.length);
     return;
   }
+  // Multi-page (fault-ahead) requests answered as coalesced runs; deferred
+  // stash hits join the same run when contiguous.
+  PagerRunBuilder run(args.pager_request_port);
   for (VmOffset off = args.offset; off < args.offset + args.length; off += page_size_) {
     auto def_it = segment->deferred.find(off);
     if (def_it != segment->deferred.end()) {
       // The freshest copy is the stashed deferred pageout, not the disk.
-      ProvideData(args.pager_request_port, off, std::vector<std::byte>(def_it->second),
-                  kVmProtNone);
+      run.AddData(off, std::vector<std::byte>(def_it->second), kVmProtNone);
       continue;
     }
     size_t page = static_cast<size_t>(off / page_size_);
     if (page >= segment->blocks.size() || segment->blocks[page] == UINT32_MAX) {
-      DataUnavailable(args.pager_request_port, off, page_size_);
+      run.AddUnavailable(off, page_size_);
       continue;
     }
     std::vector<std::byte> data(page_size_);
     if (!IsOk(data_disk_->ReadBlock(segment->blocks[page], data.data()))) {
       // §6.2.1: unreadable backing page → pager_data_unavailable.
       io_errors_.fetch_add(1, std::memory_order_relaxed);
-      DataUnavailable(args.pager_request_port, off, page_size_);
+      run.AddUnavailable(off, page_size_);
       continue;
     }
-    ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
+    run.AddData(off, std::move(data), kVmProtNone);
   }
 }
 

@@ -378,11 +378,14 @@ void FsServer::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
     DataUnavailable(args.pager_request_port, args.offset, args.length);
     return;
   }
+  // Fault-ahead runs arrive as one request; answer with coalesced
+  // multi-page messages, splitting at holes and bad blocks.
+  PagerRunBuilder run(args.pager_request_port);
   for (VmOffset off = args.offset; off < args.offset + args.length; off += ps) {
     size_t page = static_cast<size_t>(off / ps);
     if (page >= file->blocks.size() || file->blocks[page] == UINT32_MAX) {
       // Hole or beyond EOF: zero fill.
-      DataUnavailable(args.pager_request_port, off, ps);
+      run.AddUnavailable(off, ps);
       continue;
     }
     std::vector<std::byte> data(ps);
@@ -390,10 +393,10 @@ void FsServer::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
       // §6.2.1: unreadable file block → pager_data_unavailable; mapping
       // kernels substitute per their failure policy instead of hanging.
       io_errors_.fetch_add(1, std::memory_order_relaxed);
-      DataUnavailable(args.pager_request_port, off, ps);
+      run.AddUnavailable(off, ps);
       continue;
     }
-    ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
+    run.AddData(off, std::move(data), kVmProtNone);
   }
 }
 

@@ -10,9 +10,16 @@ namespace mach {
 
 ShmBroker::ShmBroker(std::string name, size_t shard_count, ShmOptions options)
     : DataManager(name), page_size_(options.page_size) {
-  shards_.reserve(shard_count == 0 ? 1 : shard_count);
-  for (size_t i = 0; i < std::max<size_t>(shard_count, 1); ++i) {
-    shards_.push_back(std::make_unique<ShmShard>(name + "-s" + std::to_string(i), options));
+  const size_t n = std::max<size_t>(shard_count, 1);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Each shard learns its stripe so a fault-ahead run can be clamped to
+    // the pages this shard actually serves (ShmShardOfPage).
+    ShmOptions shard_options = options;
+    shard_options.shard_index = static_cast<uint32_t>(i);
+    shard_options.shard_count = static_cast<uint32_t>(n);
+    shards_.push_back(
+        std::make_unique<ShmShard>(name + "-s" + std::to_string(i), shard_options));
   }
   service_port_ = AllocateServicePort("shm-broker");
 }

@@ -56,9 +56,10 @@ class ShmBroker : public DataManager {
   static Result<ShmRegionInfoArgs> GetRegionVia(const SendRight& service,
                                                 const std::string& name, VmSize size);
 
-  // Which shard serves page `page_index` of region `region_id`.
+  // Which shard serves page `page_index` of region `region_id`. Delegates
+  // to the shared partition function the shards clamp fault-ahead runs by.
   static size_t ShardOfPage(uint64_t region_id, uint64_t page_index, size_t shard_count) {
-    return static_cast<size_t>(HashCombine64(region_id, page_index) % shard_count);
+    return static_cast<size_t>(ShmShardOfPage(region_id, page_index, shard_count));
   }
 
   // Maps the whole region into `task`: reserves a contiguous range, then

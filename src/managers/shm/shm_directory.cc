@@ -85,7 +85,8 @@ void ShmDirectory::ClearOwner(PageState& page) {
   page.owner_port = SendRight();
 }
 
-void ShmDirectory::GrantRead(PageState& page, const SendRight& req, VmOffset offset) {
+void ShmDirectory::GrantRead(PageState& page, const SendRight& req, VmOffset offset,
+                             PagerRunBuilder* run) {
   // Count before providing: ProvideData wakes the faulting thread, which
   // may observe the statistics immediately.
   read_grants_.fetch_add(1, std::memory_order_relaxed);
@@ -95,7 +96,11 @@ void ShmDirectory::GrantRead(PageState& page, const SendRight& req, VmOffset off
   }
   // Multiple readers are fine; the data goes out write-locked so a write
   // attempt must come back through pager_data_unlock (§4.2).
-  DataManager::ProvideData(req, offset, page.data, kVmProtWrite);
+  if (run != nullptr) {
+    run->AddData(offset, page.data, kVmProtWrite);
+  } else {
+    DataManager::ProvideData(req, offset, page.data, kVmProtWrite);
+  }
 }
 
 void ShmDirectory::GrantWrite(PageState& page, const SendRight& req, VmOffset offset,
@@ -213,9 +218,33 @@ void ShmDirectory::HandleDataRequest(uint64_t region_id, SendRight request_port,
     return;
   }
   Region& region = rit->second;
-  for (VmOffset off = TruncPage(offset, options_.page_size); off < offset + length;
-       off += options_.page_size) {
+  // A multi-page request is the kernel's fault-ahead: the first page is the
+  // demanded one and keeps the directory's full semantics; the rest are
+  // speculative. Contiguous read grants coalesce into one provide.
+  PagerRunBuilder run(request_port);
+  const VmOffset first_off = TruncPage(offset, options_.page_size);
+  for (VmOffset off = first_off; off < offset + length; off += options_.page_size) {
     PageState& page = PageAt(region, off);
+    if (off != first_off) {
+      // Speculative pages are opportunistic: serve one only when it is
+      // trivially grantable. Never recall a foreign owner, never queue
+      // behind an in-flight recall, never transfer write ownership on
+      // speculation, and (defensively — the kernel's map entries already
+      // confine a run to one hash stripe) never answer for another shard's
+      // pages. Silence is always legal here: the kernel frees unanswered
+      // fault-ahead placeholders and re-faults on demand. Answering
+      // pager_data_unavailable instead would be wrong — the kernel would
+      // zero-fill a page whose authoritative bytes live elsewhere.
+      if ((desired_access & kVmProtWrite) != 0 || page.owner != 0 ||
+          page.recall != RecallKind::kNone ||
+          (options_.shard_count > 1 &&
+           ShmShardOfPage(region_id, off / options_.page_size, options_.shard_count) !=
+               options_.shard_index)) {
+        break;
+      }
+      GrantRead(page, request_port, off, &run);
+      continue;
+    }
     if (page.owner != 0 && page.owner != request_port.id()) {
       // Another kernel owns the page: forward the recall to the hinted
       // owner. Dirty data arrives as pager_data_write (FIFO on the object
@@ -227,7 +256,10 @@ void ShmDirectory::HandleDataRequest(uint64_t region_id, SendRight request_port,
                   (wants_write || !options_.downgrade_reads) ? RecallKind::kFlush
                                                              : RecallKind::kDowngrade);
       page.pending.push_back(PendingRequest{request_port, desired_access});
-      continue;
+      // The demanded page is deferred behind a recall; speculating past it
+      // would answer the run out of order for nothing — the faulter is
+      // blocked on page one anyway.
+      break;
     }
     if (page.owner == request_port.id()) {
       // The owner's kernel lost its copy (evicted). Any dirty data already
@@ -237,7 +269,7 @@ void ShmDirectory::HandleDataRequest(uint64_t region_id, SendRight request_port,
     if ((desired_access & kVmProtWrite) != 0) {
       GrantWrite(page, request_port, off, /*requester_has_copy=*/false);
     } else {
-      GrantRead(page, request_port, off);
+      GrantRead(page, request_port, off, &run);
     }
   }
 }

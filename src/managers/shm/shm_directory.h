@@ -46,11 +46,14 @@
 #include <vector>
 
 #include "src/base/fault_injector.h"
+#include "src/base/hash.h"
 #include "src/base/sim_clock.h"
 #include "src/base/vm_types.h"
 #include "src/ipc/port.h"
 
 namespace mach {
+
+class PagerRunBuilder;
 
 struct ShmOptions {
   VmSize page_size = 4096;
@@ -76,7 +79,21 @@ struct ShmOptions {
   // Read requests demote a foreign owner to reader (clean + write lock)
   // instead of flushing its copy.
   bool downgrade_reads = true;
+  // This directory's position in the broker's hash partition. Speculative
+  // (fault-ahead) pages outside this shard's stripe are never answered; the
+  // defaults describe a standalone (unsharded) directory that owns every
+  // page. Set by ShmBroker when constructing its shards.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
+
+// Which shard serves page `page_index` of region `region_id` — SplitMix64
+// avalanche, so consecutive pages spread uniformly and no shard inherits a
+// hot contiguous run. Shared by the broker's map-building side and the
+// directory's stripe clamp so the two can never disagree.
+inline uint64_t ShmShardOfPage(uint64_t region_id, uint64_t page_index, uint64_t shard_count) {
+  return HashCombine64(region_id, page_index) % shard_count;
+}
 
 // Counter snapshot. Read from client threads while the shard thread grants,
 // hence the atomics live in the directory and this is a plain copy.
@@ -181,7 +198,10 @@ class ShmDirectory {
   void Charge(uint64_t actions = 1);
   // Grants the front-of-queue access(es) for a page whose data is settled.
   void ServePending(uint64_t region_id, Region& region, VmOffset offset, PageState& page);
-  void GrantRead(PageState& page, const SendRight& req, VmOffset offset);
+  // `run` non-null routes the provide through a PagerRunBuilder so a
+  // fault-ahead request's contiguous grants coalesce into one message.
+  void GrantRead(PageState& page, const SendRight& req, VmOffset offset,
+                 PagerRunBuilder* run = nullptr);
   void GrantWrite(PageState& page, const SendRight& req, VmOffset offset,
                   bool requester_has_copy);
   void InvalidateReaders(PageState& page, VmOffset offset, uint64_t except_id);

@@ -83,6 +83,20 @@ size_t DataManager::memory_object_count() const {
   return objects_.size();
 }
 
+void DataManager::RecordPageSize(uint64_t object_port_id, VmSize page_size) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(object_port_id);
+  if (it != objects_.end()) {
+    it->second.page_size = page_size;
+  }
+}
+
+VmSize DataManager::LookupPageSize(uint64_t object_port_id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(object_port_id);
+  return it != objects_.end() ? it->second.page_size : 0;
+}
+
 bool DataManager::LookupCookie(uint64_t object_port_id, uint64_t* cookie_out) const {
   std::lock_guard<std::mutex> g(mu_);
   auto it = objects_.find(object_port_id);
@@ -115,14 +129,20 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
         if (args.value().pager_request_port.valid()) {
           args.value().pager_request_port.port()->RequestDeathNotification(notify_send_);
         }
+        RecordPageSize(port_id, args.value().page_size);
         OnInit(port_id, cookie, std::move(args).value());
       }
       break;
     }
     case kMsgPagerDataRequest: {
-      Result<PagerDataRequestArgs> args = DecodePagerDataRequest(msg);
+      Result<PagerDataRequestArgs> args =
+          DecodePagerDataRequest(msg, LookupPageSize(port_id));
       if (args.ok()) {
         OnDataRequest(port_id, cookie, std::move(args).value());
+      } else if (args.status() == KernReturn::kProtocolViolation) {
+        protocol_rejects_.fetch_add(1, std::memory_order_relaxed);
+        MACH_LOG(kWarn) << name_ << ": rejected malformed pager_data_request ("
+                        << KernReturnName(args.status()) << ") on port " << port_id;
       }
       break;
     }
@@ -160,6 +180,7 @@ void DataManager::Dispatch(uint64_t port_id, Message&& msg) {
           // count is nonzero here; when the kernel terminates the object
           // the manager hears about it and can reclaim backing storage.
           st.receive.port()->RequestNoSendersNotification(notify_send_);
+          st.page_size = args.value().page_size;
           set_->Add(st.receive);
           objects_.emplace(adopted_id, std::move(st));
         }
@@ -256,6 +277,57 @@ KernReturn DataManager::DowngradeToRead(const SendRight& request_port, VmOffset 
   // FIFO on the request port: the kernel cleans (writes back dirty data)
   // before it sees the write lock, so no dirty byte is stranded behind it.
   return LockData(request_port, offset, length, kVmProtWrite);
+}
+
+// --- PagerRunBuilder ---------------------------------------------------------
+
+void PagerRunBuilder::AddData(VmOffset offset, std::vector<std::byte> page,
+                              VmProt lock_value) {
+  if (pending_ == Pending::kData && offset == start_ + data_.size() &&
+      lock_value == lock_value_) {
+    data_.insert(data_.end(), page.begin(), page.end());
+    return;
+  }
+  Flush();
+  pending_ = Pending::kData;
+  start_ = offset;
+  data_ = std::move(page);
+  lock_value_ = lock_value;
+}
+
+void PagerRunBuilder::AddUnavailable(VmOffset offset, VmSize size) {
+  if (pending_ == Pending::kUnavailable && offset == start_ + unavail_size_) {
+    unavail_size_ += size;
+    return;
+  }
+  Flush();
+  pending_ = Pending::kUnavailable;
+  start_ = offset;
+  unavail_size_ = size;
+}
+
+KernReturn PagerRunBuilder::Flush() {
+  KernReturn kr = KernReturn::kSuccess;
+  switch (pending_) {
+    case Pending::kNone:
+      break;
+    case Pending::kData:
+      kr = DataManager::ProvideData(request_port_, start_, std::move(data_),
+                                    lock_value_);
+      data_.clear();
+      ++messages_sent_;
+      break;
+    case Pending::kUnavailable:
+      kr = DataManager::DataUnavailable(request_port_, start_, unavail_size_);
+      unavail_size_ = 0;
+      ++messages_sent_;
+      break;
+  }
+  pending_ = Pending::kNone;
+  if (first_error_ == KernReturn::kSuccess && kr != KernReturn::kSuccess) {
+    first_error_ = kr;
+  }
+  return first_error_;
 }
 
 }  // namespace mach

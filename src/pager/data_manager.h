@@ -66,6 +66,12 @@ class DataManager {
   // manager currently holds. Observability hook for reclamation tests.
   size_t memory_object_count() const;
 
+  // pager_data_request messages dropped by the wire validator (zero length,
+  // non-page-multiple, or beyond kPagerMaxRunPages).
+  uint64_t protocol_rejects() const {
+    return protocol_rejects_.load(std::memory_order_relaxed);
+  }
+
   // --- Table 3-6 helpers (manager -> kernel, all asynchronous) ----------
 
   static KernReturn ProvideData(const SendRight& request_port, VmOffset offset,
@@ -131,10 +137,16 @@ class DataManager {
   struct ObjectState {
     ReceiveRight receive;
     uint64_t cookie = 0;
+    // Learned from pager_init / pager_create; 0 until then. Lets the
+    // dispatcher validate a data request's length against the real page
+    // size instead of trusting the wire.
+    VmSize page_size = 0;
   };
 
   void ServiceLoop();
   void Dispatch(uint64_t port_id, Message&& msg);
+  void RecordPageSize(uint64_t object_port_id, VmSize page_size);
+  VmSize LookupPageSize(uint64_t object_port_id) const;
 
   const std::string name_;
   mutable std::mutex mu_;
@@ -148,6 +160,47 @@ class DataManager {
   std::vector<ReceiveRight> service_ports_;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::atomic<uint64_t> protocol_rejects_{0};
+};
+
+// Coalesces a manager's per-page answers to one (possibly multi-page)
+// pager_data_request into the minimal number of manager → kernel messages:
+// contiguous provided pages sharing one lock_value collapse into a single
+// multi-page pager_data_provided, contiguous unavailable offsets into a
+// single pager_data_unavailable. A gap, a lock change, or switching between
+// the two kinds flushes the pending run. Flush() (also run by the
+// destructor) sends whatever is pending; a manager may simply answer page
+// by page through the builder and the batching falls out.
+class PagerRunBuilder {
+ public:
+  explicit PagerRunBuilder(SendRight request_port)
+      : request_port_(std::move(request_port)) {}
+  ~PagerRunBuilder() { Flush(); }
+
+  PagerRunBuilder(const PagerRunBuilder&) = delete;
+  PagerRunBuilder& operator=(const PagerRunBuilder&) = delete;
+
+  void AddData(VmOffset offset, std::vector<std::byte> page, VmProt lock_value);
+  void AddUnavailable(VmOffset offset, VmSize size);
+
+  // Sends the pending run, if any. Returns the first send error seen over
+  // the builder's lifetime (sticky), kSuccess otherwise.
+  KernReturn Flush();
+
+  // Manager → kernel messages this builder has sent (tests/benches).
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  enum class Pending { kNone, kData, kUnavailable };
+
+  SendRight request_port_;
+  Pending pending_ = Pending::kNone;
+  VmOffset start_ = 0;
+  std::vector<std::byte> data_;   // kData: accumulated contiguous bytes.
+  VmSize unavail_size_ = 0;       // kUnavailable: accumulated span.
+  VmProt lock_value_ = kVmProtNone;
+  KernReturn first_error_ = KernReturn::kSuccess;
+  uint64_t messages_sent_ = 0;
 };
 
 }  // namespace mach

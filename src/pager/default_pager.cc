@@ -30,6 +30,10 @@ void DefaultPager::OnCreate(uint64_t adopted_port_id, PagerCreateArgs args) {
 void DefaultPager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
                                  PagerDataRequestArgs args) {
   const VmSize page = disk_->block_size();
+  // A multi-page (fault-ahead) request is answered with the minimal number
+  // of messages: the builder coalesces contiguous provides and contiguous
+  // unavailable spans, flushing at each transition and on destruction.
+  PagerRunBuilder run(args.pager_request_port);
   for (VmOffset off = args.offset; off < args.offset + args.length; off += page) {
     uint32_t block = UINT32_MAX;
     {
@@ -42,7 +46,7 @@ void DefaultPager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
     if (block == UINT32_MAX) {
       // No data was ever written for this page: the kernel zero-fills
       // (pager_data_unavailable, §3.4.1).
-      DataUnavailable(args.pager_request_port, off, page);
+      run.AddUnavailable(off, page);
       continue;
     }
     std::vector<std::byte> data(page);
@@ -52,11 +56,11 @@ void DefaultPager::OnDataRequest(uint64_t object_port_id, uint64_t cookie,
       // rather than waiting out the fault timeout.
       backing_errors_.fetch_add(1, std::memory_order_relaxed);
       MACH_LOG(kWarn) << "default pager: backing read failed for block " << block;
-      DataUnavailable(args.pager_request_port, off, page);
+      run.AddUnavailable(off, page);
       continue;
     }
     pageins_.fetch_add(1, std::memory_order_relaxed);
-    ProvideData(args.pager_request_port, off, std::move(data), kVmProtNone);
+    run.AddData(off, std::move(data), kVmProtNone);
   }
 }
 

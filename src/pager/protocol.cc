@@ -1,5 +1,7 @@
 #include "src/pager/protocol.h"
 
+#include <cassert>
+
 namespace mach {
 
 Message EncodePagerInit(const PagerInitArgs& args) {
@@ -25,6 +27,7 @@ Result<PagerInitArgs> DecodePagerInit(Message& msg) {
 }
 
 Message EncodePagerDataRequest(const PagerDataRequestArgs& args) {
+  assert(args.length != 0 && "pager_data_request length must cover >= 1 page");
   Message msg(kMsgPagerDataRequest);
   msg.PushPort(args.pager_request_port);
   msg.PushU64(args.offset);
@@ -33,7 +36,8 @@ Message EncodePagerDataRequest(const PagerDataRequestArgs& args) {
   return msg;
 }
 
-Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg) {
+Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg,
+                                                    VmSize page_size) {
   PagerDataRequestArgs args;
   Result<SendRight> req = msg.TakePort();
   Result<uint64_t> off = msg.TakeU64();
@@ -41,6 +45,14 @@ Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg) {
   Result<uint32_t> acc = msg.TakeU32();
   if (!req.ok() || !off.ok() || !len.ok() || !acc.ok()) {
     return KernReturn::kInvalidArgument;
+  }
+  if (len.value() == 0) {
+    return KernReturn::kProtocolViolation;
+  }
+  if (page_size != 0 &&
+      (len.value() % page_size != 0 ||
+       len.value() > uint64_t{kPagerMaxRunPages} * page_size)) {
+    return KernReturn::kProtocolViolation;
   }
   args.pager_request_port = std::move(req).value();
   args.offset = off.value();

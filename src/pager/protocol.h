@@ -54,6 +54,12 @@ inline constexpr MsgId kMsgPagerDataUnavailable = 0x60000006;
 inline constexpr MsgId kMsgShmGetRegion = 0x70000001;
 inline constexpr MsgId kMsgShmRegionInfo = 0x70000002;
 
+// Hard wire-level ceiling on a multi-page pager_data_request run, in pages.
+// `Config::fault_ahead_max` is clamped to this at kernel construction, so a
+// decoder can reject anything beyond it as malformed regardless of the
+// kernel configuration that produced it.
+inline constexpr uint32_t kPagerMaxRunPages = 64;
+
 // --- Decoded message bodies ---------------------------------------------
 
 // pager_init(memory_object, pager_request_port, pager_name)
@@ -175,7 +181,13 @@ Message EncodeShmRegionInfo(const ShmRegionInfoArgs& args);
 // --- Decoders (consume a Message's items) ---------------------------------
 
 Result<PagerInitArgs> DecodePagerInit(Message& msg);
-Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg);
+// `page_size` is the page size the manager learned from pager_init /
+// pager_create for this object (0 = unknown, e.g. a request racing ahead of
+// init). A zero length is always kProtocolViolation; when the page size is
+// known, a length that is not a multiple of it, or that covers more than
+// kPagerMaxRunPages pages, is kProtocolViolation too.
+Result<PagerDataRequestArgs> DecodePagerDataRequest(Message& msg,
+                                                    VmSize page_size = 0);
 Result<PagerDataWriteArgs> DecodePagerDataWrite(Message& msg);
 Result<PagerDataUnlockArgs> DecodePagerDataUnlock(Message& msg);
 Result<PagerLockCompletedArgs> DecodePagerLockCompleted(Message& msg);

@@ -72,6 +72,35 @@ namespace mach {
 class VmObject;
 class AddressMap;
 
+// Per-map-entry sequentiality detector state for adaptive fault-ahead. One
+// atomic word so it can live inside a MapEntry (which ClipRange / RemoveRange
+// / ForkMap copy freely) and be updated under the map's *shared* lock from
+// the fault path: concurrent faulters race on it, but the word is only a
+// readahead heuristic — a lost update costs at most one mis-sized window.
+// The optimistic (seqlock) tier never reads or writes it: MapSnapshotEntry
+// deliberately omits it, so detector updates can't perturb lock-free faults.
+//
+// Encoding: low 48 bits = (next expected faulting page index within the
+// object) + 1, where 0 means "no history"; bits 48..63 = the window used at
+// the last miss, so sequential streaks can double it 1→2→4→…→max.
+struct FaultAheadState {
+  std::atomic<uint64_t> word{0};
+
+  FaultAheadState() = default;
+  // Entry copies (clipping, forks) carry the heuristic along; relaxed is
+  // fine, the value is advisory.
+  FaultAheadState(const FaultAheadState& other)
+      : word(other.word.load(std::memory_order_relaxed)) {}
+  FaultAheadState& operator=(const FaultAheadState& other) {
+    word.store(other.word.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
+
+  static constexpr uint64_t kPageMask = (uint64_t{1} << 48) - 1;
+  static constexpr int kWindowShift = 48;
+};
+
 struct MapEntry {
   VmOffset start = 0;
   VmOffset end = 0;  // exclusive
@@ -92,6 +121,9 @@ struct MapEntry {
   // Copy-on-write pending: the object must be shadowed before this entry's
   // memory is written (§5.5 "copy-on-write").
   bool needs_copy = false;
+
+  // Adaptive fault-ahead sequentiality detector (see FaultAheadState).
+  FaultAheadState fault_ahead;
 
   VmSize size() const { return end - start; }
 };

@@ -9,9 +9,11 @@
 // while holding only a pin on the page. Waits for busy pages block on the
 // owning object's condition variable — targeted wakeups, not a global poll.
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "src/base/lock_probe.h"
 #include "src/base/log.h"
@@ -108,6 +110,40 @@ KernReturn VmSystem::PrepareEntry(TaskVm& task, VmOffset addr, VmProt access) {
   return KernReturn::kSuccess;
 }
 
+// --- adaptive fault-ahead ---------------------------------------------------
+
+uint32_t VmSystem::ComputeFaultAheadWindow(MapEntry* holder, VmOffset object_offset) {
+  if (!config_.fault_ahead || config_.fault_ahead_max <= 1) {
+    return 1;
+  }
+  const VmSize ps = page_size();
+  const uint64_t page_no = object_offset / ps;
+  const uint64_t prev = holder->fault_ahead.word.load(std::memory_order_relaxed);
+  const uint64_t expected = prev & FaultAheadState::kPageMask;  // page+1; 0 = none.
+  const uint32_t prev_win =
+      static_cast<uint32_t>(prev >> FaultAheadState::kWindowShift);
+  uint32_t win = 1;
+  if (expected != 0 && page_no + 1 == expected) {
+    // This miss landed exactly where the last run ended: a sequential
+    // streak. Double the window. A truncated run (neighbour was resident,
+    // entry boundary, frame shortage) makes the next miss arrive early and
+    // reads as random — conservative, the streak just restarts.
+    win = std::min(std::max(prev_win, 1u) * 2, config_.fault_ahead_max);
+  }
+  // Never let a run cross the mapping: clamp to the entry's remaining
+  // object-coordinate range. Shm hash-stripe entries rely on this to keep a
+  // run inside one shard's stripe.
+  const uint64_t entry_pages_left =
+      (holder->offset + holder->size() - object_offset) / ps;
+  win = static_cast<uint32_t>(
+      std::min<uint64_t>(win, std::max<uint64_t>(entry_pages_left, 1)));
+  holder->fault_ahead.word.store(
+      ((page_no + win + 1) & FaultAheadState::kPageMask) |
+          (uint64_t{win} << FaultAheadState::kWindowShift),
+      std::memory_order_relaxed);
+  return win;
+}
+
 // --- pins -------------------------------------------------------------------
 
 VmSystem::PagePin VmSystem::MakePinLocked(ObjectLock& olk, std::shared_ptr<VmObject> owner,
@@ -169,11 +205,11 @@ bool VmSystem::WaitForPage(ObjectLock& olk, VmObject* object,
 
 KernReturn VmSystem::RequestDataFromPager(ObjectLock& olk,
                                           const std::shared_ptr<VmObject>& object,
-                                          VmOffset offset, VmProt access) {
+                                          VmOffset offset, VmSize length, VmProt access) {
   PagerDataRequestArgs args;
   args.pager_request_port = object->request_send;
   args.offset = offset;
-  args.length = page_size();
+  args.length = length;
   args.desired_access = access;
   Message msg = EncodePagerDataRequest(args);
   SendRight pager = object->pager;
@@ -209,7 +245,8 @@ KernReturn VmSystem::RequestUnlockFromPager(ObjectLock& olk,
 // --- the page walk ----------------------------------------------------------
 
 Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_object,
-                                                VmOffset first_offset, VmProt fault_type) {
+                                                VmOffset first_offset, VmProt fault_type,
+                                                uint32_t fa_window) {
   assert(first_offset % page_size() == 0);
   // Deadline for data-manager interactions (§6.2.1 failure options).
   SteadyClock::time_point deadline = SteadyClock::time_point::max();
@@ -231,6 +268,9 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
       // Invariant here: olk holds object->mu.
       VmPage* page = PageLookup(object.get(), offset);
       if (page != nullptr) {
+        // A faulting thread has reached this page: whatever happens next
+        // (wait, settle, pin), the speculation paid off.
+        page->readahead = false;
         if (page->busy) {
           // In transit on behalf of another thread; wait for a state change
           // and rescan from the top (the pointer may dangle after a wake —
@@ -417,25 +457,96 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
         // a flush/clean/pageout sweeping the object in the gap before we
         // re-check would free the page out from under our raw pointer.
         ++placeholder->pin_count;
-        KernReturn kr = RequestDataFromPager(olk, object, offset, fault_type);
+
+        // Fault-ahead: extend the request over a contiguous run of absent
+        // neighbours, each held as its own pinned busy+absent placeholder.
+        // Top-object misses only — shadow descents stay single-page. The
+        // run ends at the object end, any resident/busy/pinned page
+        // (PageAllocLocked returns kMemoryPresent), parked data, an offset
+        // an internal object never pushed to the default pager, or a frame
+        // shortage — speculation never dips into the reserve.
+        std::vector<VmPage*> extras;
+        if (fa_window > 1 && object == first_object && config_.fault_ahead) {
+          for (uint32_t i = 1; i < fa_window; ++i) {
+            VmOffset eoff = offset + VmOffset{i} * page_size();
+            if (eoff >= object->size() ||
+                object->parked_offsets.count(eoff) != 0 ||
+                (object->internal && object->paged_offsets.count(eoff) == 0)) {
+              break;
+            }
+            Result<VmPage*> ep =
+                PageAllocLocked(object.get(), eoff, /*allow_reserve=*/false);
+            if (!ep.ok()) {
+              break;
+            }
+            VmPage* extra = ep.value();
+            extra->busy = true;
+            extra->absent = true;
+            extra->readahead = true;
+            ++extra->pin_count;
+            extras.push_back(extra);
+          }
+          if (!extras.empty()) {
+            counters_.fault_ahead_requests.fetch_add(1, std::memory_order_relaxed);
+            counters_.fault_ahead_pages.fetch_add(extras.size(),
+                                                  std::memory_order_relaxed);
+          }
+        }
+        // Releases the run's speculative placeholders on every exit from
+        // the request-and-wait window (olk held). We own each extra's busy
+        // bit, so one still busy+absent was never answered — the partial-
+        // provide remainder — and is freed; a later demand fault re-issues
+        // the request and the OnPagerTimeout policy applies there (a
+        // speculative page is never zero-filled or errored in place: that
+        // would fabricate a verdict no thread asked for). Settled extras
+        // stay resident and just lose the pin; if the object died,
+        // TerminateObject orphaned the pinned pages to us, the last holder.
+        auto sweep_extras = [&]() {
+          bool freed = false;
+          for (VmPage* extra : extras) {
+            assert(extra->pin_count > 0);
+            --extra->pin_count;
+            if (!object->alive) {
+              if (extra->pin_count == 0) {
+                PageFreeLocked(olk, extra);
+              }
+            } else if (extra->busy && extra->absent) {
+              PageFreeLocked(olk, extra);
+              freed = true;
+            }
+          }
+          extras.clear();
+          if (freed) {
+            object->cv.notify_all();
+          }
+        };
+        KernReturn kr = RequestDataFromPager(
+            olk, object, offset,
+            VmSize{1 + extras.size()} * page_size(), fault_type);
         // The object lock was dropped during the send. We still own the
         // placeholder (handlers settle busy+absent pages without freeing,
         // and the pin keeps every sweeper away), but the object may have
         // died — then TerminateObject orphaned the pinned page for us, its
         // last holder, to free.
         if (!object->alive) {
+          sweep_extras();
           --placeholder->pin_count;
           PageFreeLocked(olk, placeholder);
           object->cv.notify_all();
           return KernReturn::kMemoryFailure;
         }
         if (!placeholder->absent || placeholder->error || placeholder->unavailable) {
+          sweep_extras();
           --placeholder->pin_count;
           object->cv.notify_all();
           rescan = true;  // Data (or a verdict) arrived already.
           continue;
         }
         if (!IsOk(kr)) {
+          // The request never reached the manager: nothing will answer the
+          // run. Release every speculative placeholder before settling the
+          // faulting page itself per policy.
+          sweep_extras();
           if (config_.on_pager_timeout == Config::OnPagerTimeout::kZeroFill) {
             // Treat an unreachable manager per the timeout policy: settle
             // our own placeholder as zero fill in place.
@@ -459,6 +570,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
         // death is the one exit we must handle.
         for (;;) {
           if (!object->alive) {
+            sweep_extras();
             --placeholder->pin_count;
             PageFreeLocked(olk, placeholder);
             object->cv.notify_all();
@@ -479,6 +591,7 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
               object->cv.notify_all();
               break;
             }
+            sweep_extras();
             --placeholder->pin_count;
             PageFreeLocked(olk, placeholder);
             object->cv.notify_all();
@@ -488,6 +601,12 @@ Result<VmSystem::PagePin> VmSystem::ResolvePage(std::shared_ptr<VmObject> first_
             counters_.spurious_page_wakeups.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        // Reached on the primary's settlement (a multi-page provide settled
+        // every page it covered under one handler lock acquisition before
+        // we could observe it) and on the zero-fill timeout: either way,
+        // speculative placeholders still unanswered are released here —
+        // the partial-provide prefix rule.
+        sweep_extras();
         --placeholder->pin_count;
         object->cv.notify_all();
         rescan = true;
@@ -611,6 +730,10 @@ bool VmSystem::TryOptimisticFault(TaskVm& task, VmOffset page_addr, VmProt acces
       page->error) {
     return false;  // Unsettled (or missing) pages are locked-path work.
   }
+  // First demand touch of a readahead page: recorded under the object lock
+  // (held here), the one lock the flag is guarded by. The detector itself
+  // lives in the map entry, which this tier never reads or writes.
+  page->readahead = false;
   prot &= ~page->page_lock;
   if ((access & ~prot) != 0) {
     return false;
@@ -646,6 +769,7 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
     // Phase 1: resolve the map entry under the map lock(s), shared mode.
     std::shared_ptr<VmObject> object;
     VmOffset object_offset;
+    uint32_t fa_window = 1;
     {
       lock_probe::Note();
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
@@ -682,8 +806,17 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
         lock_probe::Note();
         ObjectLock olk(object->mu);
         VmPage* page = PageLookup(object.get(), object_offset);
-        if (page != nullptr && !page->busy && !page->absent && !page->unavailable &&
-            !page->error) {
+        if (page == nullptr) {
+          // A true miss (not even a placeholder): feed the sequentiality
+          // detector and size the fault-ahead window while the holder
+          // pointer is still valid under the map lock. Re-faults on pages
+          // fault-ahead already brought in deliberately don't count —
+          // only run *starts* advance the detector, which is what keeps
+          // the window doubling across a scan.
+          fa_window = ComputeFaultAheadWindow(re.value().holder, object_offset);
+        } else if (!page->busy && !page->absent && !page->unavailable &&
+                   !page->error) {
+          page->readahead = false;  // First demand touch.
           VmProt prot = re.value().top->protection;
           if (re.value().holder->needs_copy) {
             prot &= ~kVmProtWrite;
@@ -701,7 +834,7 @@ KernReturn VmSystem::Fault(TaskVm& task, VmOffset addr, VmProt access) {
     }
 
     // Phase 2: find/create the page; returns it pinned, no locks held.
-    Result<PagePin> rp = ResolvePage(object, object_offset, access);
+    Result<PagePin> rp = ResolvePage(object, object_offset, access, fa_window);
     if (!rp.ok()) {
       return rp.status();
     }
@@ -788,6 +921,7 @@ KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize l
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
     std::shared_ptr<VmObject> object;
     VmOffset object_offset;
+    uint32_t fa_window = 1;
     {
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
       Result<EntryRef> re = LookupEntry(task, page_addr, kVmProtRead);
@@ -805,8 +939,13 @@ KernReturn VmSystem::ReadMemory(TaskVm& task, VmOffset addr, void* buf, VmSize l
       }
       object = re.value().holder->object;
       object_offset = TruncPage(re.value().object_offset, ps);
+      if (!PageResident(object.get(), object_offset)) {
+        // A racy (shard-lock only) probe is fine for a heuristic: a false
+        // "miss" costs one detector update, nothing more.
+        fa_window = ComputeFaultAheadWindow(re.value().holder, object_offset);
+      }
     }
-    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtRead);
+    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtRead, fa_window);
     if (!rp.ok()) {
       return rp.status();
     }
@@ -828,6 +967,7 @@ KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, V
     VmSize chunk = std::min<VmSize>(len, page_addr + ps - addr);
     std::shared_ptr<VmObject> object;
     VmOffset object_offset;
+    uint32_t fa_window = 1;
     {
       std::shared_lock<std::shared_mutex> map_lock(task.map->lock());
       Result<EntryRef> re = LookupEntry(task, page_addr, kVmProtWrite);
@@ -845,8 +985,11 @@ KernReturn VmSystem::WriteMemory(TaskVm& task, VmOffset addr, const void* buf, V
       }
       object = re.value().holder->object;
       object_offset = TruncPage(re.value().object_offset, ps);
+      if (!PageResident(object.get(), object_offset)) {
+        fa_window = ComputeFaultAheadWindow(re.value().holder, object_offset);
+      }
     }
-    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtWrite);
+    Result<PagePin> rp = ResolvePage(object, object_offset, kVmProtWrite, fa_window);
     if (!rp.ok()) {
       return rp.status();
     }

@@ -55,6 +55,12 @@ struct VmPage {
   bool unlock_pending = false;  // A pager_data_unlock has been sent and not
                                 // yet answered.
 
+  bool readahead = false;  // Allocated speculatively by fault-ahead and not
+                           // yet demanded by any faulting thread. Cleared
+                           // (under the owning object's lock) at first
+                           // touch; a page freed with the flag still set is
+                           // counted as fault_ahead_unused.
+
   // Access *prohibited* by the data manager (pager_data_lock /
   // the lock_value of pager_data_provided). kVmProtNone = unrestricted.
   VmProt page_lock = kVmProtNone;
@@ -148,6 +154,15 @@ struct VmStatistics {
                                       // (always 1 page with clustering off).
   uint64_t pageout_run_pages = 0;     // Pages carried by those messages;
                                       // / pageout_runs = mean pages per run.
+  uint64_t fault_ahead_requests = 0;  // pager_data_request messages whose
+                                      // length covered more than one page
+                                      // (a fault-ahead run).
+  uint64_t fault_ahead_pages = 0;     // Extra (speculative) pages those runs
+                                      // requested beyond the faulting page.
+  uint64_t fault_ahead_unused = 0;    // Readahead pages reclaimed before any
+                                      // thread touched them — wasted
+                                      // speculation (includes placeholders
+                                      // the manager never answered).
 };
 
 }  // namespace mach

@@ -25,6 +25,10 @@ VmSystem::VmSystem(PhysicalMemory* phys, Config config) : phys_(phys), config_(c
   // fraction of physical memory so batching can never starve reclaim.
   pin_batch_cap_ = std::min<size_t>(QueueBatch::kCapacity,
                                     std::max<size_t>(1, frames / 8));
+  // The wire decoder rejects runs beyond kPagerMaxRunPages, so never ask
+  // for more than that.
+  config_.fault_ahead_max =
+      std::clamp<uint32_t>(config_.fault_ahead_max, 1, kPagerMaxRunPages);
   // Death notifications are delivered with non-blocking sends; a roomy
   // backlog keeps a burst of port deaths from dropping any.
   PortPair death = PortAllocate("pager-death-notify");
@@ -138,6 +142,11 @@ Result<VmPage*> VmSystem::PageAllocLocked(VmObject* object, VmOffset offset, boo
 
 void VmSystem::PageFreeLocked(ObjectLock& olk, VmPage* page) {
   (void)olk;
+  if (page->readahead) {
+    // A speculative fault-ahead page is being reclaimed before any thread
+    // touched it: wasted speculation (the honest-waste counter for E16).
+    counters_.fault_ahead_unused.fetch_add(1, std::memory_order_relaxed);
+  }
   Pmap::PageProtect(phys_, page->frame, kVmProtNone);
   PageRemoveFromQueue(page);
   {
@@ -1043,6 +1052,9 @@ VmStatistics VmSystem::Statistics() const {
   st.queue_batch_flushes = load(counters_.queue_batch_flushes);
   st.pageout_runs = load(counters_.pageout_runs);
   st.pageout_run_pages = load(counters_.pageout_run_pages);
+  st.fault_ahead_requests = load(counters_.fault_ahead_requests);
+  st.fault_ahead_pages = load(counters_.fault_ahead_pages);
+  st.fault_ahead_unused = load(counters_.fault_ahead_unused);
   return st;
 }
 

@@ -155,6 +155,19 @@ class VmSystem {
     // Upper bound on pages per clustered write-back run.
     uint32_t pageout_cluster_max = 16;
 
+    // Adaptive fault-ahead: when a cache miss detects a sequential streak
+    // (per-map-entry detector, see FaultAheadState), the fault allocates
+    // busy+absent placeholders for a contiguous run of absent neighbours
+    // and sends one multi-page pager_data_request covering the run. The
+    // window scales 1→2→4→…→fault_ahead_max across consecutive sequential
+    // misses and collapses to 1 on random access. Off = one request per
+    // page (the pre-batching behaviour, kept for the ablation bench).
+    bool fault_ahead = true;
+
+    // Upper bound on pages per fault-ahead run; clamped to the wire cap
+    // kPagerMaxRunPages at construction.
+    uint32_t fault_ahead_max = 16;
+
     // Optional fault injection: the kFaultCollapse point randomly
     // suppresses collapse opportunities so chaos soaks cover both collapsed
     // and uncollapsed chains. Not owned.
@@ -353,6 +366,9 @@ class VmSystem {
     PaddedAtomicU64 queue_batch_flushes{0};
     PaddedAtomicU64 pageout_runs{0};
     PaddedAtomicU64 pageout_run_pages{0};
+    PaddedAtomicU64 fault_ahead_requests{0};
+    PaddedAtomicU64 fault_ahead_pages{0};
+    PaddedAtomicU64 fault_ahead_unused{0};
   };
 
   // --- resident page management ---------------------------------------
@@ -477,6 +493,13 @@ class VmSystem {
   // Read-only resolution; caller holds task.map->lock() (either mode).
   Result<EntryRef> LookupEntry(TaskVm& task, VmOffset addr, VmProt access);
 
+  // Runs the per-entry sequentiality detector for a *miss* at
+  // `object_offset` (the page was not resident) and returns the fault-ahead
+  // window to use, >= 1. Caller holds the holder's map lock (shared is
+  // fine; the detector word is atomic and advisory). Returns 1 whenever
+  // fault-ahead is disabled.
+  uint32_t ComputeFaultAheadWindow(MapEntry* holder, VmOffset object_offset);
+
   // The lock-free fault fast path (Config::optimistic_map_lookup): resolves
   // `page_addr` against the map's published snapshot and installs the
   // translation with the generation validated inside the pmap lock. Handles
@@ -495,8 +518,11 @@ class VmSystem {
   // (first_object, first_offset), waiting on busy pages, asking pagers, and
   // performing the copy-on-write push as needed. Takes and releases object
   // locks internally (none held on entry or exit); returns the page pinned.
+  // `fa_window` is the fault-ahead window in pages (>= 1) to apply if this
+  // resolution turns into a pager request on `first_object` itself; shadow
+  // descents and recursive copy pulls always run single-page.
   Result<PagePin> ResolvePage(std::shared_ptr<VmObject> first_object, VmOffset first_offset,
-                              VmProt fault_type);
+                              VmProt fault_type, uint32_t fa_window = 1);
 
   PagePin MakePinLocked(ObjectLock& olk, std::shared_ptr<VmObject> owner, VmPage* page,
                         bool from_backing);
@@ -511,8 +537,10 @@ class VmSystem {
 
   // Message sends to the object's manager. `olk` (the object's mu) is
   // released across the send and reacquired; callers revalidate after.
+  // `length` spans the whole run (page-size multiple; one page when no
+  // fault-ahead applies).
   KernReturn RequestDataFromPager(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
-                                  VmOffset offset, VmProt access);
+                                  VmOffset offset, VmSize length, VmProt access);
   KernReturn RequestUnlockFromPager(ObjectLock& olk, const std::shared_ptr<VmObject>& object,
                                     VmPage* page, VmProt access);
 

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -116,6 +117,40 @@ uint64_t Stamp(uint64_t seed, VmOffset page) {
   return 0xC0DE000000000000ull ^ (seed << 32) ^ page;
 }
 
+// Answers each (possibly multi-page) data request with one coalesced
+// multi-page pager_data_provided run of per-page stamps; Silence() parks all
+// later faults so a manager death can settle them.
+class RunStampPager : public DataManager {
+ public:
+  RunStampPager() : DataManager("chaos-runs") {}
+  SendRight NewObject() { return CreateMemoryObject(1, "chaos-run-object"); }
+  void Silence() { silent_.store(true, std::memory_order_release); }
+  uint64_t multi_page_requests() const {
+    return multi_page_requests_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    if (silent_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (args.length > kPage) {
+      multi_page_requests_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    PagerRunBuilder run(std::move(args.pager_request_port));
+    for (VmOffset off = args.offset; off < args.offset + args.length; off += kPage) {
+      std::vector<std::byte> page(kPage);
+      const uint64_t stamp = Stamp(0xFA, off / kPage);
+      std::memcpy(page.data(), &stamp, sizeof(stamp));
+      run.AddData(off, std::move(page), kVmProtNone);
+    }
+  }
+
+ private:
+  std::atomic<bool> silent_{false};
+  std::atomic<uint64_t> multi_page_requests_{0};
+};
+
 class ChaosSoak {
  public:
   explicit ChaosSoak(uint64_t seed) : seed_(seed), faults_(seed), ipc_faults_(seed ^ 0x19C0'FA17) {
@@ -185,6 +220,7 @@ class ChaosSoak {
     PartitionAndHeal();
     ShardedShmShardHostDeathAndHeal();
     ManagerDeathMidFault();
+    FaultAheadScanOverLossyLink();
     MigrationOverLossyLink();
     PartitionWithMigrationInFlight();
     MidMigrationHostCrash();
@@ -450,6 +486,46 @@ class ChaosSoak {
     EXPECT_EQ(out, 0u);
     EXPECT_LT(resolved_in.count(), 2000) << "faulter burned the pager timeout";
     EXPECT_GE(host_a_->vm().Statistics().manager_deaths, 1u);
+    pager.Stop();
+  }
+
+  // A fault-ahead-heavy sequential scan whose pager sits across the lossy
+  // link: the batched multi-page data requests and their multi-page provides
+  // (up to 64 KB — many fragments) ride the SACK transport under frag, ack
+  // and reorder drops. Halfway through, the manager dies with a run's worth
+  // of speculative placeholders outstanding; every parked page must settle
+  // by the death fast path (zero fill on B), never the 5 s pager timeout.
+  void FaultAheadScanOverLossyLink() {
+    RunStampPager pager;
+    pager.Start();
+    SendRight object = pager.NewObject();
+    std::shared_ptr<Task> task = host_b_->CreateTask(nullptr, "scan-remote");
+    const VmSize pages = 64;
+    VmOffset base =
+        task->VmAllocateWithPager(pages * kPage, link_->ProxyForB(object), 0).value();
+    for (VmOffset p = 0; p < pages / 2; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(task->Read(base + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+      EXPECT_EQ(out, Stamp(0xFA, p)) << "page " << p << " lost on the reliable link";
+    }
+    EXPECT_GT(pager.multi_page_requests(), 0u)
+        << "the sequential scan never batched a request across the wire";
+
+    pager.Silence();                    // Later faults park on the wire...
+    pager.DestroyMemoryObject(object);  // ...and the manager dies.
+    auto death_time = std::chrono::steady_clock::now();
+    for (VmOffset p = pages / 2; p < pages; ++p) {
+      uint64_t out = 0xDEAD;
+      ASSERT_EQ(task->Read(base + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+      // Answered earlier by a speculative run, or zero-filled by the death
+      // fast path — never torn, never an error.
+      EXPECT_TRUE(out == Stamp(0xFA, p) || out == 0) << "page " << p;
+    }
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - death_time);
+    EXPECT_LT(elapsed.count(), 4000) << "parked fault-ahead run burned the pager timeout";
+    EXPECT_GT(host_b_->vm().Statistics().fault_ahead_requests, 0u);
+    task.reset();
     pager.Stop();
   }
 

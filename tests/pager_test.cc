@@ -767,5 +767,143 @@ TEST_F(ErrantManagerTest, UnresponsiveManagerDirtyPagesParkWithDefaultPager) {
   task.reset();
 }
 
+// --- fault-ahead over the pager protocol -------------------------------------
+
+// Answers every (possibly multi-page) request with only its first page: the
+// kernel must settle the provided prefix and free the unanswered remainder.
+class PrefixProvidingPager : public DataManager {
+ public:
+  PrefixProvidingPager() : DataManager("prefix-pager") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+  std::vector<std::pair<VmOffset, VmSize>> requests() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return requests_;
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      requests_.emplace_back(args.offset, args.length);
+    }
+    std::vector<std::byte> data(kPage);
+    uint64_t stamp = TestPager::Stamp(args.offset);
+    std::memcpy(data.data(), &stamp, sizeof(stamp));
+    ProvideData(args.pager_request_port, args.offset, std::move(data), kVmProtNone);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<VmOffset, VmSize>> requests_;
+};
+
+TEST(FaultAheadPagerTest, PartialProvideSettlesThePrefixAndFreesTheRest) {
+  Kernel::Config config;
+  config.frames = 64;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.fault_ahead_max = 4;
+  Kernel kernel(config);
+  std::shared_ptr<Task> task = kernel.CreateTask();
+  PrefixProvidingPager pager;
+  pager.Start();
+  VmOffset addr = task->VmAllocateWithPager(8 * kPage, pager.NewObject(), 0).value();
+
+  uint64_t out = 0;
+  for (VmOffset p = 0; p < 4; ++p) {
+    ASSERT_EQ(task->Read(addr + p * kPage, &out, sizeof(out)), KernReturn::kSuccess);
+    EXPECT_EQ(out, TestPager::Stamp(p * kPage)) << "page " << p;
+  }
+  // Page 1's fault opened a 2-page window; only page 1 came back, so its
+  // speculative neighbour was freed and page 2 re-faulted on demand as a
+  // fresh request (the detector reads the truncated run as random access).
+  const std::vector<std::pair<VmOffset, VmSize>> expect = {
+      {0 * kPage, 1 * kPage},
+      {1 * kPage, 2 * kPage},
+      {2 * kPage, 1 * kPage},
+      {3 * kPage, 2 * kPage}};
+  EXPECT_EQ(pager.requests(), expect);
+  // The unanswered placeholders (behind pages 1 and 3) were freed with
+  // their speculation unconsumed — the waste counter owns up to both.
+  VmStatistics st = kernel.vm().Statistics();
+  EXPECT_EQ(st.fault_ahead_requests, 2u);
+  EXPECT_EQ(st.fault_ahead_pages, 2u);
+  EXPECT_EQ(st.fault_ahead_unused, 2u);
+  task.reset();
+  pager.Stop();
+}
+
+// --- wire validation of pager_data_request -----------------------------------
+
+TEST(PagerProtocolValidationTest, DecoderRejectsMalformedRunLengths) {
+  PortPair pair = PortAllocate("validator");
+  auto make = [&](VmSize length) {
+    PagerDataRequestArgs args;
+    args.pager_request_port = pair.send;
+    args.offset = 0;
+    args.length = length;
+    args.desired_access = kVmProtRead;
+    return EncodePagerDataRequest(args);
+  };
+  {
+    Message msg = make(kPage);
+    EXPECT_TRUE(DecodePagerDataRequest(msg, kPage).ok());
+  }
+  {
+    Message msg = make(kPagerMaxRunPages * kPage);  // Largest legal run.
+    EXPECT_TRUE(DecodePagerDataRequest(msg, kPage).ok());
+  }
+  {
+    Message msg = make(kPage + 17);  // Not a page multiple.
+    EXPECT_EQ(DecodePagerDataRequest(msg, kPage).status(),
+              KernReturn::kProtocolViolation);
+  }
+  {
+    Message msg = make((kPagerMaxRunPages + 1) * kPage);  // Beyond the cap.
+    EXPECT_EQ(DecodePagerDataRequest(msg, kPage).status(),
+              KernReturn::kProtocolViolation);
+  }
+  {
+    // Zero length, hand-built: the encoder itself refuses to emit one.
+    Message msg(kMsgPagerDataRequest);
+    msg.PushPort(pair.send);
+    msg.PushU64(0);
+    msg.PushU64(0);
+    msg.PushU32(kVmProtRead);
+    EXPECT_EQ(DecodePagerDataRequest(msg, kPage).status(),
+              KernReturn::kProtocolViolation);
+  }
+  {
+    // Page size unknown (request racing ahead of pager_init): only the
+    // zero-length check applies.
+    Message msg = make(kPage + 17);
+    EXPECT_TRUE(DecodePagerDataRequest(msg, 0).ok());
+  }
+}
+
+TEST_F(ExternalPagerTest, ForgedOversizeDataRequestIsRejectedAtTheWire) {
+  SendRight object = pager_.NewObject();
+  VmOffset addr = task_->VmAllocateWithPager(kPage, object, 0).value();
+  uint64_t out = 0;
+  ASSERT_EQ(task_->Read(addr, &out, sizeof(out)), KernReturn::kSuccess);
+  const int requests_before = pager_.request_count();
+
+  // Any send-right holder can put a message on the object port; a forged
+  // request claiming an over-limit run must be dropped by the dispatcher's
+  // validator and never reach OnDataRequest.
+  PagerDataRequestArgs forged;
+  forged.pager_request_port = pager_.last_request_port();
+  forged.offset = 0;
+  forged.length = (kPagerMaxRunPages + 1) * kPage;
+  forged.desired_access = kVmProtRead;
+  ASSERT_EQ(MsgSend(object, EncodePagerDataRequest(forged)), KernReturn::kSuccess);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pager_.protocol_rejects() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pager_.protocol_rejects(), 1u);
+  EXPECT_EQ(pager_.request_count(), requests_before);
+}
+
 }  // namespace
 }  // namespace mach

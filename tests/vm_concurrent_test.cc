@@ -337,6 +337,92 @@ TEST(VmConcurrentTest, ClusteredPageoutRacesFaultsOnOneObject) {
   pager.Stop();
 }
 
+TEST(VmConcurrentTest, FaultAheadScanRacesClusteredPageout) {
+  // A sequential scanner keeps multi-page fault-ahead runs in flight —
+  // pinned busy+absent placeholders scattered through the object — while
+  // writer threads dirty interleaved pages of the same object and memory
+  // pressure drives the clustered write-back over the same page list. The
+  // clusterer must leave the pinned speculative placeholders alone, the
+  // scanner's sweep must free exactly the unanswered ones, and the final
+  // content oracle must hold through every evict/re-fault interleaving.
+  constexpr int kScanPages = 96;
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 4;
+  auto kernel = MakeKernel(64);  // << 96-page region: reclaim runs constantly.
+  const uint64_t free_baseline = kernel->phys().free_frames();
+  EchoStorePager pager;
+  pager.Start();
+  SendRight object = pager.NewObject();
+  auto task = kernel->CreateTask(nullptr, "fault-ahead-race");
+  const VmOffset base =
+      task->VmAllocateWithPager(VmSize{kScanPages} * kPage, object, 0).value();
+
+  // Writer t owns pages where p % (2 * kWriters) == 2t + 1; even pages are
+  // read-only (they settle as zero fill — the store starts empty).
+  auto value_for = [](int t, int p, int round) {
+    return (static_cast<uint64_t>(0xB0 + t) << 48) |
+           (static_cast<uint64_t>(round) << 32) | static_cast<uint64_t>(p);
+  };
+  std::vector<std::thread> workers;
+  std::atomic<int> errors{0};
+  workers.emplace_back([&] {  // The scanner.
+    for (int round = 0; round < kRounds; ++round) {
+      for (int p = 0; p < kScanPages; ++p) {
+        auto got = task->ReadValue<uint64_t>(base + static_cast<VmSize>(p) * kPage);
+        if (!got.ok()) {
+          ++errors;
+          continue;
+        }
+        // Every observable value is either the zero fill or some writer's
+        // whole 8-byte stamp for exactly this page — never torn.
+        if (got.value() != 0 &&
+            (got.value() & 0xFFFFFFFFull) != static_cast<uint64_t>(p)) {
+          ++errors;
+        }
+      }
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int p = 2 * t + 1; p < kScanPages; p += 2 * kWriters) {
+          if (task->WriteValue<uint64_t>(base + static_cast<VmSize>(p) * kPage,
+                                         value_for(t, p, round)) != KernReturn::kSuccess) {
+            ++errors;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+
+  // Oracle: every written page holds its owner's final-round value; every
+  // read-only page is still the zero fill.
+  for (int p = 0; p < kScanPages; ++p) {
+    auto got = task->ReadValue<uint64_t>(base + static_cast<VmSize>(p) * kPage);
+    ASSERT_TRUE(got.ok()) << "page " << p;
+    if (p % 2 == 1) {
+      const int owner = (p % (2 * kWriters)) / 2;
+      ASSERT_EQ(got.value(), value_for(owner, p, kRounds - 1)) << "page " << p;
+    } else {
+      ASSERT_EQ(got.value(), 0u) << "page " << p;
+    }
+  }
+
+  VmStatistics stats = kernel->vm().Statistics();
+  EXPECT_GT(stats.fault_ahead_requests, 0u) << "the scan never batched a read";
+  EXPECT_GT(stats.pageouts, 0u) << "no eviction pressure: the race never ran";
+  EXPECT_GT(stats.pageout_runs, 0u);
+
+  task.reset();
+  object = SendRight();
+  ExpectTeardownToBaseline(*kernel, free_baseline);
+  pager.Stop();
+}
+
 TEST(VmConcurrentTest, OptimisticLookupSurvivesRegionChurn) {
   // Readers hammer the lock-free (seqlock) map lookup on a stable resident
   // region while churn threads mutate the map (vm_allocate/vm_deallocate of

@@ -1005,5 +1005,274 @@ TEST_F(PageoutClusterTest, ClusteringReducesDataWriteMessageCount) {
   EXPECT_LT(runs[0], runs[1]);
 }
 
+// --- adaptive fault-ahead ----------------------------------------------------
+
+// Records every pager_data_request's (offset, length) and answers it with a
+// single provide carrying each page's own stamp — so a batched read is
+// distinguishable both from repeated single-page reads and from zero fill.
+class ReadRecordingPager : public DataManager {
+ public:
+  ReadRecordingPager() : DataManager("read-recorder") {}
+  SendRight NewObject() { return CreateMemoryObject(1); }
+  static uint8_t StampFor(VmOffset offset) {
+    return static_cast<uint8_t>(0x30 + (offset / kPage) % 97);
+  }
+  std::vector<std::pair<VmOffset, VmSize>> requests() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return requests_;
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      requests_.emplace_back(args.offset, args.length);
+    }
+    std::vector<std::byte> data(args.length);
+    for (VmSize d = 0; d < args.length; d += kPage) {
+      std::fill_n(data.begin() + d, kPage, std::byte{StampFor(args.offset + d)});
+    }
+    ProvideData(args.pager_request_port, args.offset, std::move(data), kVmProtNone);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<VmOffset, VmSize>> requests_;
+};
+
+class FaultAheadTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Kernel> MakeKernel(bool fault_ahead, uint32_t max = 8) {
+    Kernel::Config config;
+    config.frames = 256;
+    config.page_size = kPage;
+    config.disk_latency = DiskLatencyModel{0, 0};
+    config.vm.fault_ahead = fault_ahead;
+    config.vm.fault_ahead_max = max;
+    return std::make_unique<Kernel>(config);
+  }
+
+  // Reads one byte from page `p` of the region and checks its stamp.
+  static void ReadPage(Task& task, VmOffset base, VmOffset p) {
+    uint8_t byte = 0;
+    ASSERT_EQ(task.Read(base + p * kPage, &byte, 1), KernReturn::kSuccess);
+    EXPECT_EQ(byte, ReadRecordingPager::StampFor(p * kPage)) << "page " << p;
+  }
+};
+
+TEST_F(FaultAheadTest, SequentialStreakDoublesTheWindowUpToTheCap) {
+  auto kernel = MakeKernel(true, 8);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(64 * kPage, pager.NewObject(), 0).value();
+  for (VmOffset p = 0; p < 64; ++p) {
+    ReadPage(*task, base, p);
+  }
+  // The window scales 1 → 2 → 4 → 8 and saturates at the cap; the final
+  // single page is the entry-boundary clamp at the region's last page.
+  const std::vector<VmSize> expect_pages = {1, 2, 4, 8, 8, 8, 8, 8, 8, 8, 1};
+  std::vector<std::pair<VmOffset, VmSize>> reqs = pager.requests();
+  ASSERT_EQ(reqs.size(), expect_pages.size());
+  VmOffset expect_off = 0;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].first, expect_off) << "request " << i;
+    EXPECT_EQ(reqs[i].second, expect_pages[i] * kPage) << "request " << i;
+    expect_off += expect_pages[i] * kPage;
+  }
+  // Counters agree: 9 batched requests carrying 53 speculative pages, every
+  // one of them consumed by a later demand read.
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_EQ(st.fault_ahead_requests, 9u);
+  EXPECT_EQ(st.fault_ahead_pages, 53u);
+  EXPECT_EQ(st.fault_ahead_unused, 0u);
+  task.reset();
+  pager.Stop();
+}
+
+TEST_F(FaultAheadTest, RandomAccessStaysSinglePage) {
+  auto kernel = MakeKernel(true, 8);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(64 * kPage, pager.NewObject(), 0).value();
+  // No access is the successor of the previous one: the detector must never
+  // open a window, so the wire sees exactly one page per request.
+  for (VmOffset p : {9, 2, 30, 17, 44, 5, 58, 23}) {
+    ReadPage(*task, base, p);
+  }
+  std::vector<std::pair<VmOffset, VmSize>> reqs = pager.requests();
+  ASSERT_EQ(reqs.size(), 8u);
+  for (const auto& [off, len] : reqs) {
+    EXPECT_EQ(len, kPage) << "offset " << off;
+  }
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_EQ(st.fault_ahead_requests, 0u);
+  EXPECT_EQ(st.fault_ahead_pages, 0u);
+  task.reset();
+  pager.Stop();
+}
+
+TEST_F(FaultAheadTest, WindowCollapsesOnRandomJumpAndRebuilds) {
+  auto kernel = MakeKernel(true, 8);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(64 * kPage, pager.NewObject(), 0).value();
+  for (VmOffset p : {0, 1, 2, 3}) {  // Grow: requests of 1, 2, 4 pages.
+    ReadPage(*task, base, p);
+  }
+  ReadPage(*task, base, 40);  // Random jump: collapse to one page.
+  ReadPage(*task, base, 50);  // Still random.
+  ReadPage(*task, base, 51);  // A width-1 window predicts its successor:
+  ReadPage(*task, base, 52);  // the streak re-opens at 51, 52 is covered.
+  const std::vector<std::pair<VmOffset, VmSize>> expect = {
+      {0, 1}, {1, 2}, {3, 4}, {40, 1}, {50, 1}, {51, 2}};
+  std::vector<std::pair<VmOffset, VmSize>> reqs = pager.requests();
+  ASSERT_EQ(reqs.size(), expect.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].first, expect[i].first * kPage) << "request " << i;
+    EXPECT_EQ(reqs[i].second, expect[i].second * kPage) << "request " << i;
+  }
+  task.reset();
+  pager.Stop();
+}
+
+TEST_F(FaultAheadTest, AblationOffIsOnePagePerRequest) {
+  auto kernel = MakeKernel(false);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(16 * kPage, pager.NewObject(), 0).value();
+  for (VmOffset p = 0; p < 16; ++p) {
+    ReadPage(*task, base, p);
+  }
+  // The ablation restores demand paging exactly: one request per page even
+  // under a perfectly sequential scan, and no fault-ahead accounting.
+  std::vector<std::pair<VmOffset, VmSize>> reqs = pager.requests();
+  ASSERT_EQ(reqs.size(), 16u);
+  for (const auto& [off, len] : reqs) {
+    EXPECT_EQ(len, kPage) << "offset " << off;
+  }
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_EQ(st.fault_ahead_requests, 0u);
+  EXPECT_EQ(st.fault_ahead_pages, 0u);
+  EXPECT_EQ(st.fault_ahead_unused, 0u);
+  task.reset();
+  pager.Stop();
+}
+
+TEST_F(FaultAheadTest, RunStopsAtAResidentPage) {
+  auto kernel = MakeKernel(true, 8);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(64 * kPage, pager.NewObject(), 0).value();
+  ReadPage(*task, base, 5);  // Make page 5 resident.
+  for (VmOffset p = 0; p < 6; ++p) {
+    ReadPage(*task, base, p);
+  }
+  // The 4-page window at page 3 truncates to {3, 4}: speculation never
+  // re-requests (or double-allocates) the already-resident page 5.
+  const std::vector<std::pair<VmOffset, VmSize>> expect = {
+      {5, 1}, {0, 1}, {1, 2}, {3, 2}};
+  std::vector<std::pair<VmOffset, VmSize>> reqs = pager.requests();
+  ASSERT_EQ(reqs.size(), expect.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].first, expect[i].first * kPage) << "request " << i;
+    EXPECT_EQ(reqs[i].second, expect[i].second * kPage) << "request " << i;
+  }
+  task.reset();
+  pager.Stop();
+}
+
+TEST_F(FaultAheadTest, UnusedSpeculativePagesAreCountedHonestly) {
+  auto kernel = MakeKernel(true, 8);
+  auto task = kernel->CreateTask();
+  ReadRecordingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(64 * kPage, pager.NewObject(), 0).value();
+  // Misses at 0, 1, 3, 7 speculatively pull in 11 extra pages (2, 4-6,
+  // 8-14). Demand-reading two of them consumes their speculation; the
+  // other nine die with the readahead mark still set when the region is
+  // torn down and must show up as waste — no more, no less.
+  for (VmOffset p : {0, 1, 3, 7}) {
+    ReadPage(*task, base, p);
+  }
+  ReadPage(*task, base, 2);  // Consumed: resident hit clears the mark.
+  ReadPage(*task, base, 4);
+  VmStatistics before = kernel->vm().Statistics();
+  EXPECT_EQ(before.fault_ahead_pages, 1 + 3 + 7u);
+  EXPECT_EQ(before.fault_ahead_unused, 0u);
+  ASSERT_EQ(task->VmDeallocate(base, 64 * kPage), KernReturn::kSuccess);
+  VmStatistics after = kernel->vm().Statistics();
+  EXPECT_EQ(after.fault_ahead_unused, 9u);
+  task.reset();
+  pager.Stop();
+}
+
+// A pager that dies (drops its memory-object port without answering) the
+// moment it sees a multi-page fault-ahead request.
+class MidRunDyingPager : public DataManager {
+ public:
+  MidRunDyingPager() : DataManager("mid-run-dying") {}
+  SendRight NewObject() {
+    object_ = CreateMemoryObject(1);
+    return object_;
+  }
+
+ protected:
+  void OnDataRequest(uint64_t, uint64_t, PagerDataRequestArgs args) override {
+    if (args.length > kPage) {
+      DestroyMemoryObject(object_);
+      return;
+    }
+    ProvideData(args.pager_request_port, args.offset,
+                std::vector<std::byte>(args.length, std::byte{0x77}), kVmProtNone);
+  }
+
+ private:
+  SendRight object_;
+};
+
+TEST_F(FaultAheadTest, PagerDeathMidRunSettlesEveryPlaceholder) {
+  // Regression: a pager dying while a fault-ahead run is outstanding must
+  // resolve the demanded page *and* every pinned speculative placeholder —
+  // nothing may stay busy forever and no frame may leak.
+  Kernel::Config config;
+  config.frames = 256;
+  config.page_size = kPage;
+  config.disk_latency = DiskLatencyModel{0, 0};
+  config.vm.fault_ahead_max = 8;
+  config.vm.on_pager_timeout = VmSystem::Config::OnPagerTimeout::kZeroFill;
+  auto kernel = std::make_unique<Kernel>(config);
+  auto task = kernel->CreateTask();
+  MidRunDyingPager pager;
+  pager.Start();
+  VmOffset base = task->VmAllocateWithPager(8 * kPage, pager.NewObject(), 0).value();
+
+  uint8_t byte = 0;
+  ASSERT_EQ(task->Read(base, &byte, 1), KernReturn::kSuccess);  // Single page, served.
+  EXPECT_EQ(byte, 0x77);
+  // Page 1 misses sequentially: a 2-page request goes out and the pager
+  // dies on it. The death path zero-fills both placeholders now.
+  ASSERT_EQ(task->Read(base + kPage, &byte, 1), KernReturn::kSuccess);
+  EXPECT_EQ(byte, 0x00);
+  ASSERT_EQ(task->Read(base + 2 * kPage, &byte, 1), KernReturn::kSuccess);
+  EXPECT_EQ(byte, 0x00);
+
+  VmStatistics st = kernel->vm().Statistics();
+  EXPECT_GE(st.manager_deaths, 1u);
+  EXPECT_GE(st.death_resolved_pages, 2u);  // Demanded page + speculative one.
+  EXPECT_EQ(st.fault_ahead_requests, 1u);
+  EXPECT_EQ(st.fault_ahead_pages, 1u);
+  // The severed region now behaves like anonymous memory.
+  uint64_t v = 0xFEED;
+  ASSERT_EQ(task->WriteValue<uint64_t>(base + 3 * kPage, v), KernReturn::kSuccess);
+  EXPECT_EQ(task->ReadValue<uint64_t>(base + 3 * kPage).value(), v);
+  task.reset();
+  pager.Stop();
+}
+
 }  // namespace
 }  // namespace mach
